@@ -1,0 +1,346 @@
+package broadcastcc
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation plus micro-benchmarks of the protocol primitives. The
+// figure benchmarks run the same sweeps as cmd/bcbench at a reduced
+// transaction count so `go test -bench=.` stays tractable; the full
+// 1000-transaction reproduction is `bcbench -figure all`. Each figure
+// benchmark reports the mean response time (bit-units) of the most
+// contended point as response-bit-units/op alongside wall-clock time.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/experiments"
+	"broadcastcc/internal/history"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/wire"
+)
+
+// benchOptions keeps figure sweeps affordable per benchmark iteration.
+func benchOptions(seed int64) experiments.Options {
+	return experiments.Options{Txns: 120, MeasureFrom: 20, Seed: seed, MaxTime: 1e12}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	var last *experiments.Experiment
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.ByID(id, benchOptions(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = e
+	}
+	if last != nil && len(last.Points) > 0 {
+		pt := last.Points[len(last.Points)-1]
+		for _, lbl := range last.Labels {
+			b.ReportMetric(pt.Runs[lbl].ResponseMean, fmt.Sprintf("resp-%s", shortLabel(lbl)))
+		}
+	}
+}
+
+func shortLabel(lbl string) string {
+	switch lbl {
+	case "Datacycle":
+		return "dc"
+	case "R-Matrix":
+		return "rm"
+	case "F-Matrix":
+		return "fm"
+	case "F-Matrix-No":
+		return "fmno"
+	default:
+		return lbl
+	}
+}
+
+// BenchmarkTable1Defaults runs the paper's default configuration
+// (Table 1) under each algorithm.
+func BenchmarkTable1Defaults(b *testing.B) {
+	for _, alg := range []Algorithm{Datacycle, RMatrix, FMatrix, FMatrixNo} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultSimConfig()
+				cfg.Algorithm = alg
+				cfg.ClientTxns = 120
+				cfg.MeasureFrom = 20
+				cfg.Seed = int64(i + 1)
+				r, err := RunSim(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = r.ResponseTime.Mean()
+			}
+			b.ReportMetric(mean, "resp-bit-units")
+		})
+	}
+}
+
+// BenchmarkFigure2a: response time vs client transaction length.
+func BenchmarkFigure2a(b *testing.B) { benchFigure(b, "2a") }
+
+// BenchmarkFigure2b: restart ratio vs client transaction length.
+func BenchmarkFigure2b(b *testing.B) { benchFigure(b, "2b") }
+
+// BenchmarkFigure3a: response time vs server transaction length.
+func BenchmarkFigure3a(b *testing.B) { benchFigure(b, "3a") }
+
+// BenchmarkFigure3b: response time vs server transaction rate.
+func BenchmarkFigure3b(b *testing.B) { benchFigure(b, "3b") }
+
+// BenchmarkFigure4a: response time vs number of objects.
+func BenchmarkFigure4a(b *testing.B) { benchFigure(b, "4a") }
+
+// BenchmarkFigure4b: response time vs object size.
+func BenchmarkFigure4b(b *testing.B) { benchFigure(b, "4b") }
+
+// BenchmarkGroupedSpectrum: the Section 3.2.2 grouping ablation.
+func BenchmarkGroupedSpectrum(b *testing.B) { benchFigure(b, "groups") }
+
+// BenchmarkCachingSweep: the Section 3.3 weak-currency ablation.
+func BenchmarkCachingSweep(b *testing.B) { benchFigure(b, "caching") }
+
+// ---- Micro-benchmarks of the primitives ----
+
+// BenchmarkMatrixApply measures the server-side cost of folding one
+// committed transaction into the n×n control matrix (Theorem 2 rule).
+func BenchmarkMatrixApply(b *testing.B) {
+	for _, n := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := cmatrix.NewMatrix(n)
+			rs := []int{1, 3, 5, 7}
+			ws := []int{2, 4, 6, 8}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Apply(rs, ws, cmatrix.Cycle(i+1))
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixClone measures the per-cycle snapshot cost the server
+// pays under F-Matrix.
+func BenchmarkMatrixClone(b *testing.B) {
+	for _, n := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := cmatrix.NewMatrix(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkValidatorTryRead measures the client-side read-condition
+// check with a read-set of the paper's default client length.
+func BenchmarkValidatorTryRead(b *testing.B) {
+	const n = 300
+	m := cmatrix.NewMatrix(n)
+	vec := cmatrix.NewVector(n)
+	for _, alg := range []Algorithm{Datacycle, RMatrix, FMatrix} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var snap protocol.Snapshot
+			switch alg {
+			case FMatrix:
+				snap = protocol.MatrixSnapshot{C: m}
+			default:
+				snap = protocol.VectorSnapshot{V: vec}
+			}
+			v := protocol.NewValidator(alg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Reset()
+				for j := 0; j < 4; j++ {
+					if !v.TryRead(snap, j, cmatrix.Cycle(i+1)) {
+						b.Fatal("unexpected validation failure")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApprox measures the polynomial recognizer on a moderately
+// large history (120 update + 60 read-only transactions).
+func BenchmarkApprox(b *testing.B) {
+	cfg := history.GenConfig{
+		Objects: 50, UpdateTxns: 120, ReadOnlyTxns: 60,
+		MaxReads: 6, MaxWrites: 4, ReadsFirst: true, SerialUpdates: true,
+	}
+	hists := make([]*history.History, 8)
+	rng := rand.New(rand.NewSource(17))
+	for i := range hists {
+		hists[i] = history.RandomHistory(rng, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Approx(hists[i%len(hists)])
+	}
+}
+
+// BenchmarkServerCommitPath measures the live server's full commit path
+// (begin, read, write, validate, install) under F-Matrix.
+func BenchmarkServerCommitPath(b *testing.B) {
+	srv, err := NewServer(ServerConfig{Objects: 300, ObjectBits: 8192, Algorithm: FMatrix})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := srv.Begin()
+		if _, err := txn.Read(i % 300); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Write((i+7)%300, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeCycle measures serializing one F-Matrix broadcast
+// cycle at the Table 1 layout into its bitstream.
+func BenchmarkWireEncodeCycle(b *testing.B) {
+	layout := bcast.LayoutFor(protocol.FMatrix, 300, 8192, 8, 0)
+	cb := &bcast.CycleBroadcast{
+		Number: 100, Layout: layout,
+		Values: make([][]byte, 300),
+		Matrix: cmatrix.NewMatrix(300),
+	}
+	for j := range cb.Values {
+		cb.Values[j] = make([]byte, 1024)
+	}
+	data, err := wire.EncodeCycle(cb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.EncodeCycle(cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeCycle measures the client-side decode of a full
+// F-Matrix cycle frame.
+func BenchmarkWireDecodeCycle(b *testing.B) {
+	layout := bcast.LayoutFor(protocol.FMatrix, 300, 8192, 8, 0)
+	cb := &bcast.CycleBroadcast{
+		Number: 100, Layout: layout,
+		Values: make([][]byte, 300),
+		Matrix: cmatrix.NewMatrix(300),
+	}
+	data, err := wire.EncodeCycle(cb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeCycle(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDelta measures encoding an incremental frame carrying a
+// typical per-cycle change set (cf. bcbench -figure delta).
+func BenchmarkWireDelta(b *testing.B) {
+	layout := bcast.LayoutFor(protocol.FMatrix, 300, 8192, 8, 0)
+	mk := func(number cmatrix.Cycle, m *cmatrix.Matrix) *bcast.CycleBroadcast {
+		cb := &bcast.CycleBroadcast{Number: number, Layout: layout, Values: make([][]byte, 300), Matrix: m}
+		for j := range cb.Values {
+			cb.Values[j] = make([]byte, 1024)
+		}
+		return cb
+	}
+	m1 := cmatrix.NewMatrix(300)
+	prev := mk(10, m1)
+	m2 := m1.Clone()
+	for k := 0; k < 40; k++ { // ~the default-rate commit volume
+		m2.Apply([]int{k % 300}, []int{(k + 7) % 300, (k + 13) % 300}, 10)
+	}
+	cur := mk(11, m2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.EncodeCycleDelta(prev, cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleNextReady measures the broadcast-program lookup used
+// on every simulated client read.
+func BenchmarkScheduleNextReady(b *testing.B) {
+	layout := bcast.LayoutFor(protocol.RMatrix, 300, 8192, 8, 0)
+	hot := make([]int, 30)
+	for i := range hot {
+		hot[i] = i
+	}
+	cold := make([]int, 270)
+	for i := range cold {
+		cold[i] = 30 + i
+	}
+	s, err := bcast.NewSchedule(layout, []bcast.Disk{
+		{Objects: hot, Speed: 3},
+		{Objects: cold, Speed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	major := float64(s.MajorCycleBits())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NextReady(float64(i%1000)*major/1000, i%300)
+	}
+}
+
+// BenchmarkUpdateConsistentExact measures the exponential exact checker
+// on the paper's Example 1 — tiny, but the comparison with
+// BenchmarkApprox shows the asymptotic gap the paper motivates APPROX
+// with.
+func BenchmarkUpdateConsistentExact(b *testing.B) {
+	h, err := history.Parse("r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !UpdateConsistent(h).OK {
+			b.Fatal("example 1 must be update consistent")
+		}
+	}
+}
+
+// BenchmarkStartCycle measures the per-cycle broadcast production cost
+// (snapshotting values and control information).
+func BenchmarkStartCycle(b *testing.B) {
+	for _, alg := range []Algorithm{RMatrix, FMatrix} {
+		b.Run(alg.String(), func(b *testing.B) {
+			srv, err := NewServer(ServerConfig{Objects: 300, ObjectBits: 8192, Algorithm: alg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if srv.StartCycle() == nil {
+					b.Fatal("closed")
+				}
+			}
+		})
+	}
+}

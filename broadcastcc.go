@@ -1,0 +1,240 @@
+// Package broadcastcc is a from-scratch reproduction of
+//
+//	"Efficient Concurrency Control for Broadcast Environments"
+//	Shanmugasundaram, Nithrakashyap, Sivasankaran, Ramamritham
+//	SIGMOD 1999
+//
+// It provides concurrency control for broadcast-disk environments —
+// servers that periodically broadcast a whole (small) database to very
+// many clients over an asymmetric medium — such that client read-only
+// transactions read current, mutually consistent data entirely "off the
+// air", without ever contacting the server.
+//
+// The package exposes five layers:
+//
+//   - History checking: parse execution histories in the paper's
+//     notation and test them against conflict serializability, view
+//     serializability, update consistency (the paper's correctness
+//     criterion; exact but exponential) and APPROX (the paper's
+//     polynomial recognizer).
+//
+//   - A live broadcast runtime: NewServer builds a broadcast server
+//     that commits update transactions (local or shipped up a
+//     low-bandwidth uplink) under conflict serializability and
+//     publishes per-cycle snapshots with the control information of the
+//     chosen protocol; NewClient builds clients that run validated
+//     read-only and update transactions against those broadcasts,
+//     optionally with a weak-currency cache.
+//
+//   - A networked deployment of the same runtime (ServeBroadcast, Tune,
+//     DialUplink): the broadcast as a real one-way TCP stream carrying
+//     the paper's bit-packed frames, with optional incremental (delta)
+//     transmission of the control matrix, plus a TCP uplink.
+//
+//   - A discrete-event simulator (RunSim) parameterized exactly by the
+//     paper's Table 1 — optionally with many concurrent clients, client
+//     caches, multi-speed broadcast disks and client update
+//     transactions — measuring transaction response times and restart
+//     ratios in bit-units.
+//
+//   - The experiment harness (RunFigure, RunAllFigures) that
+//     regenerates every figure of the paper's evaluation plus the
+//     ablations and analyses documented in EXPERIMENTS.md.
+//
+// The four algorithms compared throughout are Datacycle (serializable,
+// the baseline from Herman et al.), R-Matrix, F-Matrix, and the ideal
+// F-Matrix-No whose control information travels for free.
+package broadcastcc
+
+import (
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/experiments"
+	"broadcastcc/internal/history"
+	"broadcastcc/internal/netcast"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+	"broadcastcc/internal/sim"
+)
+
+// Algorithm selects one of the paper's concurrency control protocols.
+type Algorithm = protocol.Algorithm
+
+// The algorithms of the paper's evaluation (Section 4) plus the grouped
+// spectrum point of Section 3.2.2.
+const (
+	// Datacycle enforces serializability with a per-object last-write
+	// vector (the paper's baseline).
+	Datacycle = protocol.Datacycle
+	// RMatrix weakens Datacycle with the first-read disjunct; accepts
+	// only APPROX schedules.
+	RMatrix = protocol.RMatrix
+	// FMatrix broadcasts the full n×n control matrix and implements
+	// APPROX exactly (Theorem 1).
+	FMatrix = protocol.FMatrix
+	// FMatrixNo is F-Matrix with free control information — the ideal,
+	// non-realizable baseline.
+	FMatrixNo = protocol.FMatrixNo
+	// GroupedMatrix is the n×g intermediate between Datacycle and
+	// F-Matrix.
+	GroupedMatrix = protocol.Grouped
+)
+
+// ParseAlgorithm resolves textual algorithm names ("datacycle",
+// "r-matrix", "f-matrix", "f-matrix-no", "grouped").
+func ParseAlgorithm(s string) (Algorithm, error) { return protocol.ParseAlgorithm(s) }
+
+// Cycle is a broadcast cycle number; cycle 1 is the first broadcast.
+type Cycle = cmatrix.Cycle
+
+// ---- History checking ----
+
+// History is a transaction execution history.
+type History = history.History
+
+// Verdict is the outcome of a correctness check.
+type Verdict = core.Verdict
+
+// ParseHistory reads a history in the paper's notation, e.g.
+// "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3".
+func ParseHistory(s string) (*History, error) { return history.Parse(s) }
+
+// ConflictSerializable tests the committed projection of h for conflict
+// serializability (polynomial).
+func ConflictSerializable(h *History) Verdict { return core.ConflictSerializable(h) }
+
+// ViewSerializable tests the committed projection of h for view
+// serializability (exact; exponential in the worst case).
+func ViewSerializable(h *History) Verdict { return core.ViewSerializable(h) }
+
+// UpdateConsistent tests h against the paper's correctness criterion
+// (Theorem 3): update transactions view serializable, every read-only
+// transaction serializable against its LIVE set. Exact and therefore
+// exponential (recognition is NP-complete); use Approx for the
+// polynomial recognizer.
+func UpdateConsistent(h *History) Verdict { return core.UpdateConsistent(h) }
+
+// Approx runs the paper's polynomial-time APPROX algorithm (Section
+// 3.1): update sub-history conflict serializable and every read-only
+// transaction's serialization graph over its LIVE set acyclic.
+func Approx(h *History) Verdict { return core.Approx(h) }
+
+// ---- Live broadcast runtime ----
+
+// ServerConfig parameterizes a broadcast server.
+type ServerConfig = server.Config
+
+// Server is a broadcast disk server.
+type Server = server.Server
+
+// NewServer builds a broadcast server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ClientConfig parameterizes a broadcast client.
+type ClientConfig = client.Config
+
+// Client is a broadcast listener running validated transactions.
+type Client = client.Client
+
+// Subscription is a client's tuner on the broadcast medium.
+type Subscription = bcast.Subscription
+
+// CycleBroadcast is one broadcast cycle's content.
+type CycleBroadcast = bcast.CycleBroadcast
+
+// Layout describes the physical structure of a broadcast cycle.
+type Layout = bcast.Layout
+
+// NewClient builds a client over a subscription obtained from
+// Server.Subscribe.
+func NewClient(cfg ClientConfig, sub *Subscription) *Client { return client.New(cfg, sub) }
+
+// ReadTxn is a client read-only transaction.
+type ReadTxn = client.ReadTxn
+
+// UpdateTxn is a client update transaction.
+type UpdateTxn = client.UpdateTxn
+
+// ReadAt is one read-set entry: an object and the broadcast cycle it
+// was read in.
+type ReadAt = protocol.ReadAt
+
+// ObjectWrite is one write of an update request.
+type ObjectWrite = protocol.ObjectWrite
+
+// UpdateRequest is the read/write-set payload an update transaction
+// ships over the uplink.
+type UpdateRequest = protocol.UpdateRequest
+
+// Uplink is the client-to-server commit channel; *Server and *NetUplink
+// both implement it.
+type Uplink = protocol.Uplink
+
+// Errors surfaced by the runtime that callers commonly branch on.
+var (
+	// ErrInconsistentRead aborts a client transaction whose next read
+	// would violate the protocol's read-condition; restart it.
+	ErrInconsistentRead = client.ErrInconsistentRead
+	// ErrConflict rejects an update transaction whose reads were
+	// overwritten by a committed transaction.
+	ErrConflict = server.ErrConflict
+)
+
+// ---- Network runtime (TCP) ----
+
+// NetServer exposes a broadcast server over TCP: a one-way broadcast
+// stream plus an uplink port for update transactions.
+type NetServer = netcast.Server
+
+// ServeBroadcast starts streaming srv's cycles on broadcastAddr and
+// accepting update requests on uplinkAddr. Drive cycles with Step or
+// RunTicker.
+func ServeBroadcast(srv *Server, broadcastAddr, uplinkAddr string) (*NetServer, error) {
+	return netcast.Serve(srv, broadcastAddr, uplinkAddr)
+}
+
+// Tuner receives a TCP broadcast stream and re-publishes decoded cycles
+// locally for NewClient.
+type Tuner = netcast.Tuner
+
+// Tune connects to a broadcast stream.
+func Tune(addr string) (*Tuner, error) { return netcast.Tune(addr) }
+
+// NetUplink is the TCP client-to-server channel for update commits.
+type NetUplink = netcast.Uplink
+
+// DialUplink connects to a server's uplink port.
+func DialUplink(addr string) (*NetUplink, error) { return netcast.DialUplink(addr) }
+
+// ---- Simulation and experiments ----
+
+// SimConfig holds the Table 1 simulation parameters.
+type SimConfig = sim.Config
+
+// SimResult summarizes one simulation run.
+type SimResult = sim.Result
+
+// DefaultSimConfig returns the paper's Table 1 defaults.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// RunSim executes one simulation run.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Experiment is one completed figure reproduction.
+type Experiment = experiments.Experiment
+
+// ExperimentOptions control figure reproductions.
+type ExperimentOptions = experiments.Options
+
+// RunFigure reproduces one figure by id: 2a, 2b, 3a, 3b, 4a, 4b, or the
+// ablations "groups" and "caching".
+func RunFigure(id string, opt ExperimentOptions) (*Experiment, error) {
+	return experiments.ByID(id, opt)
+}
+
+// RunAllFigures reproduces the paper's whole evaluation.
+func RunAllFigures(opt ExperimentOptions) ([]*Experiment, error) {
+	return experiments.All(opt)
+}

@@ -1,0 +1,113 @@
+// Command bcbench regenerates the paper's evaluation: one table per
+// figure (2a, 2b, 3a, 3b, 4a, 4b) plus the grouped-matrix and caching
+// ablations, across Datacycle, R-Matrix, F-Matrix and F-Matrix-No.
+//
+// Usage:
+//
+//	bcbench -figure 2a              # one figure at paper scale (1000 txns)
+//	bcbench -figure all -txns 200   # everything, quicker
+//	bcbench -figure 4b -csv out.csv # machine-readable series
+//
+// Numbers are in bit-units; shapes — who wins, by what factor, where
+// curves diverge — are what reproduce (the substrate is a simulator,
+// not the authors' testbed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"broadcastcc"
+	"broadcastcc/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, or all")
+	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
+	seed := flag.Int64("seed", 1, "random seed for every run")
+	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress")
+	maxTime := flag.Float64("max-time", 1e13, "per-run simulated-time guard in bit-units (0 = none)")
+	shapeSlack := flag.Float64("shape-slack", 0.35, "tolerance for the qualitative shape check")
+	flag.Parse()
+
+	opt := broadcastcc.ExperimentOptions{
+		Txns:    *txns,
+		Seed:    *seed,
+		MaxTime: *maxTime,
+	}
+	if !*quiet {
+		opt.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *figure == "delta" || *figure == "all" {
+		points, err := experiments.DeltaAnalysis(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.DeltaTable(points))
+		fmt.Println()
+		if *figure == "delta" {
+			return
+		}
+	}
+
+	var exps []*broadcastcc.Experiment
+	if *figure == "all" {
+		all, err := broadcastcc.RunAllFigures(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = all
+	} else {
+		e, err := broadcastcc.RunFigure(*figure, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = append(exps, e)
+	}
+
+	for _, e := range exps {
+		fmt.Println(e.Table(e.Metric()))
+		if e.ID == "2a" { // the paper discusses both metrics for Figure 2
+			fmt.Println(e.Table(experiments.RestartRatio))
+		}
+		if v := e.CheckShape(*shapeSlack); len(v) > 0 {
+			fmt.Printf("shape check: %d divergence(s) from the paper's qualitative ordering:\n", len(v))
+			for _, x := range v {
+				fmt.Printf("  figure %s at x=%g: %s\n", x.Figure, x.X, x.Detail)
+			}
+		} else if len(e.Labels) == 4 {
+			fmt.Println("shape check: matches the paper's qualitative ordering")
+		}
+		fmt.Println()
+	}
+
+	if *csvPath != "" {
+		if len(exps) != 1 {
+			fmt.Fprintln(os.Stderr, "-csv requires a single -figure")
+			os.Exit(2)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exps[0].WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,85 @@
+// Command bccheck tests a transaction execution history against the
+// correctness criteria of the paper: conflict serializability, view
+// serializability, update consistency (exact, exponential) and APPROX
+// (the paper's polynomial recognizer).
+//
+// The history is given as arguments or on standard input, in the
+// paper's notation:
+//
+//	bccheck 'r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3'
+//	echo 'w1(x) c1 r2(x) c2' | bccheck
+//
+// Exit status is 0 when APPROX accepts the history, 1 when it rejects,
+// 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"broadcastcc"
+)
+
+func main() {
+	skipExpensive := flag.Bool("fast", false, "skip the exponential checks (view serializability, update consistency)")
+	flag.Parse()
+
+	var text string
+	if flag.NArg() > 0 {
+		text = strings.Join(flag.Args(), " ")
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		text = string(data)
+	}
+
+	h, err := broadcastcc.ParseHistory(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if h.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "bccheck: empty history")
+		os.Exit(2)
+	}
+	if err := h.CheckWellFormed(); err != nil {
+		fmt.Fprintf(os.Stderr, "bccheck: warning: %v\n", err)
+	}
+
+	fmt.Printf("history: %s\n", h)
+	fmt.Printf("transactions: %d (%d read-only), objects: %d\n",
+		len(h.Transactions()), len(h.ReadOnlyTransactions()), len(h.Objects()))
+
+	report := func(name string, v broadcastcc.Verdict) {
+		if v.OK {
+			if len(v.Order) > 0 {
+				fmt.Printf("  %-24s ACCEPT (serial order %v)\n", name, v.Order)
+			} else {
+				fmt.Printf("  %-24s ACCEPT\n", name)
+			}
+			return
+		}
+		fmt.Printf("  %-24s REJECT: %s", name, v.Reason)
+		if len(v.Cycle) > 0 {
+			fmt.Printf(" (cycle %v)", v.Cycle)
+		}
+		fmt.Println()
+	}
+
+	report("conflict serializable", broadcastcc.ConflictSerializable(h))
+	if !*skipExpensive {
+		report("view serializable", broadcastcc.ViewSerializable(h))
+		report("update consistent", broadcastcc.UpdateConsistent(h))
+	}
+	approx := broadcastcc.Approx(h)
+	report("APPROX", approx)
+	if !approx.OK {
+		os.Exit(1)
+	}
+}

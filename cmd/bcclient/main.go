@@ -1,0 +1,170 @@
+// Command bcclient tunes in to a bcserver broadcast and runs read-only
+// transactions off the air, printing values and consistency statistics.
+// With -write it instead runs update transactions over the uplink.
+//
+//	bcclient -broadcast 127.0.0.1:7070 -read 0,1,2
+//	bcclient -broadcast 127.0.0.1:7070 -uplink 127.0.0.1:7071 -write 3=hello
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"broadcastcc"
+)
+
+func main() {
+	broadcastAddr := flag.String("broadcast", "127.0.0.1:7070", "server broadcast address")
+	uplinkAddr := flag.String("uplink", "127.0.0.1:7071", "server uplink address (for -write)")
+	algName := flag.String("alg", "f-matrix", "algorithm (must match the server)")
+	readList := flag.String("read", "", "comma-separated object ids to read in one transaction")
+	writeSpec := flag.String("write", "", "obj=value[,obj=value...] to write in one update transaction")
+	txns := flag.Int("txns", 1, "how many transactions to run")
+	cacheT := flag.Int64("cache-currency", 0, "client cache currency bound in cycles (0 = off)")
+	flag.Parse()
+
+	alg, err := broadcastcc.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *readList == "" && *writeSpec == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -read and/or -write")
+		os.Exit(2)
+	}
+
+	tuner, err := broadcastcc.Tune(*broadcastAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tuner.Close()
+	cli := broadcastcc.NewClient(broadcastcc.ClientConfig{
+		Algorithm:     alg,
+		CacheCurrency: broadcastcc.Cycle(*cacheT),
+	}, tuner.Subscribe(64))
+
+	var uplink *broadcastcc.NetUplink
+	if *writeSpec != "" {
+		uplink, err = broadcastcc.DialUplink(*uplinkAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer uplink.Close()
+	}
+
+	reads, err := parseReads(*readList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writes, err := parseWrites(*writeSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	aborts := 0
+	for done := 0; done < *txns; {
+		if _, ok := cli.AwaitCycle(); !ok {
+			log.Fatal("broadcast stream closed")
+		}
+		if len(writes) == 0 {
+			txn := cli.BeginReadOnly()
+			vals, err := readAll(txn, reads)
+			if errors.Is(err, broadcastcc.ErrInconsistentRead) {
+				aborts++
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			rs, err := txn.Commit()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("txn %d (cycle %d):", done+1, cli.Current().Number)
+			for i, obj := range reads {
+				fmt.Printf(" obj%d=%q", obj, strings.TrimRight(string(vals[i]), "\x00"))
+			}
+			fmt.Printf("  [read-set %v]\n", rs)
+		} else {
+			txn := cli.BeginUpdate()
+			if _, err := readAll(txn, reads); errors.Is(err, broadcastcc.ErrInconsistentRead) {
+				aborts++
+				continue
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			for obj, val := range writes {
+				if err := txn.Write(obj, []byte(val)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := txn.Commit(uplink); err != nil {
+				fmt.Printf("txn %d: rejected: %v\n", done+1, err)
+				aborts++
+				done++
+				continue
+			}
+			fmt.Printf("txn %d: committed %d write(s) via uplink\n", done+1, len(writes))
+		}
+		done++
+	}
+	st := cli.Stats()
+	fmt.Printf("stats: %d validated reads, %d cache hits, %d aborts (%d observed here)\n",
+		st.Reads, st.CacheHits, st.ReadAborts, aborts)
+}
+
+func parseReads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -read entry %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseWrites(s string) (map[int]string, error) {
+	out := map[int]string{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		obj, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -write entry %q: want obj=value", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(obj))
+		if err != nil {
+			return nil, fmt.Errorf("bad -write object %q: %v", obj, err)
+		}
+		out[n] = val
+	}
+	return out, nil
+}
+
+// reader is satisfied by both transaction kinds.
+type reader interface {
+	Read(obj int) ([]byte, error)
+}
+
+func readAll(txn reader, objs []int) ([][]byte, error) {
+	vals := make([][]byte, 0, len(objs))
+	for _, obj := range objs {
+		v, err := txn.Read(obj)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}

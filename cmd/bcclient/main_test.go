@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseReads(t *testing.T) {
+	got, err := parseReads("0, 3,17")
+	if err != nil || !reflect.DeepEqual(got, []int{0, 3, 17}) {
+		t.Fatalf("parseReads = %v, %v", got, err)
+	}
+	if got, err := parseReads(""); err != nil || got != nil {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"a", "1,,2", "1,2x"} {
+		if _, err := parseReads(bad); err == nil {
+			t.Errorf("parseReads(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseWrites(t *testing.T) {
+	got, err := parseWrites("2=hello, 5=wor=ld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != "hello" || got[5] != "wor=ld" {
+		t.Fatalf("parseWrites = %v", got)
+	}
+	if got, err := parseWrites(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"novalue", "x=1", "=v"} {
+		if _, err := parseWrites(bad); err == nil {
+			t.Errorf("parseWrites(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Auction: the paper's motivating application (Section 1). A server
+// broadcasts the live state of several auction lots to a large audience;
+// a handful of bidders place bids over the thin uplink while many
+// watchers read lot state off the air. Watchers need *mutual
+// consistency* — a lot's high bid and its bidder name must belong to the
+// same committed bid — but never contact the server.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"broadcastcc"
+)
+
+// Each auction lot occupies two objects whose mutual consistency the
+// protocol guarantees: the current high bid (uint64) and the high
+// bidder's name.
+const (
+	lots    = 4
+	bidders = 3
+)
+
+func objHighBid(lot int) int { return 2 * lot }
+func objBidder(lot int) int  { return 2*lot + 1 }
+
+func encodeBid(amount uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], amount)
+	return b[:]
+}
+
+func decodeBid(b []byte) uint64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func main() {
+	srv, err := broadcastcc.NewServer(broadcastcc.ServerConfig{
+		Objects:    2 * lots,
+		ObjectBits: 512,
+		Algorithm:  broadcastcc.FMatrix,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed the lots with opening bids.
+	for lot := 0; lot < lots; lot++ {
+		txn := srv.Begin()
+		txn.Write(objHighBid(lot), encodeBid(100))
+		txn.Write(objBidder(lot), []byte("house"))
+		if err := txn.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var placed, rejected, torn atomic.Int64
+	var bidderWG, watcherWG sync.WaitGroup
+	stopWatchers := make(chan struct{})
+
+	// Bidders: read the current high bid off the air, outbid it over
+	// the uplink. A conflicting bid (someone outbid them first) is
+	// rejected by server-side validation — they retry on fresher data.
+	for b := 0; b < bidders; b++ {
+		bidderWG.Add(1)
+		go func(b int) {
+			defer bidderWG.Done()
+			name := []byte(fmt.Sprintf("bidder-%d", b))
+			rng := rand.New(rand.NewSource(int64(b)))
+			cli := broadcastcc.NewClient(broadcastcc.ClientConfig{Algorithm: broadcastcc.FMatrix}, srv.Subscribe(64))
+			defer cli.Cancel()
+			for i := 0; i < 40; i++ {
+				if _, ok := cli.AwaitCycle(); !ok {
+					return
+				}
+				lot := rng.Intn(lots)
+				txn := cli.BeginUpdate()
+				cur, err := txn.Read(objHighBid(lot))
+				if err != nil {
+					continue // inconsistent read: retry next cycle
+				}
+				txn.Write(objHighBid(lot), encodeBid(decodeBid(cur)+uint64(1+rng.Intn(50))))
+				txn.Write(objBidder(lot), name)
+				switch err := txn.Commit(srv); {
+				case err == nil:
+					placed.Add(1)
+				case errors.Is(err, broadcastcc.ErrConflict):
+					rejected.Add(1) // outbid in the meantime
+				default:
+					log.Fatal(err)
+				}
+			}
+		}(b)
+	}
+
+	// Watchers: read every lot's (bid, bidder) pair in one read-only
+	// transaction. A torn pair is impossible: the read-condition aborts
+	// the transaction instead, and the watcher retries.
+	for w := 0; w < 4; w++ {
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			cli := broadcastcc.NewClient(broadcastcc.ClientConfig{Algorithm: broadcastcc.FMatrix}, srv.Subscribe(64))
+			defer cli.Cancel()
+			for {
+				select {
+				case <-stopWatchers:
+					return
+				default:
+				}
+				if _, ok := cli.AwaitCycle(); !ok {
+					return
+				}
+				txn := cli.BeginReadOnly()
+				consistent := true
+				for lot := 0; lot < lots && consistent; lot++ {
+					for _, obj := range []int{objHighBid(lot), objBidder(lot)} {
+						if _, err := txn.Read(obj); err != nil {
+							consistent = false
+							break
+						}
+					}
+				}
+				if !consistent {
+					torn.Add(1) // inconsistency caught off the air; restart
+					continue
+				}
+				txn.Commit()
+			}
+		}()
+	}
+
+	// The broadcast itself, paced so a bid placed against cycle c
+	// usually reaches the server while c is still reasonably current.
+	stopBroadcast := make(chan struct{})
+	broadcastDone := make(chan struct{})
+	go func() {
+		defer close(broadcastDone)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopBroadcast:
+				return
+			case <-ticker.C:
+				srv.StartCycle()
+			}
+		}
+	}()
+
+	bidderWG.Wait()
+	close(stopWatchers)
+	close(stopBroadcast)
+	<-broadcastDone
+
+	// Final state, read before shutting the server down.
+	type lotState struct {
+		bid    uint64
+		bidder string
+	}
+	finals := make([]lotState, lots)
+	for lot := 0; lot < lots; lot++ {
+		txn := srv.Begin()
+		hb, err := txn.Read(objHighBid(lot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bn, err := txn.Read(objBidder(lot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		txn.Abort()
+		finals[lot] = lotState{bid: decodeBid(hb), bidder: string(bn)}
+	}
+
+	srv.Close() // closes subscriptions, releasing any blocked watcher
+	watcherWG.Wait()
+
+	fmt.Printf("bids placed:          %d\n", placed.Load())
+	fmt.Printf("bids rejected (lost): %d\n", rejected.Load())
+	fmt.Printf("watcher restarts:     %d (inconsistencies caught without server contact)\n", torn.Load())
+	for lot, st := range finals {
+		fmt.Printf("lot %d: high bid %d by %s\n", lot, st.bid, st.bidder)
+	}
+}

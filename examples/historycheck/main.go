@@ -1,0 +1,67 @@
+// Historycheck: the paper's example histories run through the
+// correctness-criteria checkers — the programmatic counterpart of
+// Figure 1's partial order of criteria.
+//
+//	go run ./examples/historycheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"broadcastcc"
+)
+
+func main() {
+	cases := []struct {
+		name, text string
+	}{
+		{
+			"Example 1, history 1.1 (two read-only clients)",
+			"r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3",
+		},
+		{
+			"Example 2, history 2.1 (t1 updates DEC)",
+			"r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) c3 w4(Sun) c4 r1(Sun) w1(DEC) c1",
+		},
+		{
+			"Appendix C witness (legal but APPROX-rejected)",
+			"r1(ob1) r2(ob2) w1(ob3) w2(ob3) w2(ob4) w1(ob4) w3(ob3) w3(ob4) c1 c2 c3",
+		},
+		{
+			"Lost update (rejected by everything)",
+			"r1(x) r2(x) w1(x) w2(x) c1 c2",
+		},
+	}
+	for _, c := range cases {
+		h, err := broadcastcc.ParseHistory(c.text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  %s\n", c.name, h)
+		verdicts := []struct {
+			name string
+			v    broadcastcc.Verdict
+		}{
+			{"serializable (conflict)", broadcastcc.ConflictSerializable(h)},
+			{"view serializable", broadcastcc.ViewSerializable(h)},
+			{"APPROX (polynomial)", broadcastcc.Approx(h)},
+			{"update consistent (exact)", broadcastcc.UpdateConsistent(h)},
+		}
+		for _, x := range verdicts {
+			mark := "✗"
+			if x.v.OK {
+				mark = "✓"
+			}
+			fmt.Printf("  %s %-26s", mark, x.name)
+			if x.v.OK && len(x.v.Order) > 0 {
+				fmt.Printf(" serial order %v", x.v.Order)
+			}
+			if !x.v.OK && len(x.v.Cycle) > 0 {
+				fmt.Printf(" cycle %v", x.v.Cycle)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

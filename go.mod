@@ -1,0 +1,3 @@
+module broadcastcc
+
+go 1.22

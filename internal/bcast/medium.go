@@ -1,0 +1,149 @@
+package bcast
+
+import (
+	"fmt"
+	"sync"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+// CycleBroadcast is the content of one broadcast cycle as received by a
+// client: the committed values of every object as of the beginning of
+// the cycle plus the control information the configured protocol
+// requires. Exactly one of Matrix / Vector / Grouped is non-nil, except
+// for ControlNone layouts where Matrix carries the (free) F-Matrix-No
+// control information.
+type CycleBroadcast struct {
+	Number cmatrix.Cycle
+	Layout Layout
+	Values [][]byte
+
+	Matrix  *cmatrix.Matrix
+	Vector  *cmatrix.Vector
+	Grouped *cmatrix.Grouped
+}
+
+// Snapshot returns the protocol.Snapshot a validator should use for
+// reads performed during this cycle.
+func (cb *CycleBroadcast) Snapshot() protocol.Snapshot {
+	switch {
+	case cb.Matrix != nil:
+		return protocol.MatrixSnapshot{C: cb.Matrix}
+	case cb.Vector != nil:
+		return protocol.VectorSnapshot{V: cb.Vector}
+	case cb.Grouped != nil:
+		return protocol.GroupedSnapshot{MC: cb.Grouped}
+	default:
+		panic("bcast: cycle broadcast carries no control information")
+	}
+}
+
+// Column returns the F-Matrix control column for object j — what a
+// caching client stores alongside a cached value (Section 3.3). It is
+// only available under matrix layouts.
+func (cb *CycleBroadcast) Column(j int) protocol.ColumnSnapshot {
+	if cb.Matrix == nil {
+		panic(fmt.Sprintf("bcast: no matrix column available under %v layout", cb.Layout.Control))
+	}
+	return protocol.ColumnSnapshot{Obj: j, Col: cb.Matrix.Column(j)}
+}
+
+// Medium is the in-process broadcast channel: the server publishes each
+// cycle once and every subscriber receives it. Subscribers consume from
+// a buffered channel; a subscriber that falls more than its buffer
+// behind misses cycles (as a real client that tunes out would), rather
+// than stalling the broadcaster — broadcast media do not apply
+// backpressure.
+type Medium struct {
+	mu     sync.Mutex
+	subs   map[int]chan *CycleBroadcast
+	nextID int
+	closed bool
+	last   *CycleBroadcast
+}
+
+// NewMedium returns an empty medium.
+func NewMedium() *Medium {
+	return &Medium{subs: map[int]chan *CycleBroadcast{}}
+}
+
+// Subscription is a client's tuner: a receive channel of cycles plus a
+// cancel handle.
+type Subscription struct {
+	C      <-chan *CycleBroadcast
+	id     int
+	medium *Medium
+}
+
+// Cancel tears the subscription down; the channel is closed.
+func (s *Subscription) Cancel() {
+	s.medium.mu.Lock()
+	defer s.medium.mu.Unlock()
+	if ch, ok := s.medium.subs[s.id]; ok {
+		delete(s.medium.subs, s.id)
+		close(ch)
+	}
+}
+
+// Subscribe registers a listener with the given channel buffer
+// (minimum 1). The most recently published cycle, if any, is delivered
+// immediately so late tuners don't wait a full cycle.
+func (m *Medium) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		ch := make(chan *CycleBroadcast)
+		close(ch)
+		return &Subscription{C: ch, id: -1, medium: m}
+	}
+	ch := make(chan *CycleBroadcast, buffer)
+	if m.last != nil {
+		ch <- m.last
+	}
+	id := m.nextID
+	m.nextID++
+	m.subs[id] = ch
+	return &Subscription{C: ch, id: id, medium: m}
+}
+
+// Publish broadcasts one cycle to every subscriber. Slow subscribers
+// whose buffers are full miss this cycle.
+func (m *Medium) Publish(cb *CycleBroadcast) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.last = cb
+	for _, ch := range m.subs {
+		select {
+		case ch <- cb:
+		default: // subscriber missed the cycle
+		}
+	}
+}
+
+// Close shuts the medium down; all subscriber channels are closed.
+func (m *Medium) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for id, ch := range m.subs {
+		delete(m.subs, id)
+		close(ch)
+	}
+}
+
+// Subscribers reports the current number of subscribers.
+func (m *Medium) Subscribers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs)
+}

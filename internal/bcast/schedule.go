@@ -1,0 +1,178 @@
+package bcast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper considers single-speed disks only ("This could be modelled
+// in terms of many broadcast disks with different speeds of rotation.
+// In this paper, we consider only single speed disks"). This file
+// builds the generalization: a multi-disk broadcast program in the
+// style of Acharya et al.'s broadcast disks, where hot objects appear
+// several times per major cycle. Consistency semantics are unchanged —
+// every appearance of an object within a major cycle carries the value
+// and control column from the beginning of that major cycle, so the
+// protocols' read-conditions work verbatim with "cycle" meaning major
+// cycle; only the waiting time for hot objects shrinks.
+
+// Disk is one spinning disk of the broadcast program: a set of objects
+// broadcast Speed times per major cycle.
+type Disk struct {
+	Objects []int
+	Speed   int
+}
+
+// Schedule is a flattened broadcast program: the slot sequence of one
+// major cycle and, per object, the offsets at which its transmissions
+// complete.
+type Schedule struct {
+	layout  Layout
+	slots   []int
+	offsets [][]int64 // offsets[obj] = ascending slot-end offsets, bit-units
+}
+
+// SingleDiskSchedule is the paper's flat program: every object once per
+// cycle in id order.
+func SingleDiskSchedule(l Layout) (*Schedule, error) {
+	all := make([]int, l.Objects)
+	for i := range all {
+		all[i] = i
+	}
+	return NewSchedule(l, []Disk{{Objects: all, Speed: 1}})
+}
+
+// NewSchedule builds the broadcast program for the given disks using
+// the classic chunked interleave: with S = max speed, the major cycle
+// consists of S minor cycles; disk i is split into S/Speed_i chunks and
+// minor cycle m carries chunk m mod (S/Speed_i) of every disk. Every
+// object must appear on exactly one disk, every disk speed must divide
+// the maximum speed, and chunk sizes must come out integral (pad disks
+// with repeats of their own objects if needed — or pick divisible
+// sizes).
+func NewSchedule(l Layout, disks []Disk) (*Schedule, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("bcast: no disks")
+	}
+	seen := make([]bool, l.Objects)
+	maxSpeed := 0
+	for di, d := range disks {
+		if d.Speed < 1 {
+			return nil, fmt.Errorf("bcast: disk %d speed %d < 1", di, d.Speed)
+		}
+		if len(d.Objects) == 0 {
+			return nil, fmt.Errorf("bcast: disk %d is empty", di)
+		}
+		if d.Speed > maxSpeed {
+			maxSpeed = d.Speed
+		}
+		for _, obj := range d.Objects {
+			if obj < 0 || obj >= l.Objects {
+				return nil, fmt.Errorf("bcast: disk %d object %d out of range [0,%d)", di, obj, l.Objects)
+			}
+			if seen[obj] {
+				return nil, fmt.Errorf("bcast: object %d on more than one disk", obj)
+			}
+			seen[obj] = true
+		}
+	}
+	for obj, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("bcast: object %d on no disk", obj)
+		}
+	}
+	type chunked struct {
+		chunks [][]int
+	}
+	parts := make([]chunked, len(disks))
+	for di, d := range disks {
+		if maxSpeed%d.Speed != 0 {
+			return nil, fmt.Errorf("bcast: disk %d speed %d does not divide max speed %d", di, d.Speed, maxSpeed)
+		}
+		numChunks := maxSpeed / d.Speed
+		if len(d.Objects)%numChunks != 0 {
+			return nil, fmt.Errorf("bcast: disk %d has %d objects, not divisible into %d chunks", di, len(d.Objects), numChunks)
+		}
+		size := len(d.Objects) / numChunks
+		var c chunked
+		for k := 0; k < numChunks; k++ {
+			c.chunks = append(c.chunks, d.Objects[k*size:(k+1)*size])
+		}
+		parts[di] = c
+	}
+	s := &Schedule{layout: l, offsets: make([][]int64, l.Objects)}
+	for minor := 0; minor < maxSpeed; minor++ {
+		for _, p := range parts {
+			chunk := p.chunks[minor%len(p.chunks)]
+			s.slots = append(s.slots, chunk...)
+		}
+	}
+	slotBits := l.SlotBits()
+	for pos, obj := range s.slots {
+		s.offsets[obj] = append(s.offsets[obj], int64(pos+1)*slotBits)
+	}
+	for _, offs := range s.offsets {
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	}
+	return s, nil
+}
+
+// Layout returns the per-slot layout of the schedule.
+func (s *Schedule) Layout() Layout { return s.layout }
+
+// Slots returns the object sequence of one major cycle.
+func (s *Schedule) Slots() []int { return append([]int(nil), s.slots...) }
+
+// MajorCycleBits is the length of one major cycle in bit-units.
+func (s *Schedule) MajorCycleBits() int64 {
+	return int64(len(s.slots)) * s.layout.SlotBits()
+}
+
+// Appearances reports how many times obj is transmitted per major
+// cycle.
+func (s *Schedule) Appearances(obj int) int { return len(s.offsets[obj]) }
+
+// NextReadyOffset reports the earliest offset >= from (within-cycle
+// arithmetic handled by the caller via cycle wrapping) at which obj is
+// fully received, and whether one exists within this major cycle from
+// that point.
+func (s *Schedule) NextReadyOffset(obj int, from int64) (int64, bool) {
+	offs := s.offsets[obj]
+	i := sort.Search(len(offs), func(i int) bool { return offs[i] >= from })
+	if i == len(offs) {
+		return 0, false
+	}
+	return offs[i], true
+}
+
+// NextReady reports the earliest absolute time >= t at which obj is
+// fully received, together with the major-cycle number (1-based, major
+// cycle 1 starting at time 0) of that transmission.
+func (s *Schedule) NextReady(t float64, obj int) (float64, int64) {
+	major := s.MajorCycleBits()
+	cycle := int64(t) / major
+	if t < 0 {
+		cycle = 0
+	}
+	within := t - float64(cycle)*float64(major)
+	if off, ok := s.NextReadyOffset(obj, int64(withinCeil(within))); ok {
+		ready := float64(cycle)*float64(major) + float64(off)
+		if ready >= t {
+			return ready, cycle + 1
+		}
+	}
+	// Next major cycle: the first appearance.
+	off := s.offsets[obj][0]
+	return float64(cycle+1)*float64(major) + float64(off), cycle + 2
+}
+
+func withinCeil(x float64) int64 {
+	i := int64(x)
+	if float64(i) < x {
+		i++
+	}
+	return i
+}

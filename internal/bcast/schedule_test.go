@@ -1,0 +1,196 @@
+package bcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"broadcastcc/internal/protocol"
+)
+
+func flatLayout(n int) Layout {
+	return LayoutFor(protocol.RMatrix, n, 64, 8, 0)
+}
+
+func TestSingleDiskSchedule(t *testing.T) {
+	l := flatLayout(4)
+	s, err := SingleDiskSchedule(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Slots(); len(got) != 4 {
+		t.Fatalf("slots = %v", got)
+	}
+	if s.MajorCycleBits() != l.CycleBits() {
+		t.Errorf("major cycle %d != layout cycle %d", s.MajorCycleBits(), l.CycleBits())
+	}
+	for j := 0; j < 4; j++ {
+		if s.Appearances(j) != 1 {
+			t.Errorf("object %d appears %d times", j, s.Appearances(j))
+		}
+		// Offsets must match the flat layout's accounting.
+		off, ok := s.NextReadyOffset(j, 0)
+		if !ok || off != l.ObjectReadyOffset(j) {
+			t.Errorf("object %d offset %d, want %d", j, off, l.ObjectReadyOffset(j))
+		}
+	}
+}
+
+func TestTwoSpeedSchedule(t *testing.T) {
+	// Hot disk {0,1} at speed 2, cold disk {2,3,4,5} at speed 1:
+	// 2 minor cycles; cold split into 2 chunks.
+	l := flatLayout(6)
+	s, err := NewSchedule(l, []Disk{
+		{Objects: []int{0, 1}, Speed: 2},
+		{Objects: []int{2, 3, 4, 5}, Speed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := s.Slots()
+	want := []int{0, 1, 2, 3, 0, 1, 4, 5}
+	if len(slots) != len(want) {
+		t.Fatalf("slots = %v", slots)
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", slots, want)
+		}
+	}
+	if s.Appearances(0) != 2 || s.Appearances(4) != 1 {
+		t.Errorf("appearances: hot %d cold %d", s.Appearances(0), s.Appearances(4))
+	}
+	if s.MajorCycleBits() != int64(len(want))*l.SlotBits() {
+		t.Errorf("major cycle bits wrong")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	l := flatLayout(4)
+	cases := []struct {
+		name  string
+		disks []Disk
+	}{
+		{"none", nil},
+		{"empty disk", []Disk{{Objects: nil, Speed: 1}}},
+		{"bad speed", []Disk{{Objects: []int{0, 1, 2, 3}, Speed: 0}}},
+		{"out of range", []Disk{{Objects: []int{0, 1, 2, 9}, Speed: 1}}},
+		{"duplicate", []Disk{{Objects: []int{0, 1}, Speed: 1}, {Objects: []int{1, 2, 3}, Speed: 1}}},
+		{"missing", []Disk{{Objects: []int{0, 1}, Speed: 1}}},
+		{"speed not dividing", []Disk{{Objects: []int{0}, Speed: 2}, {Objects: []int{1, 2, 3}, Speed: 3}}},
+		{"chunks not integral", []Disk{{Objects: []int{0}, Speed: 2}, {Objects: []int{1, 2, 3}, Speed: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSchedule(l, c.disks); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNextReadyAcrossCycles(t *testing.T) {
+	l := flatLayout(6)
+	s, err := NewSchedule(l, []Disk{
+		{Objects: []int{0, 1}, Speed: 2},
+		{Objects: []int{2, 3, 4, 5}, Speed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := l.SlotBits()
+	major := s.MajorCycleBits()
+
+	// At time 0, object 0 is ready at the end of slot 0, in cycle 1.
+	ready, cycle := s.NextReady(0, 0)
+	if ready != float64(slot) || cycle != 1 {
+		t.Errorf("NextReady(0, 0) = %v, %d", ready, cycle)
+	}
+	// Just after object 0's first slot, the second appearance (slot 4)
+	// serves it within the same major cycle.
+	ready, cycle = s.NextReady(float64(slot)+1, 0)
+	if ready != float64(5*slot) || cycle != 1 {
+		t.Errorf("second appearance = %v, %d", ready, cycle)
+	}
+	// After its last appearance, the wait wraps to the next major cycle.
+	ready, cycle = s.NextReady(float64(5*slot)+1, 0)
+	if ready != float64(major+slot) || cycle != 2 {
+		t.Errorf("wrap = %v, %d (major=%d slot=%d)", ready, cycle, major, slot)
+	}
+	// Cold object 5 is ready at slot 8 only.
+	ready, cycle = s.NextReady(0, 5)
+	if ready != float64(8*slot) || cycle != 1 {
+		t.Errorf("cold = %v, %d", ready, cycle)
+	}
+}
+
+// Hot objects must wait strictly less on average than under a flat
+// schedule; cold objects somewhat more.
+func TestHotObjectsWaitLess(t *testing.T) {
+	l := flatLayout(8)
+	multi, err := NewSchedule(l, []Disk{
+		{Objects: []int{0, 1}, Speed: 3},
+		{Objects: []int{2, 3, 4, 5, 6, 7}, Speed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := SingleDiskSchedule(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	meanWait := func(s *Schedule, obj int) float64 {
+		span := float64(s.MajorCycleBits()) * 10
+		total := 0.0
+		const samples = 2000
+		for i := 0; i < samples; i++ {
+			at := rng.Float64() * span
+			ready, _ := s.NextReady(at, obj)
+			if ready < at {
+				t.Fatalf("NextReady went backwards: %v < %v", ready, at)
+			}
+			total += ready - at
+		}
+		return total / samples
+	}
+	if hot, flatWait := meanWait(multi, 0), meanWait(flat, 0); hot >= flatWait {
+		t.Errorf("hot object waits %.0f under multi-disk, %.0f flat", hot, flatWait)
+	}
+	if cold, flatWait := meanWait(multi, 7), meanWait(flat, 7); cold <= flatWait {
+		t.Errorf("cold object should wait more under multi-disk: %.0f vs %.0f", cold, flatWait)
+	}
+}
+
+// Property: NextReady always returns a time >= t whose offset is one of
+// the object's scheduled transmissions, and the cycle number matches.
+func TestNextReadyConsistency(t *testing.T) {
+	l := flatLayout(6)
+	s, err := NewSchedule(l, []Disk{
+		{Objects: []int{0, 3}, Speed: 2},
+		{Objects: []int{1, 2, 4, 5}, Speed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	major := float64(s.MajorCycleBits())
+	for trial := 0; trial < 3000; trial++ {
+		obj := rng.Intn(6)
+		at := rng.Float64() * major * 7
+		ready, cycle := s.NextReady(at, obj)
+		if ready < at {
+			t.Fatalf("ready %v < at %v", ready, at)
+		}
+		// The returned instant must be an actual transmission end.
+		within := ready - float64(cycle-1)*major
+		found := false
+		off, ok := s.NextReadyOffset(obj, int64(within))
+		if ok && float64(off) == within {
+			found = true
+		}
+		if !found {
+			t.Fatalf("obj %d at %v: ready %v (cycle %d, within %v) is not a transmission end", obj, at, ready, cycle, within)
+		}
+		if ready-at > 2*major {
+			t.Fatalf("wait exceeded two major cycles")
+		}
+	}
+}

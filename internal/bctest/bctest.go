@@ -1,0 +1,84 @@
+// Package bctest provides shared verification helpers for end-to-end
+// tests of the broadcast runtime and simulator: it reconstructs the
+// single-version history induced by a server's committed-update log and
+// the read-sets of client read-only transactions, so the core checkers
+// (APPROX, update consistency, serializability) can audit a live run.
+package bctest
+
+import (
+	"fmt"
+	"sort"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/history"
+	"broadcastcc/internal/protocol"
+)
+
+// ObjectName renders object k as it appears in induced histories.
+func ObjectName(k int) string { return fmt.Sprintf("x%d", k) }
+
+// InducedHistory builds the combined execution history of a broadcast
+// run: the update transactions serially in commit order (ids 1..len(log)
+// in that order), with every client read-set inserted so that a read of
+// (obj, cycle) sees exactly the last value committed before the
+// beginning of that cycle — which is precisely what the client read off
+// the air. Client i (0-based) gets id len(log)+1+i and commits at the
+// end. Reads within a client may be given out of cycle order (cached
+// reads); they are placed at the position their cycle dictates, which
+// is sound because operation order within a read-only transaction does
+// not affect conflicts.
+func InducedHistory(log []cmatrix.Commit, clients [][]protocol.ReadAt) *history.History {
+	type clientRead struct {
+		client int
+		read   protocol.ReadAt
+	}
+	var reads []clientRead
+	for ci, rs := range clients {
+		for _, r := range rs {
+			reads = append(reads, clientRead{client: ci, read: r})
+		}
+	}
+	sort.SliceStable(reads, func(i, j int) bool { return reads[i].read.Cycle < reads[j].read.Cycle })
+
+	h := history.New()
+	clientID := func(ci int) history.TxnID { return history.TxnID(len(log) + 1 + ci) }
+	ri := 0
+	emitReadsThrough := func(cycle cmatrix.Cycle) {
+		for ri < len(reads) && reads[ri].read.Cycle <= cycle {
+			h.Append(history.Read(clientID(reads[ri].client), ObjectName(reads[ri].read.Obj)))
+			ri++
+		}
+	}
+	for i, commit := range log {
+		// A read at cycle c sees commits of cycles < c, so reads with
+		// cycle <= this commit's cycle come first.
+		emitReadsThrough(commit.Cycle)
+		id := history.TxnID(i + 1)
+		for _, k := range commit.ReadSet {
+			h.Append(history.Read(id, ObjectName(k)))
+		}
+		for _, k := range commit.WriteSet {
+			h.Append(history.Write(id, ObjectName(k)))
+		}
+		h.Append(history.Commit(id))
+	}
+	var maxCycle cmatrix.Cycle
+	for _, r := range reads {
+		if r.read.Cycle > maxCycle {
+			maxCycle = r.read.Cycle
+		}
+	}
+	emitReadsThrough(maxCycle)
+	for ci := range clients {
+		if len(clients[ci]) > 0 {
+			h.Append(history.Commit(clientID(ci)))
+		}
+	}
+	return h
+}
+
+// ClientTxnID reports the induced-history transaction id of client ci
+// given the update log length.
+func ClientTxnID(logLen, ci int) history.TxnID {
+	return history.TxnID(logLen + 1 + ci)
+}

@@ -1,0 +1,431 @@
+// Package client implements the broadcast client runtime (Section
+// 3.2.1, client functionality): read-only transactions that read
+// current, mutually consistent data entirely "off the air" — validating
+// every read against the broadcast control information, never
+// contacting the server — and update transactions that buffer writes
+// locally and ship read/write sets up the low-bandwidth uplink at
+// commit. The optional client cache implements the weak-currency
+// extension of Section 3.3: items read off the air may be served from
+// cache for up to a currency bound of T cycles, with the relevant
+// control-matrix columns retained so validation still needs no uplink
+// traffic.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+// Errors returned by client transactions.
+var (
+	// ErrInconsistentRead aborts a transaction whose next read would
+	// violate the protocol's read-condition; the caller should restart
+	// the transaction (typically on a later cycle).
+	ErrInconsistentRead = errors.New("client: read would be inconsistent with previous reads")
+	// ErrNoBroadcast means no cycle has been received yet.
+	ErrNoBroadcast = errors.New("client: no broadcast cycle received yet")
+	// ErrTunedOut means the subscription was closed.
+	ErrTunedOut = errors.New("client: broadcast subscription closed")
+	// ErrTxnFinished rejects operations on a finished transaction.
+	ErrTxnFinished = errors.New("client: transaction already finished")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Algorithm must match what the server broadcasts.
+	Algorithm protocol.Algorithm
+	// CacheCurrency is the weak-currency bound T in cycles: a cached
+	// item may satisfy reads while the current cycle is within T cycles
+	// of the cycle it was cached in. Zero disables caching (every read
+	// comes off the air, current to the running cycle — the paper's
+	// default currency requirement).
+	CacheCurrency cmatrix.Cycle
+	// CacheCurrencyOf, when set, tailors the currency bound per object
+	// (Section 3.3: "the invalidation interval can be tailored on a per
+	// client per object basis"). A non-positive return disables caching
+	// for that object. CacheCurrency must still be positive to enable
+	// the cache and acts as the bound where CacheCurrencyOf is nil.
+	CacheCurrencyOf func(obj int) cmatrix.Cycle
+	// CacheSize caps the number of cached entries (0 = unlimited).
+	// Eviction is least-recently-cached.
+	CacheSize int
+}
+
+// currencyOf resolves the effective currency bound for one object.
+func (c Config) currencyOf(obj int) cmatrix.Cycle {
+	if c.CacheCurrencyOf != nil {
+		return c.CacheCurrencyOf(obj)
+	}
+	return c.CacheCurrency
+}
+
+// Client is a broadcast listener. It is not safe for concurrent use;
+// run one client per goroutine, which is also the realistic deployment
+// (one tuner per device).
+type Client struct {
+	cfg   Config
+	sub   *bcast.Subscription
+	cur   *bcast.CycleBroadcast
+	cache *cache
+	stats Stats
+}
+
+// Stats are cumulative client counters.
+type Stats struct {
+	CyclesSeen int64
+	Reads      int64 // successful validated reads
+	CacheHits  int64 // reads served from the local cache
+	ReadAborts int64 // reads rejected by the read-condition
+}
+
+// New builds a client over an existing subscription (obtain one from
+// server.Subscribe or bcast.Medium.Subscribe).
+func New(cfg Config, sub *bcast.Subscription) *Client {
+	c := &Client{cfg: cfg, sub: sub}
+	if cfg.CacheCurrency > 0 {
+		c.cache = newCache(cfg.CacheSize)
+	}
+	return c
+}
+
+// AwaitCycle blocks until the next broadcast cycle arrives and makes it
+// current. It reports false when the subscription is closed.
+func (c *Client) AwaitCycle() (*bcast.CycleBroadcast, bool) {
+	cb, ok := <-c.sub.C
+	if !ok {
+		return nil, false
+	}
+	c.setCurrent(cb)
+	return cb, true
+}
+
+// PollCycle makes the newest already-delivered cycle current without
+// blocking, reporting whether a new cycle was consumed.
+func (c *Client) PollCycle() bool {
+	advanced := false
+	for {
+		select {
+		case cb, ok := <-c.sub.C:
+			if !ok {
+				return advanced
+			}
+			c.setCurrent(cb)
+			advanced = true
+		default:
+			return advanced
+		}
+	}
+}
+
+func (c *Client) setCurrent(cb *bcast.CycleBroadcast) {
+	c.cur = cb
+	c.stats.CyclesSeen++
+	if c.cache != nil {
+		c.cache.evictStale(cb.Number, c.cfg.currencyOf)
+	}
+}
+
+// Current returns the cycle the client is currently reading from, or
+// nil before the first AwaitCycle/PollCycle.
+func (c *Client) Current() *bcast.CycleBroadcast { return c.cur }
+
+// Stats returns a copy of the client counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Cancel tunes the client out.
+func (c *Client) Cancel() { c.sub.Cancel() }
+
+// validatorFor builds the validator for one transaction attempt. With
+// caching enabled, reads can be out of cycle order, so the
+// snapshot-retaining validator is used for every algorithm (for the
+// vector protocols this is conservative but sound; without caching the
+// exact paper validators apply, including R-Matrix's disjunct).
+func (c *Client) validatorFor() protocol.Validator {
+	if c.cache != nil {
+		return &protocol.SnapshotValidator{}
+	}
+	return protocol.NewValidator(c.cfg.Algorithm)
+}
+
+// ReadTxn is a read-only transaction. Reads are validated against the
+// control information of the cycle (or cache entry) they come from; a
+// failed validation aborts the transaction with ErrInconsistentRead.
+type ReadTxn struct {
+	c    *Client
+	val  protocol.Validator
+	done bool
+}
+
+// BeginReadOnly starts a read-only transaction.
+func (c *Client) BeginReadOnly() *ReadTxn {
+	return &ReadTxn{c: c, val: c.validatorFor()}
+}
+
+// Read returns the value of obj: from the local cache when a
+// sufficiently current entry exists, otherwise off the current
+// broadcast cycle (caching the item for future transactions). A
+// validation failure returns ErrInconsistentRead and finishes the
+// transaction.
+func (t *ReadTxn) Read(obj int) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnFinished
+	}
+	value, snap, cycle, hit, err := t.c.fetch(obj)
+	if err != nil {
+		return nil, err
+	}
+	if !t.val.TryRead(snap, obj, cycle) {
+		t.done = true
+		t.c.stats.ReadAborts++
+		t.c.invalidateAfterAbort(t.val, obj)
+		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
+	}
+	t.c.stats.Reads++
+	if hit {
+		t.c.stats.CacheHits++
+	}
+	return value, nil
+}
+
+// Commit finishes the transaction, returning its read-set. Read-only
+// transactions never contact the server: if every Read succeeded the
+// transaction is correct by construction (Theorem 1).
+func (t *ReadTxn) Commit() ([]protocol.ReadAt, error) {
+	if t.done {
+		return nil, ErrTxnFinished
+	}
+	t.done = true
+	return t.val.ReadSet(), nil
+}
+
+// invalidateAfterAbort drops the aborted transaction's objects from the
+// cache so a restart re-reads them off the air instead of replaying the
+// same stale entries into the same conflict.
+func (c *Client) invalidateAfterAbort(v protocol.Validator, failedObj int) {
+	if c.cache == nil {
+		return
+	}
+	for _, r := range v.ReadSet() {
+		c.cache.remove(r.Obj)
+	}
+	c.cache.remove(failedObj)
+}
+
+// fetch resolves a read: cache first (when enabled and fresh), then the
+// current broadcast.
+func (c *Client) fetch(obj int) (value []byte, snap protocol.Snapshot, cycle cmatrix.Cycle, cacheHit bool, err error) {
+	if c.cur == nil {
+		return nil, nil, 0, false, ErrNoBroadcast
+	}
+	if obj < 0 || obj >= len(c.cur.Values) {
+		return nil, nil, 0, false, fmt.Errorf("client: object %d out of range [0,%d)", obj, len(c.cur.Values))
+	}
+	if c.cache != nil {
+		if e, ok := c.cache.get(obj); ok && c.cur.Number-e.cycle <= c.cfg.currencyOf(obj) {
+			return append([]byte(nil), e.value...), e.snap, e.cycle, true, nil
+		}
+	}
+	value = append([]byte(nil), c.cur.Values[obj]...)
+	cycle = c.cur.Number
+	if c.cache != nil {
+		// Retain only this object's control slice so the cache cost per
+		// entry matches Section 3.3 (one matrix column, or the vector).
+		snap = c.columnSnapshot(obj)
+		c.cache.put(obj, cacheEntry{value: value, cycle: cycle, snap: snap})
+	} else {
+		snap = c.cur.Snapshot()
+	}
+	return value, snap, cycle, false, nil
+}
+
+// columnSnapshot extracts the per-object control information retained
+// with cached entries.
+func (c *Client) columnSnapshot(obj int) protocol.Snapshot {
+	if c.cur.Matrix != nil {
+		return c.cur.Column(obj)
+	}
+	// Vector layouts: the whole (small) vector is the "column".
+	return c.cur.Snapshot()
+}
+
+// RunReadOnly executes fn as a read-only transaction, retrying on
+// ErrInconsistentRead: each retry waits for the next broadcast cycle
+// (fresher data) and re-runs fn with a new transaction. Zero
+// maxAttempts means retry until the subscription closes. Any other
+// error from fn aborts the loop and is returned.
+func (c *Client) RunReadOnly(maxAttempts int, fn func(*ReadTxn) error) ([]protocol.ReadAt, error) {
+	for attempt := 0; maxAttempts == 0 || attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if _, ok := c.AwaitCycle(); !ok {
+				return nil, ErrTunedOut
+			}
+		}
+		txn := c.BeginReadOnly()
+		err := fn(txn)
+		switch {
+		case errors.Is(err, ErrInconsistentRead):
+			continue
+		case err != nil:
+			return nil, err
+		}
+		return txn.Commit()
+	}
+	return nil, fmt.Errorf("client: read-only transaction aborted %d times", maxAttempts)
+}
+
+// UpdateTxn is a client update transaction: reads are validated like a
+// read-only transaction's (so the transaction always sees mutually
+// consistent data), writes are buffered locally, and Commit ships the
+// read/write sets over the uplink for server-side validation.
+type UpdateTxn struct {
+	c      *Client
+	val    protocol.Validator
+	writes map[int][]byte
+	order  []int
+	done   bool
+}
+
+// BeginUpdate starts an update transaction.
+func (c *Client) BeginUpdate() *UpdateTxn {
+	return &UpdateTxn{c: c, val: c.validatorFor(), writes: map[int][]byte{}}
+}
+
+// Read returns the value of obj, validated against previous reads.
+// The transaction's own buffered writes are returned as-is.
+func (t *UpdateTxn) Read(obj int) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnFinished
+	}
+	if v, ok := t.writes[obj]; ok {
+		return append([]byte(nil), v...), nil
+	}
+	value, snap, cycle, _, err := t.c.fetch(obj)
+	if err != nil {
+		return nil, err
+	}
+	if !t.val.TryRead(snap, obj, cycle) {
+		t.done = true
+		t.c.stats.ReadAborts++
+		t.c.invalidateAfterAbort(t.val, obj)
+		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
+	}
+	t.c.stats.Reads++
+	return value, nil
+}
+
+// Write buffers val as the new value of obj. No check is made (Section
+// 3.2.1: writes are local until commit).
+func (t *UpdateTxn) Write(obj int, val []byte) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	if t.c.cur != nil && (obj < 0 || obj >= len(t.c.cur.Values)) {
+		return fmt.Errorf("client: object %d out of range [0,%d)", obj, len(t.c.cur.Values))
+	}
+	if _, seen := t.writes[obj]; !seen {
+		t.order = append(t.order, obj)
+	}
+	t.writes[obj] = append([]byte(nil), val...)
+	return nil
+}
+
+// Commit finishes the transaction. Pure readers commit locally; writers
+// ship an UpdateRequest up the uplink and adopt the server's verdict.
+func (t *UpdateTxn) Commit(uplink protocol.Uplink) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+	req := protocol.UpdateRequest{Reads: t.val.ReadSet()}
+	for _, obj := range t.order {
+		req.Writes = append(req.Writes, protocol.ObjectWrite{Obj: obj, Value: t.writes[obj]})
+	}
+	return uplink.SubmitUpdate(req)
+}
+
+// Abort discards the transaction.
+func (t *UpdateTxn) Abort() { t.done = true }
+
+// cache is the client's least-recently-cached store of broadcast items.
+type cache struct {
+	max     int
+	entries map[int]cacheEntry
+	order   []int // insertion order for eviction
+}
+
+type cacheEntry struct {
+	value []byte
+	cycle cmatrix.Cycle
+	snap  protocol.Snapshot
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: map[int]cacheEntry{}}
+}
+
+func (c *cache) get(obj int) (cacheEntry, bool) {
+	e, ok := c.entries[obj]
+	return e, ok
+}
+
+func (c *cache) put(obj int, e cacheEntry) {
+	if _, exists := c.entries[obj]; !exists {
+		if c.max > 0 && len(c.entries) >= c.max {
+			c.evictOldest()
+		}
+		c.order = append(c.order, obj)
+	} else {
+		c.removeFromOrder(obj)
+		c.order = append(c.order, obj)
+	}
+	c.entries[obj] = e
+}
+
+func (c *cache) evictOldest() {
+	for len(c.order) > 0 {
+		obj := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.entries[obj]; ok {
+			delete(c.entries, obj)
+			return
+		}
+	}
+}
+
+func (c *cache) removeFromOrder(obj int) {
+	for i, o := range c.order {
+		if o == obj {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// remove drops one entry if present.
+func (c *cache) remove(obj int) {
+	if _, ok := c.entries[obj]; ok {
+		delete(c.entries, obj)
+		c.removeFromOrder(obj)
+	}
+}
+
+// evictStale drops entries older than their (per-object) currency bound
+// — the paper's purely local invalidation: no communication needed.
+func (c *cache) evictStale(now cmatrix.Cycle, currencyOf func(obj int) cmatrix.Cycle) {
+	for obj, e := range c.entries {
+		if now-e.cycle > currencyOf(obj) {
+			delete(c.entries, obj)
+			c.removeFromOrder(obj)
+		}
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *cache) len() int { return len(c.entries) }

@@ -1,0 +1,217 @@
+// Package cmatrix implements the control information broadcast alongside
+// data in the paper's protocols (Section 3.2): the full n×n F-Matrix C,
+// its incremental maintenance rule (Theorem 2), the grouped n×g matrix
+// MC(i,s) = max_{j∈s} C(i,j), the length-n vector used by R-Matrix and
+// Datacycle (the g=1 case), and the wrapped (modulo max_cycles)
+// timestamp encoding that bounds each entry to a fixed number of bits.
+package cmatrix
+
+import "fmt"
+
+// Cycle is a broadcast cycle number. Cycle 0 is the paper's virtual
+// cycle in which the initial transaction t0 wrote every object; real
+// broadcast cycles start at 1.
+type Cycle int64
+
+// Matrix is the F-Matrix control information: an n×n matrix where
+// entry (i, j) is the latest commit cycle of any transaction that
+// affects the latest committed value of object j and also wrote
+// object i — 0 when only t0 did.
+type Matrix struct {
+	n int
+	c []Cycle // row-major: c[i*n+j]
+}
+
+// NewMatrix returns the cycle-0 matrix over n objects (all entries 0).
+func NewMatrix(n int) *Matrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("cmatrix: matrix needs n > 0, got %d", n))
+	}
+	return &Matrix{n: n, c: make([]Cycle, n*n)}
+}
+
+// N reports the number of objects.
+func (m *Matrix) N() int { return m.n }
+
+// At returns C(i, j).
+func (m *Matrix) At(i, j int) Cycle {
+	m.check(i)
+	m.check(j)
+	return m.c[i*m.n+j]
+}
+
+// Column returns a copy of column j — the control information broadcast
+// immediately after object j in each cycle.
+func (m *Matrix) Column(j int) []Cycle {
+	m.check(j)
+	out := make([]Cycle, m.n)
+	for i := 0; i < m.n; i++ {
+		out[i] = m.c[i*m.n+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy — the per-cycle snapshot taken at the
+// beginning of each broadcast cycle.
+func (m *Matrix) Clone() *Matrix {
+	c := make([]Cycle, len(m.c))
+	copy(c, m.c)
+	return &Matrix{n: m.n, c: c}
+}
+
+func (m *Matrix) check(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("cmatrix: object %d out of range [0,%d)", i, m.n))
+	}
+}
+
+// Apply folds one committed transaction into the matrix per the
+// incremental rule of Theorem 2. The transaction read the objects in
+// readSet, wrote the objects in writeSet, occurs next in the update
+// serialization order, and committed during commitCycle:
+//
+//   - C(i,j) = commitCycle          if i, j ∈ WS
+//   - C(i,j) = max_{k∈RS} Cold(i,k) if i ∉ WS, j ∈ WS (0 if RS empty)
+//   - unchanged                     otherwise.
+func (m *Matrix) Apply(readSet, writeSet []int, commitCycle Cycle) {
+	if len(writeSet) == 0 {
+		return // read-only transactions never touch the matrix
+	}
+	inWS := make(map[int]bool, len(writeSet))
+	for _, j := range writeSet {
+		m.check(j)
+		inWS[j] = true
+	}
+	// dep[i] = max_{k∈RS} Cold(i,k), computed against the old matrix
+	// before any column is overwritten.
+	dep := make([]Cycle, m.n)
+	for _, k := range readSet {
+		m.check(k)
+		for i := 0; i < m.n; i++ {
+			if v := m.c[i*m.n+k]; v > dep[i] {
+				dep[i] = v
+			}
+		}
+	}
+	for _, j := range writeSet {
+		for i := 0; i < m.n; i++ {
+			if inWS[i] {
+				m.c[i*m.n+j] = commitCycle
+			} else {
+				m.c[i*m.n+j] = dep[i]
+			}
+		}
+	}
+}
+
+// Equal reports whether two matrices have identical dimensions and
+// entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.c {
+		if m.c[i] != o.c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			s += fmt.Sprintf("%4d", m.c[i*m.n+j])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// MatrixFromColumns reconstructs a matrix from per-column entries,
+// cols[j][i] = C(i, j) — the shape the broadcast wire format carries.
+func MatrixFromColumns(cols [][]Cycle) (*Matrix, error) {
+	n := len(cols)
+	if n == 0 {
+		return nil, fmt.Errorf("cmatrix: no columns")
+	}
+	m := NewMatrix(n)
+	for j, col := range cols {
+		if len(col) != n {
+			return nil, fmt.Errorf("cmatrix: column %d has %d entries, want %d", j, len(col), n)
+		}
+		for i, v := range col {
+			m.c[i*n+j] = v
+		}
+	}
+	return m, nil
+}
+
+// Commit records one committed update transaction for FromLog.
+type Commit struct {
+	ReadSet  []int
+	WriteSet []int
+	Cycle    Cycle
+}
+
+// FromLog computes the C matrix directly from its definition — not the
+// incremental rule — given the committed update transactions in
+// serialization order: C(i,j) is the latest commit cycle among the
+// transactions in LIVE(t_j) (t_j being the last writer of object j)
+// that write object i, where LIVE is the transitive reads-from closure
+// in the serial execution. It is the reference implementation the
+// Theorem 2 property tests compare Apply against.
+func FromLog(n int, log []Commit) *Matrix {
+	m := NewMatrix(n)
+	// lastWriter[j] = index into log of last transaction writing j; -1 = t0.
+	lastWriter := make([]int, n)
+	for j := range lastWriter {
+		lastWriter[j] = -1
+	}
+	// readsFrom[t] = set of log indices (or -1 for t0) t read from.
+	readsFrom := make([][]int, len(log))
+	writerAt := make([]map[int]bool, len(log))
+	for t, c := range log {
+		for _, k := range c.ReadSet {
+			readsFrom[t] = append(readsFrom[t], lastWriter[k])
+		}
+		writerAt[t] = map[int]bool{}
+		for _, j := range c.WriteSet {
+			writerAt[t][j] = true
+		}
+		for _, j := range c.WriteSet {
+			lastWriter[j] = t
+		}
+	}
+	live := func(t int) map[int]bool {
+		out := map[int]bool{t: true}
+		stack := []int{t}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range readsFrom[x] {
+				if w >= 0 && !out[w] {
+					out[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return out
+	}
+	for j := 0; j < n; j++ {
+		tj := lastWriter[j]
+		if tj < 0 {
+			continue // column stays 0: only t0 affects object j
+		}
+		for t := range live(tj) {
+			for i := range writerAt[t] {
+				if log[t].Cycle > m.c[i*n+j] {
+					m.c[i*n+j] = log[t].Cycle
+				}
+			}
+		}
+	}
+	return m
+}

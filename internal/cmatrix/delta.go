@@ -1,0 +1,39 @@
+package cmatrix
+
+import "fmt"
+
+// DeltaEntry is one changed cell of a C matrix between two cycles.
+type DeltaEntry struct {
+	I, J  int
+	Value Cycle
+}
+
+// Diff lists the entries of new that differ from old, in row-major
+// order — the payload of the paper's proposed incremental control-
+// information transmission (Section 3.2.1, future work).
+func Diff(old, new *Matrix) ([]DeltaEntry, error) {
+	if old.n != new.n {
+		return nil, fmt.Errorf("cmatrix: diff of %d-object and %d-object matrices", old.n, new.n)
+	}
+	var out []DeltaEntry
+	for i := 0; i < old.n; i++ {
+		for j := 0; j < old.n; j++ {
+			if v := new.c[i*old.n+j]; v != old.c[i*old.n+j] {
+				out = append(out, DeltaEntry{I: i, J: j, Value: v})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ApplyDelta overwrites the listed entries in place, turning the
+// previous cycle's matrix into the current one.
+func (m *Matrix) ApplyDelta(entries []DeltaEntry) error {
+	for _, e := range entries {
+		if e.I < 0 || e.I >= m.n || e.J < 0 || e.J >= m.n {
+			return fmt.Errorf("cmatrix: delta entry (%d,%d) out of range for n=%d", e.I, e.J, m.n)
+		}
+		m.c[e.I*m.n+e.J] = e.Value
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"broadcastcc/internal/history"
+)
+
+// Verdict is the outcome of a correctness check, with enough detail to
+// explain rejections (the offending cycle, if one was found) and
+// acceptances (a serialization order, when one is implied).
+type Verdict struct {
+	OK bool
+	// Order is a serialization order of the checked transactions when
+	// the check accepts and one is defined (conflict serializability,
+	// view serializability).
+	Order []history.TxnID
+	// Reason describes why the history was rejected; empty when OK.
+	Reason string
+	// Cycle names the transactions on a violating cycle, when the
+	// rejection is due to one.
+	Cycle []history.TxnID
+}
+
+func reject(format string, args ...any) Verdict {
+	return Verdict{Reason: fmt.Sprintf(format, args...)}
+}
+
+// ConflictSerializable reports whether the committed projection of h is
+// conflict serializable, via serialization-graph testing. On acceptance
+// the verdict carries a witness serial order.
+func ConflictSerializable(h *history.History) Verdict {
+	committed := h.CommittedProjection()
+	nodes := map[history.TxnID]bool{}
+	for _, t := range committed.Transactions() {
+		nodes[t] = true
+	}
+	g, m := conflictGraph(committed, nodes)
+	if order, ok := g.TopoSort(); ok {
+		out := Verdict{OK: true}
+		for _, i := range order {
+			out.Order = append(out.Order, m.ID(i))
+		}
+		return out
+	}
+	cyc := g.FindCycle()
+	v := reject("serialization graph has a cycle")
+	for _, i := range cyc {
+		v.Cycle = append(v.Cycle, m.ID(i))
+	}
+	return v
+}
+
+// SerializableReadOnly reports whether read-only transaction t is
+// conflict serializable with respect to the transactions it directly or
+// indirectly reads from in the committed projection of h — i.e. whether
+// S_H(t) is acyclic (Definition 9). This is APPROX condition 2 for a
+// single transaction.
+func SerializableReadOnly(h *history.History, t history.TxnID) Verdict {
+	committed := h.CommittedProjection()
+	g, m := SerializationGraph(committed, t)
+	if _, ok := g.TopoSort(); ok {
+		return Verdict{OK: true}
+	}
+	cyc := g.FindCycle()
+	v := reject("S(t%d) has a cycle", t)
+	for _, i := range cyc {
+		v.Cycle = append(v.Cycle, m.ID(i))
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+
+	"broadcastcc/internal/graph"
+	"broadcastcc/internal/history"
+)
+
+// NodeMap translates between transaction ids and the dense node indices
+// used by the graph package.
+type NodeMap struct {
+	ids   []history.TxnID       // index -> id, ascending
+	index map[history.TxnID]int // id -> index
+}
+
+// newNodeMap builds a NodeMap over the given transaction set.
+func newNodeMap(txns map[history.TxnID]bool) *NodeMap {
+	ids := make([]history.TxnID, 0, len(txns))
+	for t := range txns {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	index := make(map[history.TxnID]int, len(ids))
+	for i, t := range ids {
+		index[t] = i
+	}
+	return &NodeMap{ids: ids, index: index}
+}
+
+// Len reports the number of transactions mapped.
+func (m *NodeMap) Len() int { return len(m.ids) }
+
+// ID returns the transaction id at node index i.
+func (m *NodeMap) ID(i int) history.TxnID { return m.ids[i] }
+
+// Index returns the node index of id and whether it is mapped.
+func (m *NodeMap) Index(id history.TxnID) (int, bool) {
+	i, ok := m.index[id]
+	return i, ok
+}
+
+// IDs returns the mapped transaction ids in node-index order.
+func (m *NodeMap) IDs() []history.TxnID {
+	return append([]history.TxnID(nil), m.ids...)
+}
+
+// conflictGraph builds the serialization (conflict) graph of h over the
+// transactions in nodes: an edge t' -> t” for each pair of conflicting
+// operations (same object, at least one write, distinct transactions)
+// where t”s operation comes first. The implicit initial transaction T0
+// is treated, when present in nodes, as writing every object before the
+// history begins.
+func conflictGraph(h *history.History, nodes map[history.TxnID]bool) (*graph.Digraph, *NodeMap) {
+	m := newNodeMap(nodes)
+	g := graph.NewDigraph(m.Len())
+	addEdge := func(from, to history.TxnID) {
+		if from == to {
+			return
+		}
+		fi, ok1 := m.Index(from)
+		ti, ok2 := m.Index(to)
+		if ok1 && ok2 {
+			g.AddEdge(fi, ti)
+		}
+	}
+	// Group data operations by object so conflict detection costs the
+	// sum of squared per-object op counts rather than the square of the
+	// whole history.
+	perObject := map[string][]history.Op{}
+	t0, hasT0 := m.Index(history.T0)
+	for _, op := range h.Ops() {
+		if op.Kind != history.OpRead && op.Kind != history.OpWrite {
+			continue
+		}
+		if !nodes[op.Txn] {
+			continue
+		}
+		// T0 writes everything first: edge T0 -> t for every accessor.
+		if hasT0 {
+			if ai, ok := m.Index(op.Txn); ok && ai != t0 {
+				g.AddEdge(t0, ai)
+			}
+		}
+		perObject[op.Obj] = append(perObject[op.Obj], op)
+	}
+	for _, ops := range perObject {
+		for i, a := range ops {
+			for _, b := range ops[i+1:] {
+				if b.Txn == a.Txn {
+					continue
+				}
+				if a.Kind == history.OpWrite || b.Kind == history.OpWrite {
+					addEdge(a.Txn, b.Txn)
+				}
+			}
+		}
+	}
+	return g, m
+}
+
+// SerializationGraph builds S_H(t) per Definition 9: the conflict graph
+// of h restricted to LIVE_H(t). The returned NodeMap translates node
+// indices back to transaction ids.
+func SerializationGraph(h *history.History, t history.TxnID) (*graph.Digraph, *NodeMap) {
+	return conflictGraph(h, h.Live(t))
+}
+
+// TransactionPolygraph builds P_H(t) per Definition 6: nodes are
+// LIVE_H(t); there is an arc t' -> t” whenever t” reads some object
+// from t'; and for every reads-from triple (t”, ob, t”') and every
+// other live transaction t' that writes ob there is a bipath with
+// alternatives t”' -> t' or t' -> t”.
+func TransactionPolygraph(h *history.History, t history.TxnID) (*graph.Polygraph, *NodeMap) {
+	live := h.Live(t)
+	m := newNodeMap(live)
+	p := graph.NewPolygraph(m.Len())
+
+	rf := h.ReadsFrom()
+	for _, r := range rf {
+		wi, okW := m.Index(r.Writer)
+		ri, okR := m.Index(r.Reader)
+		if okW && okR && wi != ri {
+			p.AddArc(wi, ri)
+		}
+	}
+	// T0 writes every object before the history: it can never follow
+	// another transaction, so pin it first.
+	if t0, ok := m.Index(history.T0); ok {
+		for i := 0; i < m.Len(); i++ {
+			if i != t0 {
+				p.AddArc(t0, i)
+			}
+		}
+	}
+	for _, r := range rf {
+		if !live[r.Writer] || !live[r.Reader] {
+			continue
+		}
+		for _, other := range h.Writers(r.Obj) {
+			if other == r.Writer || other == r.Reader || !live[other] {
+				continue
+			}
+			ri, _ := m.Index(r.Reader)
+			oi, _ := m.Index(other)
+			wi, _ := m.Index(r.Writer)
+			// Either the reader precedes the other writer, or the other
+			// writer precedes the writer read from.
+			p.AddBipath(ri, oi, wi)
+		}
+	}
+	return p, m
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"broadcastcc/internal/history"
+)
+
+// quickHistory makes history.GenConfig-driven histories usable with
+// testing/quick by generating them from the fuzzed seed.
+type quickHistory struct {
+	H *history.History
+}
+
+// Generate implements quick.Generator.
+func (quickHistory) Generate(rng *rand.Rand, _ int) reflect.Value {
+	cfg := history.DefaultGenConfig()
+	cfg.UpdateTxns = 1 + rng.Intn(4)
+	cfg.ReadOnlyTxns = rng.Intn(3)
+	cfg.AbortFraction = 0.15
+	return reflect.ValueOf(quickHistory{H: history.RandomHistory(rng, cfg)})
+}
+
+// Property (Figure 1 partial order, via testing/quick): conflict
+// serializable ⟹ view serializable ⟹ ... and serializable ⟹ APPROX ⟹
+// update consistent, on arbitrary generated histories.
+func TestQuickCriteriaPartialOrder(t *testing.T) {
+	f := func(qh quickHistory) bool {
+		h := qh.H
+		csr := ConflictSerializable(h).OK
+		vsr := ViewSerializable(h).OK
+		app := Approx(h).OK
+		uc := UpdateConsistent(h).OK
+		if csr && !vsr {
+			return false
+		}
+		if csr && !app {
+			return false
+		}
+		if app && !uc {
+			return false
+		}
+		if vsr && !uc {
+			// View serializable histories are update consistent too:
+			// H_update view serializable by projection, readers embedded.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a verdict's witness serial order contains exactly the
+// committed transactions.
+func TestQuickWitnessOrderComplete(t *testing.T) {
+	f := func(qh quickHistory) bool {
+		h := qh.H
+		v := ConflictSerializable(h)
+		if !v.OK {
+			return true
+		}
+		committed := h.CommittedProjection().Transactions()
+		if len(v.Order) != len(committed) {
+			return false
+		}
+		seen := map[history.TxnID]bool{}
+		for _, id := range v.Order {
+			seen[id] = true
+		}
+		for _, id := range committed {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projections commute — the committed projection of the
+// update sub-history equals the update sub-history of the committed
+// projection.
+func TestQuickProjectionCommutes(t *testing.T) {
+	f := func(qh quickHistory) bool {
+		h := qh.H
+		a := h.CommittedProjection().UpdateSubhistory()
+		b := h.UpdateSubhistory().CommittedProjection()
+		return a.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "broadcastcc/internal/history"
+
+// UpdateConsistent is the exact checker for the paper's correctness
+// criterion (Theorem 3): a scheduler can determine that a history
+// satisfies update consistency iff
+//
+//  1. the update sub-history H_update is view serializable, and
+//  2. for every read-only transaction t_R, the transaction polygraph
+//     P_H(t_R) over LIVE_H(t_R) is acyclic.
+//
+// Recognition is NP-complete even when H_update is serial (Theorem 5),
+// so this exact checker is exponential in the worst case; use Approx
+// for the polynomial-time recognizer that the F-Matrix and R-Matrix
+// protocols implement.
+func UpdateConsistent(h *history.History) Verdict {
+	committed := h.CommittedProjection()
+	upd := committed.UpdateSubhistory()
+	if v := ViewSerializable(upd); !v.OK {
+		return reject("update sub-history is not view serializable: %s", v.Reason)
+	}
+	for _, t := range committed.ReadOnlyTransactions() {
+		p, _ := TransactionPolygraph(committed, t)
+		if ok, _ := p.AcyclicExact(); !ok {
+			return reject("P(t%d) is not acyclic: read-only transaction t%d is not serializable with respect to the update transactions it reads from", t, t)
+		}
+	}
+	return Verdict{OK: true}
+}
+
+// Approx is the paper's polynomial-time approximation algorithm
+// (Section 3.1). It determines that a history is legal iff
+//
+//  1. H_update is conflict serializable, and
+//  2. for every read-only transaction t_R, the serialization graph
+//     S_H(t_R) over LIVE_H(t_R) is acyclic.
+//
+// Every history APPROX accepts is update consistent (Theorem 6), but
+// some update-consistent histories are rejected: the inclusion is
+// proper.
+func Approx(h *history.History) Verdict {
+	committed := h.CommittedProjection()
+	upd := committed.UpdateSubhistory()
+	if v := ConflictSerializable(upd); !v.OK {
+		v.Reason = "update sub-history is not conflict serializable: " + v.Reason
+		return v
+	}
+	for _, t := range committed.ReadOnlyTransactions() {
+		if v := SerializableReadOnly(committed, t); !v.OK {
+			v.Reason = "APPROX condition 2 fails: " + v.Reason
+			return v
+		}
+	}
+	return Verdict{OK: true}
+}
+
+// Serializable reports whether the committed projection of h — update
+// and read-only transactions together — is conflict serializable. This
+// is the global criterion the Datacycle algorithm enforces, shown by the
+// paper to be unnecessarily strong for broadcast environments.
+func Serializable(h *history.History) Verdict {
+	return ConflictSerializable(h)
+}

@@ -1,0 +1,505 @@
+// Package experiments reproduces the paper's evaluation (Section 4):
+// one parameter sweep per figure, each run over the four algorithms
+// (Datacycle, R-Matrix, F-Matrix and the ideal F-Matrix-No), reporting
+// mean transaction response times in bit-units and transaction restart
+// ratios — the two metrics the paper plots. Two ablations beyond the
+// paper cover the grouped-matrix spectrum of Section 3.2.2 and the
+// client-caching extension of Section 3.3.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/sim"
+	"broadcastcc/internal/stats"
+)
+
+// Metrics are the measurements extracted from one simulation run.
+type Metrics struct {
+	ResponseMean float64        // mean response time, bit-units
+	ResponseCI   stats.Interval // 95% confidence interval
+	RestartRatio float64        // restarts per committed transaction
+	Cycles       int64
+	Commits      int64
+	CacheHits    int64
+	// OffScale marks a run that blew past the MaxTime guard — the
+	// paper's "outside the limits of the Y-axis" Datacycle points.
+	// ResponseMean and RestartRatio are +Inf.
+	OffScale bool
+}
+
+// Point is one x-value of a sweep with the metrics of every algorithm
+// (keyed by label, e.g. "F-Matrix").
+type Point struct {
+	X    float64
+	Runs map[string]Metrics
+}
+
+// Experiment is a completed sweep, directly mappable to one of the
+// paper's figures.
+type Experiment struct {
+	ID     string // "2a", "3b", ...
+	Title  string
+	XLabel string
+	Labels []string // series order for rendering
+	Points []Point
+}
+
+// Options control a reproduction run.
+type Options struct {
+	// Txns is the number of client transactions per run (default 1000,
+	// as in the paper; lower it for quick runs).
+	Txns int
+	// MeasureFrom discards warmup transactions (default Txns/2).
+	MeasureFrom int
+	// Seed seeds every run (default 1).
+	Seed int64
+	// Algorithms overrides the default four-protocol comparison.
+	Algorithms []protocol.Algorithm
+	// MaxTime guards each run against pathological blowup, in bit-units
+	// (0 = none).
+	MaxTime float64
+	// Progress, when set, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) normalized() Options {
+	if o.Txns == 0 {
+		o.Txns = 1000
+	}
+	if o.MeasureFrom == 0 {
+		o.MeasureFrom = o.Txns / 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = []protocol.Algorithm{
+			protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo,
+		}
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+	return o
+}
+
+func (o Options) baseConfig(alg protocol.Algorithm) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.ClientTxns = o.Txns
+	cfg.MeasureFrom = o.MeasureFrom
+	cfg.Seed = o.Seed
+	cfg.MaxTime = o.MaxTime
+	return cfg
+}
+
+func metricsOf(r *sim.Result) Metrics {
+	return Metrics{
+		ResponseMean: r.ResponseTime.Mean(),
+		ResponseCI:   r.ResponseCI,
+		RestartRatio: r.RestartRatio,
+		Cycles:       r.CyclesSimulated,
+		Commits:      r.ServerCommits,
+		CacheHits:    r.CacheHits,
+	}
+}
+
+// sweep runs one experiment: for each x, mutate the base config and run
+// every algorithm.
+func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.Config, float64)) (*Experiment, error) {
+	opt = opt.normalized()
+	exp := &Experiment{ID: id, Title: title, XLabel: xlabel}
+	for _, alg := range opt.Algorithms {
+		exp.Labels = append(exp.Labels, alg.String())
+	}
+	for _, x := range xs {
+		pt := Point{X: x, Runs: map[string]Metrics{}}
+		for _, alg := range opt.Algorithms {
+			cfg := opt.baseConfig(alg)
+			apply(&cfg, x)
+			r, err := sim.Run(cfg)
+			switch {
+			case errors.Is(err, sim.ErrMaxTime):
+				pt.Runs[alg.String()] = Metrics{
+					ResponseMean: math.Inf(1), RestartRatio: math.Inf(1), OffScale: true,
+				}
+				opt.Progress("figure %s: %s x=%g off-scale (%v)", id, alg, x, err)
+				continue
+			case err != nil:
+				return nil, fmt.Errorf("experiment %s, %v at x=%v: %w", id, alg, x, err)
+			}
+			pt.Runs[alg.String()] = metricsOf(r)
+			opt.Progress("figure %s: %s x=%g response=%.3g restarts=%.3g",
+				id, alg, x, r.ResponseTime.Mean(), r.RestartRatio)
+		}
+		exp.Points = append(exp.Points, pt)
+	}
+	return exp, nil
+}
+
+// Figure2a sweeps client transaction length (2..10), reporting response
+// times — the paper's Figure 2(a).
+func Figure2a(opt Options) (*Experiment, error) {
+	return sweep(opt, "2a", "Response time vs client transaction length",
+		"client transaction length (reads)",
+		[]float64{2, 4, 6, 8, 10},
+		func(cfg *sim.Config, x float64) { cfg.ClientTxnLength = int(x) })
+}
+
+// Figure2b is the same sweep as Figure2a viewed through restart ratios —
+// the paper's Figure 2(b). (Each figure runs its own sweep so the two
+// can be generated independently.)
+func Figure2b(opt Options) (*Experiment, error) {
+	e, err := sweep(opt, "2b", "Restart ratio vs client transaction length",
+		"client transaction length (reads)",
+		[]float64{2, 4, 6, 8, 10},
+		func(cfg *sim.Config, x float64) { cfg.ClientTxnLength = int(x) })
+	return e, err
+}
+
+// Figure3a sweeps server transaction length — the paper's Figure 3(a).
+func Figure3a(opt Options) (*Experiment, error) {
+	return sweep(opt, "3a", "Response time vs server transaction length",
+		"server transaction length (operations)",
+		[]float64{2, 4, 8, 12, 16},
+		func(cfg *sim.Config, x float64) { cfg.ServerTxnLength = int(x) })
+}
+
+// Figure3b sweeps the server inter-transaction time; the transaction
+// *rate* decreases left to right exactly as in the paper's Figure 3(b).
+func Figure3b(opt Options) (*Experiment, error) {
+	return sweep(opt, "3b", "Response time vs server inter-transaction time",
+		"server inter-transaction time (bit-units; rate decreases rightward)",
+		[]float64{62500, 125000, 250000, 500000, 1000000},
+		func(cfg *sim.Config, x float64) { cfg.ServerTxnInterval = x })
+}
+
+// Figure4a sweeps the database size — the paper's Figure 4(a).
+func Figure4a(opt Options) (*Experiment, error) {
+	return sweep(opt, "4a", "Response time vs number of objects",
+		"objects in database",
+		[]float64{100, 200, 300, 400, 500},
+		func(cfg *sim.Config, x float64) { cfg.Objects = int(x) })
+}
+
+// Figure4b sweeps the object size — the paper's Figure 4(b).
+func Figure4b(opt Options) (*Experiment, error) {
+	return sweep(opt, "4b", "Response time vs object size",
+		"object size (bits)",
+		[]float64{2048, 4096, 8192, 16384, 32768},
+		func(cfg *sim.Config, x float64) { cfg.ObjectBits = int64(x) })
+}
+
+// GroupsAblation sweeps the grouped-matrix partition count between the
+// Datacycle-like single group and full F-Matrix — the Section 3.2.2
+// spectrum the paper describes but does not plot.
+func GroupsAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	opt.Algorithms = []protocol.Algorithm{protocol.Grouped}
+	e, err := sweep(opt, "groups", "Response time vs control-matrix group count (g=1 ≈ Datacycle-style vector, g=n = F-Matrix)",
+		"groups g",
+		[]float64{1, 5, 15, 60, 150, 300},
+		func(cfg *sim.Config, x float64) {
+			cfg.Groups = int(x)
+			// Higher contention so grouping effects show.
+			cfg.ClientTxnLength = 8
+		})
+	return e, err
+}
+
+// CachingAblation sweeps the client currency bound T (in cycles) under
+// F-Matrix — the Section 3.3 extension the paper defers to future work.
+func CachingAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	opt.Algorithms = []protocol.Algorithm{protocol.FMatrix}
+	return sweep(opt, "caching", "Response time vs client cache currency bound",
+		"currency bound T (cycles; 0 = no cache)",
+		[]float64{0, 1, 2, 4, 8, 16},
+		func(cfg *sim.Config, x float64) {
+			cfg.CacheCurrency = int64(x)
+			cfg.Objects = 100 // hotter object set so the cache can hit
+		})
+}
+
+// MultiDiskAblation sweeps the hot-disk speed of a two-disk broadcast
+// program under a hot-skewed client (beyond the paper, which restricts
+// itself to single-speed disks): 30 hot objects out of 300, 80% of
+// client reads hot.
+func MultiDiskAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	return sweep(opt, "disks", "Response time vs hot-disk speed (two-disk broadcast program, 80% hot access)",
+		"hot disk relative speed (1 = the paper's flat disk)",
+		[]float64{1, 2, 3, 5, 9},
+		func(cfg *sim.Config, x float64) {
+			cfg.HotSetSize = 30
+			cfg.HotAccessProb = 0.8
+			if x > 1 {
+				cfg.HotDiskSpeed = int(x) // cold set 270 divisible by 2,3,5,9
+			}
+		})
+}
+
+// ClientUpdateAblation sweeps the fraction of client transactions that
+// are updates committed over the uplink (the paper's future-work
+// direction). Reported response times are for the read-only
+// transactions; the update metrics travel in the Metrics extras.
+func ClientUpdateAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	return sweep(opt, "updates", "Response time vs client update fraction (uplink commits)",
+		"fraction of client transactions that update",
+		[]float64{0, 0.1, 0.25, 0.5},
+		func(cfg *sim.Config, x float64) {
+			cfg.ClientUpdateProb = x
+			cfg.ClientTxnWrites = 1
+			cfg.UplinkLatency = 4096
+		})
+}
+
+// ClientCountAblation sweeps the number of concurrent read-only clients
+// — the paper simulates one on the grounds that read-only performance is
+// client-count independent; this sweep verifies that the per-client
+// response times stay flat.
+func ClientCountAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	return sweep(opt, "clients", "Response time vs concurrent clients (read-only; should be flat)",
+		"concurrent clients",
+		[]float64{1, 2, 4, 8},
+		func(cfg *sim.Config, x float64) {
+			cfg.Clients = int(x)
+			// Keep total work comparable: measured txns per client shrink.
+			cfg.ClientTxns = maxInt(cfg.ClientTxns/int(x), 40)
+			cfg.MeasureFrom = cfg.ClientTxns / 4
+		})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// All runs every figure of the paper plus the two ablations.
+func All(opt Options) ([]*Experiment, error) {
+	type gen struct {
+		name string
+		f    func(Options) (*Experiment, error)
+	}
+	gens := []gen{
+		{"2a", Figure2a}, {"2b", Figure2b}, {"3a", Figure3a},
+		{"3b", Figure3b}, {"4a", Figure4a}, {"4b", Figure4b},
+		{"groups", GroupsAblation}, {"caching", CachingAblation},
+		{"disks", MultiDiskAblation}, {"updates", ClientUpdateAblation},
+		{"clients", ClientCountAblation},
+	}
+	var out []*Experiment
+	for _, g := range gens {
+		e, err := g.f(opt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ByID dispatches a figure by its identifier.
+func ByID(id string, opt Options) (*Experiment, error) {
+	switch strings.ToLower(id) {
+	case "2a":
+		return Figure2a(opt)
+	case "2b":
+		return Figure2b(opt)
+	case "3a":
+		return Figure3a(opt)
+	case "3b":
+		return Figure3b(opt)
+	case "4a":
+		return Figure4a(opt)
+	case "4b":
+		return Figure4b(opt)
+	case "groups":
+		return GroupsAblation(opt)
+	case "caching":
+		return CachingAblation(opt)
+	case "disks":
+		return MultiDiskAblation(opt)
+	case "updates":
+		return ClientUpdateAblation(opt)
+	case "clients":
+		return ClientCountAblation(opt)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q (want 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, delta)", id)
+	}
+}
+
+// Metric selects which measurement a rendering shows.
+type Metric int
+
+// Renderable metrics.
+const (
+	// ResponseTime renders mean response times (bit-units).
+	ResponseTime Metric = iota
+	// RestartRatio renders restarts per committed transaction.
+	RestartRatio
+)
+
+func (m Metric) label() string {
+	if m == RestartRatio {
+		return "restart ratio"
+	}
+	return "response time (bit-units)"
+}
+
+func (m Metric) value(x Metrics) float64 {
+	if m == RestartRatio {
+		return x.RestartRatio
+	}
+	return x.ResponseMean
+}
+
+// Metric picks the measurement the paper plots for this figure.
+func (e *Experiment) Metric() Metric {
+	if e.ID == "2b" {
+		return RestartRatio
+	}
+	return ResponseTime
+}
+
+// Table renders the experiment as an aligned text table of the given
+// metric, one row per x value and one column per algorithm.
+func (e *Experiment) Table(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s [%s]\n", e.ID, e.Title, m.label())
+	header := append([]string{e.XLabel}, e.Labels...)
+	rows := [][]string{header}
+	for _, pt := range e.Points {
+		row := []string{fmt.Sprintf("%g", pt.X)}
+		for _, lbl := range e.Labels {
+			if pt.Runs[lbl].OffScale {
+				row = append(row, "off-scale")
+			} else {
+				row = append(row, fmt.Sprintf("%.4g", m.value(pt.Runs[lbl])))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits the experiment as CSV with both metrics per algorithm.
+func (e *Experiment) WriteCSV(w io.Writer) error {
+	cols := []string{"x"}
+	for _, lbl := range e.Labels {
+		cols = append(cols, lbl+"_response", lbl+"_restart_ratio")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, pt := range e.Points {
+		row := []string{fmt.Sprintf("%g", pt.X)}
+		for _, lbl := range e.Labels {
+			m := pt.Runs[lbl]
+			row = append(row, fmt.Sprintf("%g", m.ResponseMean), fmt.Sprintf("%g", m.RestartRatio))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesOf extracts (x, metric) pairs for one algorithm label.
+func (e *Experiment) SeriesOf(label string, m Metric) ([]float64, []float64, error) {
+	found := false
+	for _, l := range e.Labels {
+		if l == label {
+			found = true
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("experiments: no series %q in figure %s (have %v)", label, e.ID, e.Labels)
+	}
+	xs := make([]float64, 0, len(e.Points))
+	ys := make([]float64, 0, len(e.Points))
+	for _, pt := range e.Points {
+		xs = append(xs, pt.X)
+		ys = append(ys, m.value(pt.Runs[label]))
+	}
+	return xs, ys, nil
+}
+
+// Shape checks — the qualitative claims of Section 4.7, used by tests
+// and by the EXPERIMENTS.md generator to flag divergence from the paper.
+
+// ShapeViolation describes one qualitative disagreement with the paper.
+type ShapeViolation struct {
+	Figure string
+	X      float64
+	Detail string
+}
+
+// CheckShape verifies the paper's qualitative orderings on a completed
+// four-algorithm experiment: Datacycle ≥ R-Matrix ≥ F-Matrix in
+// response time and restart ratio at every x (with slack at the
+// low-contention end where the paper reports the protocols as
+// indistinguishable), and F-Matrix-No ≤ F-Matrix. The slack fraction
+// tolerates sampling noise when the absolute numbers are close.
+func (e *Experiment) CheckShape(slack float64) []ShapeViolation {
+	var out []ShapeViolation
+	need := []string{protocol.Datacycle.String(), protocol.RMatrix.String(), protocol.FMatrix.String(), protocol.FMatrixNo.String()}
+	have := map[string]bool{}
+	for _, l := range e.Labels {
+		have[l] = true
+	}
+	for _, n := range need {
+		if !have[n] {
+			return nil // not a four-algorithm comparison
+		}
+	}
+	geq := func(a, b float64) bool { return a >= b*(1-slack) }
+	for _, pt := range e.Points {
+		d := pt.Runs[protocol.Datacycle.String()]
+		r := pt.Runs[protocol.RMatrix.String()]
+		f := pt.Runs[protocol.FMatrix.String()]
+		fno := pt.Runs[protocol.FMatrixNo.String()]
+		if !geq(d.ResponseMean, r.ResponseMean) {
+			out = append(out, ShapeViolation{e.ID, pt.X, fmt.Sprintf("Datacycle response %.4g < R-Matrix %.4g", d.ResponseMean, r.ResponseMean)})
+		}
+		if !geq(r.ResponseMean, f.ResponseMean) {
+			out = append(out, ShapeViolation{e.ID, pt.X, fmt.Sprintf("R-Matrix response %.4g < F-Matrix %.4g", r.ResponseMean, f.ResponseMean)})
+		}
+		if !geq(f.ResponseMean, fno.ResponseMean) {
+			out = append(out, ShapeViolation{e.ID, pt.X, fmt.Sprintf("F-Matrix response %.4g < F-Matrix-No %.4g", f.ResponseMean, fno.ResponseMean)})
+		}
+		if d.RestartRatio+slack < r.RestartRatio {
+			out = append(out, ShapeViolation{e.ID, pt.X, fmt.Sprintf("Datacycle restarts %.4g < R-Matrix %.4g", d.RestartRatio, r.RestartRatio)})
+		}
+		if r.RestartRatio+slack < f.RestartRatio {
+			out = append(out, ShapeViolation{e.ID, pt.X, fmt.Sprintf("R-Matrix restarts %.4g < F-Matrix %.4g", r.RestartRatio, f.RestartRatio)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}

@@ -1,0 +1,45 @@
+package history
+
+import "testing"
+
+// FuzzParse checks that the history parser never panics and that
+// anything it accepts round-trips through String and reparses to the
+// same event sequence.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"r1(x) w2(x) c2 a3",
+		"r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3",
+		"w1(a-b_c.d) c1",
+		"r1(x",
+		"x9(y)",
+		"c1(z)",
+		"r0(x)",
+		"r99999999999999999999(x)",
+		"r1() c1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := h.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", s, rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q", rendered, back.String())
+		}
+		// Derived structure must never panic on parsed input.
+		_ = h.Transactions()
+		_ = h.ReadsFrom()
+		_ = h.CheckWellFormed()
+		for _, tx := range h.Transactions() {
+			_ = h.Live(tx)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GenConfig controls RandomHistory.
+type GenConfig struct {
+	Objects       int     // number of distinct objects (names "x0".."x<n-1>")
+	UpdateTxns    int     // number of update transactions
+	ReadOnlyTxns  int     // number of read-only transactions
+	MaxReads      int     // max reads per transaction (>=1)
+	MaxWrites     int     // max writes per update transaction (>=1)
+	AbortFraction float64 // fraction of transactions that abort instead of commit
+	ReadsFirst    bool    // enforce the Appendix A reads-before-writes shape
+	SerialUpdates bool    // run update transactions serially (no interleaving among them)
+	LeaveSomeOpen bool    // leave ~10% of transactions unterminated
+}
+
+// DefaultGenConfig returns a small configuration suitable for
+// property-based cross-validation against the exact (exponential)
+// checkers.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Objects:      4,
+		UpdateTxns:   3,
+		ReadOnlyTxns: 2,
+		MaxReads:     3,
+		MaxWrites:    2,
+		ReadsFirst:   true,
+	}
+}
+
+// RandomHistory generates a well-formed random history under cfg using
+// rng. The result always passes CheckWellFormed, and additionally
+// CheckReadsBeforeWrites when cfg.ReadsFirst is set.
+func RandomHistory(rng *rand.Rand, cfg GenConfig) *History {
+	if cfg.Objects < 1 || cfg.MaxReads < 1 {
+		panic("history: RandomHistory needs at least one object and one read")
+	}
+	type txnPlan struct {
+		id    TxnID
+		ops   []Op
+		ended bool
+	}
+	var plans []*txnPlan
+	next := TxnID(1)
+	obj := func(i int) string { return fmt.Sprintf("x%d", i) }
+
+	pickDistinct := func(k int) []string {
+		k = min(k, cfg.Objects)
+		perm := rng.Perm(cfg.Objects)
+		out := make([]string, k)
+		for i := 0; i < k; i++ {
+			out[i] = obj(perm[i])
+		}
+		return out
+	}
+
+	for i := 0; i < cfg.UpdateTxns; i++ {
+		p := &txnPlan{id: next}
+		next++
+		nr := rng.Intn(cfg.MaxReads + 1) // update txns may have zero reads
+		nw := 1 + rng.Intn(max(cfg.MaxWrites, 1))
+		reads := pickDistinct(nr)
+		writes := pickDistinct(nw)
+		for _, o := range reads {
+			p.ops = append(p.ops, Read(p.id, o))
+		}
+		for _, o := range writes {
+			p.ops = append(p.ops, Write(p.id, o))
+		}
+		if !cfg.ReadsFirst {
+			rng.Shuffle(len(p.ops), func(a, b int) { p.ops[a], p.ops[b] = p.ops[b], p.ops[a] })
+			// Re-deduplicate is unnecessary: reads and writes are distinct sets
+			// per kind, and duplicates across kinds are allowed.
+		}
+		terminal := Commit(p.id)
+		if rng.Float64() < cfg.AbortFraction {
+			terminal = Abort(p.id)
+		}
+		if cfg.LeaveSomeOpen && rng.Float64() < 0.1 {
+			p.ended = true // mark as not emitting terminal
+		} else {
+			p.ops = append(p.ops, terminal)
+		}
+		plans = append(plans, p)
+	}
+	for i := 0; i < cfg.ReadOnlyTxns; i++ {
+		p := &txnPlan{id: next}
+		next++
+		nr := 1 + rng.Intn(cfg.MaxReads)
+		for _, o := range pickDistinct(nr) {
+			p.ops = append(p.ops, Read(p.id, o))
+		}
+		if cfg.LeaveSomeOpen && rng.Float64() < 0.1 {
+			p.ended = true
+		} else {
+			p.ops = append(p.ops, Commit(p.id))
+		}
+		plans = append(plans, p)
+	}
+
+	h := &History{}
+	if cfg.SerialUpdates {
+		// Emit update transactions back to back in a random order, then
+		// interleave read-only transactions' events at random positions.
+		order := rng.Perm(cfg.UpdateTxns)
+		for _, idx := range order {
+			h.ops = append(h.ops, plans[idx].ops...)
+		}
+		for _, p := range plans[cfg.UpdateTxns:] {
+			// Insert this transaction's events at non-decreasing random
+			// positions so its internal order is preserved.
+			positions := make([]int, len(p.ops))
+			for i := range positions {
+				positions[i] = rng.Intn(len(h.ops) + 1)
+			}
+			sort.Ints(positions)
+			for i, op := range p.ops {
+				pos := positions[i] + i // account for earlier insertions
+				h.ops = append(h.ops, Op{})
+				copy(h.ops[pos+1:], h.ops[pos:])
+				h.ops[pos] = op
+			}
+		}
+		return h
+	}
+	// General interleaving: repeatedly pick a transaction with events
+	// remaining and emit its next event.
+	remaining := make([]int, len(plans))
+	total := 0
+	for i, p := range plans {
+		remaining[i] = len(p.ops)
+		total += len(p.ops)
+	}
+	for total > 0 {
+		i := rng.Intn(len(plans))
+		if remaining[i] == 0 {
+			continue
+		}
+		p := plans[i]
+		h.ops = append(h.ops, p.ops[len(p.ops)-remaining[i]])
+		remaining[i]--
+		total--
+	}
+	return h
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a history in the paper's textual notation: a whitespace-
+// separated sequence of events of the forms
+//
+//	r<txn>(<object>)   read
+//	w<txn>(<object>)   write
+//	c<txn>             commit
+//	a<txn>             abort
+//
+// e.g. "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun)".
+// Object names may contain any characters except ')' and whitespace.
+func Parse(s string) (*History, error) {
+	h := &History{}
+	for _, tok := range strings.Fields(s) {
+		op, err := parseOp(tok)
+		if err != nil {
+			return nil, err
+		}
+		h.ops = append(h.ops, op)
+	}
+	return h, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(s string) *History {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func parseOp(tok string) (Op, error) {
+	if tok == "" {
+		return Op{}, fmt.Errorf("history: empty token")
+	}
+	var kind OpKind
+	switch tok[0] {
+	case 'r':
+		kind = OpRead
+	case 'w':
+		kind = OpWrite
+	case 'c':
+		kind = OpCommit
+	case 'a':
+		kind = OpAbort
+	default:
+		return Op{}, fmt.Errorf("history: bad event %q: unknown kind %q", tok, tok[0])
+	}
+	rest := tok[1:]
+	// Split off the numeric transaction id.
+	i := 0
+	for i < len(rest) && unicode.IsDigit(rune(rest[i])) {
+		i++
+	}
+	if i == 0 {
+		return Op{}, fmt.Errorf("history: bad event %q: missing transaction id", tok)
+	}
+	id, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return Op{}, fmt.Errorf("history: bad event %q: %v", tok, err)
+	}
+	if id <= 0 {
+		return Op{}, fmt.Errorf("history: bad event %q: transaction id must be positive (0 is reserved for t0)", tok)
+	}
+	tail := rest[i:]
+	switch kind {
+	case OpRead, OpWrite:
+		if len(tail) < 3 || tail[0] != '(' || tail[len(tail)-1] != ')' {
+			return Op{}, fmt.Errorf("history: bad event %q: want %s%d(object)", tok, kind, id)
+		}
+		obj := tail[1 : len(tail)-1]
+		if strings.ContainsAny(obj, "()") {
+			return Op{}, fmt.Errorf("history: bad event %q: object name may not contain parentheses", tok)
+		}
+		return Op{Kind: kind, Txn: TxnID(id), Obj: obj}, nil
+	default:
+		if tail != "" {
+			return Op{}, fmt.Errorf("history: bad event %q: %s events take no object", tok, kind)
+		}
+		return Op{Kind: kind, Txn: TxnID(id)}, nil
+	}
+}
+
+// WellFormedError describes a violation found by CheckWellFormed.
+type WellFormedError struct {
+	Index int // index of the offending event
+	Op    Op
+	Msg   string
+}
+
+func (e *WellFormedError) Error() string {
+	return fmt.Sprintf("history: event %d (%s): %s", e.Index, e.Op, e.Msg)
+}
+
+// CheckWellFormed verifies the structural assumptions the paper makes
+// about histories:
+//
+//   - no events follow a transaction's commit or abort;
+//   - at most one commit/abort per transaction;
+//   - a transaction neither reads nor writes the same object twice
+//     (Section A.2 assumption).
+//
+// It returns the first violation found, or nil.
+func (h *History) CheckWellFormed() error {
+	terminated := map[TxnID]bool{}
+	reads := map[TxnID]map[string]bool{}
+	writes := map[TxnID]map[string]bool{}
+	for i, op := range h.ops {
+		if terminated[op.Txn] {
+			return &WellFormedError{Index: i, Op: op, Msg: "event after transaction terminated"}
+		}
+		switch op.Kind {
+		case OpCommit, OpAbort:
+			terminated[op.Txn] = true
+		case OpRead:
+			if reads[op.Txn] == nil {
+				reads[op.Txn] = map[string]bool{}
+			}
+			if reads[op.Txn][op.Obj] {
+				return &WellFormedError{Index: i, Op: op, Msg: "transaction reads object twice"}
+			}
+			reads[op.Txn][op.Obj] = true
+		case OpWrite:
+			if writes[op.Txn] == nil {
+				writes[op.Txn] = map[string]bool{}
+			}
+			if writes[op.Txn][op.Obj] {
+				return &WellFormedError{Index: i, Op: op, Msg: "transaction writes object twice"}
+			}
+			writes[op.Txn][op.Obj] = true
+		}
+	}
+	return nil
+}
+
+// CheckReadsBeforeWrites verifies the stronger Appendix A assumption
+// that every read a transaction performs precedes all of its writes.
+func (h *History) CheckReadsBeforeWrites() error {
+	wrote := map[TxnID]bool{}
+	for i, op := range h.ops {
+		switch op.Kind {
+		case OpWrite:
+			wrote[op.Txn] = true
+		case OpRead:
+			if wrote[op.Txn] {
+				return &WellFormedError{Index: i, Op: op, Msg: "read after write within transaction"}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,400 @@
+// Package netcast puts the broadcast runtime on real sockets: the
+// server streams encoded broadcast cycles to any number of TCP
+// subscribers (the "air"), and accepts update transactions on a
+// separate uplink port. Clients tune in with Tune, which decodes frames
+// into an in-process bcast.Medium so the ordinary client runtime
+// (internal/client) works unchanged on top of it.
+//
+// The broadcast stream is one-way, exactly like the medium it models:
+// the server never reads from broadcast connections, and a subscriber
+// that cannot keep up is disconnected rather than allowed to apply
+// backpressure.
+package netcast
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+	"broadcastcc/internal/wire"
+)
+
+// maxFrame bounds accepted frame sizes (16 MiB is far above any real
+// cycle or uplink request).
+const maxFrame = 16 << 20
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("netcast: frame of %d bytes exceeds limit", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netcast: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Options tune the network server.
+type Options struct {
+	// DeltaEvery, when positive, enables incremental transmission
+	// (matrix layouts only): cycles are sent as delta frames over the
+	// previous cycle, with a full frame every DeltaEvery cycles so late
+	// tuners and subscribers that missed a frame can resynchronize.
+	DeltaEvery int
+}
+
+// Server exposes a broadcast server over TCP.
+type Server struct {
+	bsrv *server.Server
+	opts Options
+
+	broadcastLn net.Listener
+	uplinkLn    net.Listener
+
+	mu     sync.Mutex
+	subs   map[net.Conn]bool
+	closed bool
+	prev   *bcast.CycleBroadcast
+	wg     sync.WaitGroup
+
+	// Transmission accounting (bytes of cycle payload, framing
+	// excluded), for the delta-bandwidth analysis.
+	fullBytes  int64
+	deltaBytes int64
+}
+
+// Serve starts listening on the two addresses (e.g. "127.0.0.1:0") and
+// begins accepting subscribers and uplink connections. Broadcast cycles
+// are produced by calls to Step (or by RunTicker). The F-Matrix-No
+// layout broadcasts no control information and therefore cannot be
+// served over a real wire.
+func Serve(bsrv *server.Server, broadcastAddr, uplinkAddr string) (*Server, error) {
+	return ServeOptions(bsrv, broadcastAddr, uplinkAddr, Options{})
+}
+
+// ServeOptions is Serve with explicit Options.
+func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Options) (*Server, error) {
+	if bsrv.Layout().Control == bcast.ControlNone {
+		return nil, errors.New("netcast: the F-Matrix-No layout is a simulation-only ideal and cannot be broadcast")
+	}
+	if opts.DeltaEvery > 0 && bsrv.Layout().Control != bcast.ControlMatrix {
+		return nil, errors.New("netcast: delta transmission requires the matrix layout")
+	}
+	bl, err := net.Listen("tcp", broadcastAddr)
+	if err != nil {
+		return nil, err
+	}
+	ul, err := net.Listen("tcp", uplinkAddr)
+	if err != nil {
+		bl.Close()
+		return nil, err
+	}
+	s := &Server{bsrv: bsrv, opts: opts, broadcastLn: bl, uplinkLn: ul, subs: map[net.Conn]bool{}}
+	s.wg.Add(2)
+	go s.acceptBroadcast()
+	go s.acceptUplink()
+	return s, nil
+}
+
+// TransmittedBytes reports cumulative cycle payload bytes sent as full
+// frames and as delta frames (per subscriber transmission counted once;
+// the broadcast medium reaches everyone with one transmission).
+func (s *Server) TransmittedBytes() (full, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fullBytes, s.deltaBytes
+}
+
+// BroadcastAddr reports the broadcast listener's address.
+func (s *Server) BroadcastAddr() string { return s.broadcastLn.Addr().String() }
+
+// UplinkAddr reports the uplink listener's address.
+func (s *Server) UplinkAddr() string { return s.uplinkLn.Addr().String() }
+
+// Step produces and transmits one broadcast cycle. It returns the
+// number of subscribers that received it.
+func (s *Server) Step() (int, error) {
+	cb := s.bsrv.StartCycle()
+	if cb == nil {
+		return 0, server.ErrClosed
+	}
+	var data []byte
+	var err error
+	var isDelta bool
+	s.mu.Lock()
+	prev := s.prev
+	s.mu.Unlock()
+	if s.opts.DeltaEvery > 0 && prev != nil && cb.Number%cmatrix.Cycle(s.opts.DeltaEvery) != 0 {
+		data, err = wire.EncodeCycleDelta(prev, cb)
+		isDelta = true
+	} else {
+		data, err = wire.EncodeCycle(cb)
+	}
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.prev = cb
+	if isDelta {
+		s.deltaBytes += int64(len(data))
+	} else {
+		s.fullBytes += int64(len(data))
+	}
+	conns := make([]net.Conn, 0, len(s.subs))
+	for c := range s.subs {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	delivered := 0
+	for _, c := range conns {
+		// A slow or dead subscriber must not stall the broadcast: give
+		// each write a short deadline and drop the connection on error.
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		if err := writeFrame(c, data); err != nil {
+			s.dropSub(c)
+			continue
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// RunTicker calls Step every interval until stop is closed.
+func (s *Server) RunTicker(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if _, err := s.Step(); errors.Is(err, server.ErrClosed) {
+				return
+			}
+		}
+	}
+}
+
+// Subscribers reports the current broadcast subscriber count.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Close stops listening and disconnects everything. The underlying
+// broadcast server is left open (close it separately).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.broadcastLn.Close()
+	s.uplinkLn.Close()
+	s.mu.Lock()
+	for c := range s.subs {
+		c.Close()
+		delete(s.subs, c)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptBroadcast() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.broadcastLn.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.subs[conn] = true
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) dropSub(c net.Conn) {
+	s.mu.Lock()
+	if s.subs[c] {
+		delete(s.subs, c)
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptUplink() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.uplinkLn.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			for {
+				frame, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				req, err := wire.DecodeUpdateRequest(frame)
+				var verdict error
+				if err != nil {
+					verdict = err
+				} else {
+					verdict = s.bsrv.SubmitUpdate(req)
+				}
+				if err := writeFrame(conn, wire.EncodeUpdateReply(verdict)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Tuner is a client's receiver: it decodes the broadcast stream into a
+// local medium that internal/client consumes unchanged.
+type Tuner struct {
+	conn   net.Conn
+	medium *bcast.Medium
+	done   chan struct{}
+	err    error
+}
+
+// Tune connects to a broadcast address and starts receiving cycles.
+func Tune(addr string) (*Tuner, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{})}
+	go t.loop()
+	return t, nil
+}
+
+func (t *Tuner) loop() {
+	defer close(t.done)
+	defer t.medium.Close()
+	var last *bcast.CycleBroadcast
+	for {
+		frame, err := readFrame(t.conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				t.err = err
+			}
+			return
+		}
+		var cb *bcast.CycleBroadcast
+		if wire.IsDeltaFrame(frame) {
+			if last == nil {
+				continue // tuned in mid-stream: wait for the next full frame
+			}
+			cb, err = wire.DecodeCycleDelta(frame, last)
+			if err != nil {
+				// Out of sync (e.g. a dropped frame): resynchronize on
+				// the next full frame rather than dying.
+				last = nil
+				continue
+			}
+		} else {
+			cb, err = wire.DecodeCycle(frame)
+			if err != nil {
+				t.err = err
+				return
+			}
+		}
+		last = cb
+		t.medium.Publish(cb)
+	}
+}
+
+// Subscribe returns a subscription delivering decoded cycles.
+func (t *Tuner) Subscribe(buffer int) *bcast.Subscription {
+	return t.medium.Subscribe(buffer)
+}
+
+// Close tears the tuner down and waits for its receive loop.
+func (t *Tuner) Close() error {
+	t.conn.Close()
+	<-t.done
+	return t.err
+}
+
+// Uplink is a TCP implementation of protocol.Uplink. It is safe for
+// concurrent use; requests are serialized over one connection, which is
+// the realistic model of a scarce uplink.
+type Uplink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialUplink connects to a server's uplink address.
+func DialUplink(addr string) (*Uplink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Uplink{conn: conn}, nil
+}
+
+// SubmitUpdate implements protocol.Uplink over the wire.
+func (u *Uplink) SubmitUpdate(req protocol.UpdateRequest) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := writeFrame(u.conn, wire.EncodeUpdateRequest(req)); err != nil {
+		return err
+	}
+	reply, err := readFrame(u.conn)
+	if err != nil {
+		return err
+	}
+	verdict, wireErr := wire.DecodeUpdateReply(reply)
+	if wireErr != nil {
+		return wireErr
+	}
+	return verdict
+}
+
+// Close closes the uplink connection.
+func (u *Uplink) Close() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.conn.Close()
+}

@@ -1,0 +1,377 @@
+package netcast
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"broadcastcc/internal/bctest"
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+func newNetServer(t *testing.T, alg protocol.Algorithm, n int) (*server.Server, *Server) {
+	t.Helper()
+	bsrv, err := server.New(server.Config{Objects: n, ObjectBits: 64, Algorithm: alg, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Serve(bsrv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ns.Close()
+		bsrv.Close()
+	})
+	return bsrv, ns
+}
+
+func awaitSubscribers(t *testing.T, ns *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.Subscribers() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d subscribers connected", ns.Subscribers(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frame")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	// Oversized frames are rejected on both ends.
+	if err := writeFrame(&buf, make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized write should fail")
+	}
+	var evil bytes.Buffer
+	evil.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&evil); err == nil {
+		t.Error("oversized length prefix should fail")
+	}
+	var short bytes.Buffer
+	short.Write([]byte{0, 0, 0, 9, 'x'})
+	if _, err := readFrame(&short); err == nil {
+		t.Error("truncated frame should fail")
+	}
+}
+
+func TestServeRejectsFMatrixNo(t *testing.T) {
+	bsrv, err := server.New(server.Config{Objects: 2, ObjectBits: 64, Algorithm: protocol.FMatrixNo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	if _, err := Serve(bsrv, "127.0.0.1:0", "127.0.0.1:0"); err == nil {
+		t.Fatal("F-Matrix-No must not be servable over a real wire")
+	}
+}
+
+func TestBroadcastOverTCP(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.FMatrix, 4)
+
+	// Seed a value before the first cycle.
+	txn := bsrv.Begin()
+	if err := txn.Write(0, []byte("net-hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tuner, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	cli := client.New(client.Config{Algorithm: protocol.FMatrix}, tuner.Subscribe(8))
+	awaitSubscribers(t, ns, 1)
+
+	if n, err := ns.Step(); err != nil || n != 1 {
+		t.Fatalf("Step = %d, %v", n, err)
+	}
+	if _, ok := cli.AwaitCycle(); !ok {
+		t.Fatal("no cycle received")
+	}
+	rd := cli.BeginReadOnly()
+	v, err := rd.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire slots are fixed width: the value is zero-padded to 8 bytes.
+	if !strings.HasPrefix(string(v), "net-hi") {
+		t.Fatalf("read %q", v)
+	}
+	if _, err := rd.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUplinkOverTCP(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.RMatrix, 4)
+	tuner, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	cli := client.New(client.Config{Algorithm: protocol.RMatrix}, tuner.Subscribe(8))
+	uplink, err := DialUplink(ns.UplinkAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uplink.Close()
+	awaitSubscribers(t, ns, 1)
+
+	if _, err := ns.Step(); err != nil {
+		t.Fatal(err)
+	}
+	cli.AwaitCycle()
+	upd := cli.BeginUpdate()
+	if _, err := upd.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := upd.Write(2, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := upd.Commit(uplink); err != nil {
+		t.Fatal(err)
+	}
+	if got := bsrv.Stats().Commits; got != 1 {
+		t.Fatalf("server commits = %d", got)
+	}
+
+	// A conflicting request is rejected with the server's reason.
+	err = uplink.SubmitUpdate(protocol.UpdateRequest{
+		Reads:  []protocol.ReadAt{{Obj: 2, Cycle: 1}},
+		Writes: []protocol.ObjectWrite{{Obj: 3, Value: []byte("x")}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("conflicting update = %v, want rejection", err)
+	}
+}
+
+func TestSlowSubscriberIsDropped(t *testing.T) {
+	_, ns := newNetServer(t, protocol.RMatrix, 2)
+	// A raw connection that never reads: the kernel buffer eventually
+	// fills and Step's write deadline drops it.
+	conn, err := net.Dial("tcp", ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	awaitSubscribers(t, ns, 1)
+	deadline := time.Now().Add(30 * time.Second)
+	for ns.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unread subscriber never dropped")
+		}
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeltaModeOverTCP(t *testing.T) {
+	bsrv, err := server.New(server.Config{Objects: 4, ObjectBits: 64, Algorithm: protocol.FMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	ns, err := ServeOptions(bsrv, "127.0.0.1:0", "127.0.0.1:0", Options{DeltaEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	tuner, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	cli := client.New(client.Config{Algorithm: protocol.FMatrix}, tuner.Subscribe(64))
+	awaitSubscribers(t, ns, 1)
+
+	// Ten cycles with a commit between each; the client must see every
+	// reconstructed cycle with the right values and matrices.
+	for c := 1; c <= 10; c++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+		cb, ok := cli.AwaitCycle()
+		if !ok {
+			t.Fatal("stream closed")
+		}
+		if int(cb.Number) != c {
+			t.Fatalf("cycle %d, want %d", cb.Number, c)
+		}
+		if cb.Matrix == nil {
+			t.Fatal("reconstruction lost the matrix")
+		}
+		txn := cli.BeginReadOnly()
+		v, err := txn.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > 1 && v[0] != byte(c-1) {
+			t.Fatalf("cycle %d: value %v, want first byte %d", c, v, c-1)
+		}
+		up := bsrv.Begin()
+		up.Read(1)
+		up.Write(0, []byte{byte(c)})
+		if err := up.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, delta := ns.TransmittedBytes()
+	if full == 0 || delta == 0 {
+		t.Fatalf("transmission accounting: full=%d delta=%d", full, delta)
+	}
+	if delta/7 >= full/3 { // 3 full frames (cycles 1,4,8), 7 deltas
+		t.Errorf("mean delta frame (%d bytes over 7) should be far below mean full frame (%d over 3)", delta, full)
+	}
+
+	// A late tuner must resynchronize at the next full frame.
+	late, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	lateCli := client.New(client.Config{Algorithm: protocol.FMatrix}, late.Subscribe(64))
+	awaitSubscribers(t, ns, 2)
+	got := 0
+	for c := 11; c <= 16; c++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if lateCli.PollCycle() {
+			got++
+		}
+		time.Sleep(2 * time.Millisecond)
+		lateCli.PollCycle()
+	}
+	if lateCli.Current() == nil {
+		t.Fatal("late tuner never resynchronized on a full frame")
+	}
+	if n := lateCli.Current().Number; n%4 == 1 {
+		// Current is the last delivered cycle; any value is fine as long
+		// as reconstruction proceeded past the first full frame.
+		_ = n
+	}
+}
+
+func TestServeOptionsRejectsDeltaOnVector(t *testing.T) {
+	bsrv, err := server.New(server.Config{Objects: 2, ObjectBits: 64, Algorithm: protocol.RMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	if _, err := ServeOptions(bsrv, "127.0.0.1:0", "127.0.0.1:0", Options{DeltaEvery: 3}); err == nil {
+		t.Fatal("delta mode on a vector layout should fail")
+	}
+}
+
+// End-to-end over TCP with concurrent clients: the run's induced
+// history must satisfy APPROX.
+func TestNetworkRunConsistent(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.FMatrix, 5)
+
+	const clients = 3
+	const txnsPerClient = 15
+	var mu sync.Mutex
+	var readSets [][]protocol.ReadAt
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			tuner, err := Tune(ns.BroadcastAddr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer tuner.Close()
+			cli := client.New(client.Config{Algorithm: protocol.FMatrix}, tuner.Subscribe(64))
+			for done := 0; done < txnsPerClient; {
+				if _, ok := cli.AwaitCycle(); !ok {
+					return
+				}
+				txn := cli.BeginReadOnly()
+				ok := true
+				for obj := 0; obj < 3; obj++ {
+					if _, err := txn.Read((ci + obj) % 5); err != nil {
+						ok = false
+						break
+					}
+					cli.PollCycle()
+				}
+				if !ok {
+					continue
+				}
+				rs, err := txn.Commit()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				readSets = append(readSets, rs)
+				mu.Unlock()
+				done++
+			}
+		}(ci)
+	}
+
+	stop := make(chan struct{})
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() {
+		defer srvWG.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ns.Step(); err != nil {
+				return
+			}
+			if i%2 == 0 && bsrv.Stats().Commits < 200 {
+				txn := bsrv.Begin()
+				txn.Read(i % 5)
+				txn.Write((i+1)%5, []byte{byte(i)})
+				if err := txn.Commit(); err != nil && !errors.Is(err, server.ErrConflict) {
+					t.Error(err)
+					return
+				}
+			}
+			i++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	srvWG.Wait()
+
+	h := bctest.InducedHistory(bsrv.AuditLog(), readSets)
+	if v := core.Approx(h); !v.OK {
+		t.Fatalf("network run violates APPROX: %s", v.Reason)
+	}
+	if len(readSets) != clients*txnsPerClient {
+		t.Fatalf("committed %d, want %d", len(readSets), clients*txnsPerClient)
+	}
+}

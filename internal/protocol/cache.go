@@ -1,0 +1,89 @@
+package protocol
+
+import (
+	"fmt"
+
+	"broadcastcc/internal/cmatrix"
+)
+
+// This file implements the validation machinery behind the paper's
+// weak-currency caching extension (Section 3.3): clients may serve reads
+// from locally cached items — logically reads "at" the cycle the item
+// was cached — as long as the cached control-matrix columns are kept
+// alongside the values. Because cached reads can be *older* than reads
+// already performed off the air, the read-condition must be checked in
+// both directions between every pair of reads; with monotonically
+// non-decreasing read cycles the backward direction is vacuous and the
+// validator reduces exactly to the standard F-Matrix condition.
+
+// ColumnSnapshot is the control information retained for a single
+// cached object under F-Matrix: column j of the C matrix as of the cycle
+// the object was cached. Bound is only defined for reads of that object.
+type ColumnSnapshot struct {
+	Obj int
+	Col []cmatrix.Cycle // Col[i] = C(i, Obj) at the caching cycle
+}
+
+// Bound implements Snapshot for j == Obj only.
+func (s ColumnSnapshot) Bound(i, j int) cmatrix.Cycle {
+	if j != s.Obj {
+		panic(fmt.Sprintf("protocol: column snapshot for object %d asked about object %d", s.Obj, j))
+	}
+	return s.Col[i]
+}
+
+// SnapshotValidator validates reads that may be out of cycle order
+// (mixing cached and on-air reads). Every read carries the control
+// snapshot of its own cycle; a new read of obj at cycle c is allowed iff
+// for every prior read (ob_i, c_i, snap_i):
+//
+//	snap.Bound(i, obj) < c_i   — obj's value does not depend on a
+//	                             transaction that overwrote ob_i after
+//	                             it was read, and
+//	snap_i.Bound(obj, i) < c   — ob_i's value does not depend on a
+//	                             transaction that overwrote obj at or
+//	                             after cycle c.
+//
+// With non-decreasing cycles the second condition always holds (every
+// entry of an older snapshot is below the newer cycle), so this
+// validator accepts exactly what ConjunctiveValidator accepts; with
+// cached (older) reads it remains exactly APPROX (acyclicity of
+// S(t_R)).
+type SnapshotValidator struct {
+	reads []recordedRead
+}
+
+type recordedRead struct {
+	obj   int
+	cycle cmatrix.Cycle
+	snap  Snapshot
+}
+
+// TryRead validates and records a read of obj at cycle cur whose control
+// snapshot is snap. The snapshot is retained for validating later,
+// possibly older, reads; for F-Matrix a ColumnSnapshot of column obj is
+// sufficient.
+func (v *SnapshotValidator) TryRead(snap Snapshot, obj int, cur cmatrix.Cycle) bool {
+	for _, r := range v.reads {
+		if snap.Bound(r.obj, obj) >= r.cycle {
+			return false
+		}
+		if r.snap.Bound(obj, r.obj) >= cur {
+			return false
+		}
+	}
+	v.reads = append(v.reads, recordedRead{obj: obj, cycle: cur, snap: snap})
+	return true
+}
+
+// ReadSet returns R_t as (object, cycle) pairs.
+func (v *SnapshotValidator) ReadSet() []ReadAt {
+	out := make([]ReadAt, len(v.reads))
+	for i, r := range v.reads {
+		out[i] = ReadAt{Obj: r.obj, Cycle: r.cycle}
+	}
+	return out
+}
+
+// Reset clears the validator for a fresh transaction attempt.
+func (v *SnapshotValidator) Reset() { v.reads = v.reads[:0] }

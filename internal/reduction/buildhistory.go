@@ -1,0 +1,122 @@
+package reduction
+
+import (
+	"fmt"
+
+	"broadcastcc/internal/graph"
+	"broadcastcc/internal/history"
+)
+
+// BuildHistory performs the Theorem 5 construction: a history H whose
+// update sub-history is *serial* and whose transaction polygraph
+// P_H(t_R) is exactly the gadget's polygraph extended with the reader
+// t_R that forces variable x (1-based) false. Consequently
+//
+//	H is update consistent  ⇔  the formula is satisfiable with x false,
+//
+// even though every update transaction ran one after another — the
+// paper's proof that recognizing update consistency stays NP-complete
+// under serial updates.
+//
+// The layout needs some satisfying assignment of the formula (with x
+// unconstrained) to order the serial update transactions; an
+// unsatisfiable formula is rejected.
+func (g *Gadget) BuildHistory(x int) (*history.History, history.TxnID, error) {
+	if x < 1 || x > g.F.NumVars {
+		return nil, 0, fmt.Errorf("reduction: variable x%d out of range", x)
+	}
+	ok, member := g.P.AcyclicExact()
+	if !ok {
+		return nil, 0, fmt.Errorf("reduction: formula is unsatisfiable; no serial layout exists")
+	}
+	order, okTopo := member.TopoSort()
+	if !okTopo {
+		return nil, 0, fmt.Errorf("reduction: internal error: witness member is cyclic")
+	}
+
+	// Object naming.
+	arcObj := func(u, v int) string { return fmt.Sprintf("e%d_%d", u, v) }
+	nodeObj := func(y int) string { return fmt.Sprintf("n%d", y) }
+	const forceObj = "f"
+
+	txn := func(node int) history.TxnID { return history.TxnID(node + 1) }
+	reader := history.TxnID(g.n + 1)
+
+	// Per-node read and write sets derived from the polygraph structure.
+	reads := make([][]string, g.n)
+	writes := make([][]string, g.n)
+	base := g.P.Base()
+	for _, e := range base.Edges() {
+		u, v := e[0], e[1]
+		writes[u] = append(writes[u], arcObj(u, v))
+		reads[v] = append(reads[v], arcObj(u, v))
+	}
+	for _, bp := range g.P.Bipaths() {
+		// Bipath ((v,u),(u,w)): reader v reads arcObj(w,v) from writer w;
+		// the middle transaction u also writes that object.
+		v, u, w := bp.A[0], bp.A[1], bp.B[1]
+		writes[u] = append(writes[u], arcObj(w, v))
+	}
+	for y := 0; y < g.n; y++ {
+		writes[y] = append(writes[y], nodeObj(y))
+	}
+	aX, cX := g.A[x-1], g.C[x-1]
+	writes[cX] = append(writes[cX], forceObj)
+	writes[aX] = append(writes[aX], forceObj)
+
+	h := history.New()
+	for _, node := range order {
+		for _, obj := range dedupe(reads[node]) {
+			h.Append(history.Read(txn(node), obj))
+		}
+		for _, obj := range dedupe(writes[node]) {
+			h.Append(history.Write(txn(node), obj))
+		}
+		h.Append(history.Commit(txn(node)))
+		if node == cX {
+			// The reader takes c_X's version of the forcing object,
+			// before a_X can overwrite it (Theorem 5's placement).
+			h.Append(history.Read(reader, forceObj))
+		}
+	}
+	for y := 0; y < g.n; y++ {
+		h.Append(history.Read(reader, nodeObj(y)))
+	}
+	h.Append(history.Commit(reader))
+	return h, reader, nil
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ExtendedPolygraph builds the Theorem 5 reader-extended polygraph
+// explicitly (nodes plus t_R, arcs from every node to t_R, and the
+// forcing bipath), for direct comparison with P_H(t_R).
+func (g *Gadget) ExtendedPolygraph(x int) (*graph.Polygraph, error) {
+	if x < 1 || x > g.F.NumVars {
+		return nil, fmt.Errorf("reduction: variable x%d out of range", x)
+	}
+	p := graph.NewPolygraph(g.n + 1)
+	tR := g.n
+	for _, e := range g.P.Base().Edges() {
+		p.AddArc(e[0], e[1])
+	}
+	for _, bp := range g.P.Bipaths() {
+		p.AddBipath(bp.A[0], bp.A[1], bp.B[1])
+	}
+	for y := 0; y < g.n; y++ {
+		p.AddArc(y, tR)
+	}
+	// Reader bipath: t_R -> a_x or a_x -> c_x, supported by c_x -> t_R.
+	p.AddBipath(tR, g.A[x-1], g.C[x-1])
+	return p, nil
+}

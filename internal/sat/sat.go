@@ -1,0 +1,292 @@
+// Package sat provides the propositional-logic substrate for the
+// Appendix B reproduction: CNF formulas, a small DPLL satisfiability
+// solver with unit propagation and pure-literal elimination, and the
+// satisfiability-preserving transformations the paper's NP-hardness
+// reduction chains together (adding a guard literal to every clause,
+// rewriting to three literals per clause, and splitting variable
+// occurrences into non-circular form).
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: a 1-based variable index, negative for negation.
+// Lit 0 is invalid.
+type Lit int
+
+// Var reports the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l < 0 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return -l }
+
+// String renders the literal as "x3" or "!x3".
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("!x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// String renders the clause as "(x1 | !x2)".
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// Mixed reports whether the clause contains both positive and negative
+// literals (Definition 7).
+func (c Clause) Mixed() bool {
+	pos, neg := false, false
+	for _, l := range c {
+		if l.Neg() {
+			neg = true
+		} else {
+			pos = true
+		}
+	}
+	return pos && neg
+}
+
+// Formula is a conjunction of clauses over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// String renders the formula as a conjunction.
+func (f *Formula) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Validate reports structural problems: out-of-range variables, zero
+// literals, empty clauses are allowed (they make the formula
+// unsatisfiable).
+func (f *Formula) Validate() error {
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("sat: clause %d has a zero literal", ci)
+			}
+			if l.Var() > f.NumVars {
+				return fmt.Errorf("sat: clause %d uses x%d beyond NumVars=%d", ci, l.Var(), f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// NonCircular reports whether at most one occurrence of each variable
+// lies in a mixed clause (Definition 8).
+func (f *Formula) NonCircular() bool {
+	mixedOccurrences := map[int]int{}
+	for _, c := range f.Clauses {
+		if !c.Mixed() {
+			continue
+		}
+		for _, l := range c {
+			mixedOccurrences[l.Var()]++
+		}
+	}
+	for _, n := range mixedOccurrences {
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Assignment maps variables to truth values; missing variables are
+// unconstrained.
+type Assignment map[int]bool
+
+// Satisfies reports whether the (possibly partial) assignment satisfies
+// every clause.
+func (a Assignment) Satisfies(f *Formula) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if v, bound := a[l.Var()]; bound && v != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability by DPLL with unit propagation and
+// pure-literal elimination, honoring any pre-assigned variables in
+// fixed. On success it returns a total assignment extending fixed.
+func Solve(f *Formula, fixed Assignment) (Assignment, bool) {
+	if err := f.Validate(); err != nil {
+		return nil, false
+	}
+	assign := Assignment{}
+	for v, b := range fixed {
+		assign[v] = b
+	}
+	if ok := dpll(f, assign); !ok {
+		return nil, false
+	}
+	// Total-ize: unconstrained variables default to false.
+	for v := 1; v <= f.NumVars; v++ {
+		if _, bound := assign[v]; !bound {
+			assign[v] = false
+		}
+	}
+	return assign, true
+}
+
+// dpll extends assign in place; on failure assign may hold garbage.
+func dpll(f *Formula, assign Assignment) bool {
+	// Unit propagation / conflict detection loop.
+	for {
+		var unit Lit
+		progress := false
+		for _, c := range f.Clauses {
+			unassigned := 0
+			satisfied := false
+			var last Lit
+			for _, l := range c {
+				v, bound := assign[l.Var()]
+				switch {
+				case !bound:
+					unassigned++
+					last = l
+				case v != l.Neg():
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+		assign[unit.Var()] = !unit.Neg()
+	}
+	// Pick an unassigned variable appearing in an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		satisfied := false
+		candidate := 0
+		for _, l := range c {
+			v, bound := assign[l.Var()]
+			if bound && v != l.Neg() {
+				satisfied = true
+				break
+			}
+			if !bound {
+				candidate = l.Var()
+			}
+		}
+		if !satisfied && candidate != 0 {
+			branch = candidate
+			break
+		}
+	}
+	if branch == 0 {
+		return true // every clause satisfied
+	}
+	saved := snapshot(assign)
+	for _, try := range []bool{true, false} {
+		assign[branch] = try
+		if dpll(f, assign) {
+			return true
+		}
+		restore(assign, saved)
+	}
+	return false
+}
+
+func snapshot(a Assignment) Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+func restore(a Assignment, saved Assignment) {
+	for k := range a {
+		if _, ok := saved[k]; !ok {
+			delete(a, k)
+		}
+	}
+	for k, v := range saved {
+		a[k] = v
+	}
+}
+
+// SolveBrute enumerates all assignments — the reference implementation
+// for testing Solve on small formulas.
+func SolveBrute(f *Formula, fixed Assignment) (Assignment, bool) {
+	vars := make([]int, 0, f.NumVars)
+	for v := 1; v <= f.NumVars; v++ {
+		if _, bound := fixed[v]; !bound {
+			vars = append(vars, v)
+		}
+	}
+	sort.Ints(vars)
+	assign := snapshot(fixed)
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(vars) {
+			return assign.Satisfies(f)
+		}
+		for _, b := range []bool{false, true} {
+			assign[vars[i]] = b
+			if try(i + 1) {
+				return true
+			}
+		}
+		delete(assign, vars[i])
+		return false
+	}
+	if !try(0) {
+		return nil, false
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		if _, ok := assign[v]; !ok {
+			assign[v] = false
+		}
+	}
+	return assign, true
+}

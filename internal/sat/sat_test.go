@@ -1,0 +1,222 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func clause(ls ...Lit) Clause { return Clause(ls) }
+
+func TestLiteralBasics(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || l.Neg() || l.Not() != Lit(-3) {
+		t.Error("positive literal accessors wrong")
+	}
+	n := Lit(-4)
+	if n.Var() != 4 || !n.Neg() || n.Not() != Lit(4) {
+		t.Error("negative literal accessors wrong")
+	}
+	if l.String() != "x3" || n.String() != "!x4" {
+		t.Errorf("strings: %s %s", l, n)
+	}
+}
+
+func TestClauseMixed(t *testing.T) {
+	if clause(1, 2).Mixed() || clause(-1, -2).Mixed() {
+		t.Error("pure clauses are not mixed")
+	}
+	if !clause(1, -2).Mixed() {
+		t.Error("mixed clause not detected")
+	}
+}
+
+func TestFormulaValidateAndStrings(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{clause(1, -2)}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" || f.Clauses[0].String() == "" {
+		t.Error("rendering empty")
+	}
+	bad := &Formula{NumVars: 1, Clauses: []Clause{clause(2)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	zero := &Formula{NumVars: 1, Clauses: []Clause{clause(0)}}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero literal accepted")
+	}
+}
+
+func TestNonCircularPredicate(t *testing.T) {
+	ok := &Formula{NumVars: 3, Clauses: []Clause{
+		clause(1, 2, 3), clause(-1, -2), clause(3, -2),
+	}}
+	// x2 occurs in the mixed clause (3, -2) once and in the pure
+	// negative clause; x1's negation is in a pure clause. Wait: (-1,-2)
+	// is pure negative; x2 appears in one mixed clause: non-circular.
+	if !ok.NonCircular() {
+		t.Error("expected non-circular")
+	}
+	circ := &Formula{NumVars: 2, Clauses: []Clause{
+		clause(1, -2), clause(2, -1),
+	}}
+	if circ.NonCircular() {
+		t.Error("x1 and x2 each occur in two mixed clauses")
+	}
+}
+
+func TestSolveSimpleCases(t *testing.T) {
+	// (x1) & (!x1 | x2): forced x1=true, x2=true.
+	f := &Formula{NumVars: 2, Clauses: []Clause{clause(1), clause(-1, 2)}}
+	a, ok := Solve(f, nil)
+	if !ok || !a[1] || !a[2] {
+		t.Fatalf("Solve = %v, %v", a, ok)
+	}
+	if !a.Satisfies(f) {
+		t.Error("assignment does not satisfy")
+	}
+	// Contradiction.
+	u := &Formula{NumVars: 1, Clauses: []Clause{clause(1), clause(-1)}}
+	if _, ok := Solve(u, nil); ok {
+		t.Error("contradiction declared satisfiable")
+	}
+	// Empty clause.
+	e := &Formula{NumVars: 1, Clauses: []Clause{{}}}
+	if _, ok := Solve(e, nil); ok {
+		t.Error("empty clause declared satisfiable")
+	}
+	// Empty formula is satisfiable.
+	if _, ok := Solve(&Formula{NumVars: 2}, nil); !ok {
+		t.Error("empty formula should be satisfiable")
+	}
+}
+
+func TestSolveHonorsFixedAssignment(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{clause(1, 2)}}
+	a, ok := Solve(f, Assignment{1: false})
+	if !ok || a[1] || !a[2] {
+		t.Fatalf("fixed x1=false should force x2: %v, %v", a, ok)
+	}
+	if _, ok := Solve(&Formula{NumVars: 1, Clauses: []Clause{clause(1)}}, Assignment{1: false}); ok {
+		t.Error("fixing the only satisfying variable false should fail")
+	}
+}
+
+func randomFormula(rng *rand.Rand, vars, clauses, width int) *Formula {
+	f := &Formula{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		w := 1 + rng.Intn(width)
+		c := make(Clause, 0, w)
+		for k := 0; k < w; k++ {
+			l := Lit(1 + rng.Intn(vars))
+			if rng.Intn(2) == 0 {
+				l = l.Not()
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 500; trial++ {
+		f := randomFormula(rng, 2+rng.Intn(6), 1+rng.Intn(10), 3)
+		fixed := Assignment{}
+		if rng.Intn(2) == 0 {
+			fixed[1+rng.Intn(f.NumVars)] = rng.Intn(2) == 0
+		}
+		a1, ok1 := Solve(f, fixed)
+		_, ok2 := SolveBrute(f, fixed)
+		if ok1 != ok2 {
+			t.Fatalf("trial %d: dpll=%v brute=%v\n%s fixed=%v", trial, ok1, ok2, f, fixed)
+		}
+		if ok1 {
+			if !a1.Satisfies(f) {
+				t.Fatalf("trial %d: dpll produced a non-satisfying assignment", trial)
+			}
+			for v, b := range fixed {
+				if a1[v] != b {
+					t.Fatalf("trial %d: fixed assignment not honored", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestAddGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(rng, 2+rng.Intn(4), 1+rng.Intn(8), 3)
+		g, guard := AddGuard(f)
+		if guard != f.NumVars+1 {
+			t.Fatalf("guard = %d", guard)
+		}
+		// ψ' is always satisfiable (guard true).
+		if _, ok := Solve(g, Assignment{guard: true}); !ok {
+			t.Fatal("guarded formula must be satisfiable with guard true")
+		}
+		// ψ satisfiable iff ψ' satisfiable with guard false.
+		_, want := Solve(f, nil)
+		_, got := Solve(g, Assignment{guard: false})
+		if got != want {
+			t.Fatalf("trial %d: guard equivalence broken: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestToThreeCNF(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(rng, 2+rng.Intn(4), 1+rng.Intn(6), 6)
+		three := ToThreeCNF(f)
+		for _, c := range three.Clauses {
+			if len(c) > 3 {
+				t.Fatalf("clause %v still has %d literals", c, len(c))
+			}
+		}
+		// Satisfiability preserved, also under fixing an original var.
+		fixed := Assignment{1: rng.Intn(2) == 0}
+		_, want := Solve(f, fixed)
+		_, got := Solve(three, fixed)
+		if got != want {
+			t.Fatalf("trial %d: 3-CNF equivalence broken", trial)
+		}
+	}
+}
+
+func TestNonCircularize(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFormula(rng, 2+rng.Intn(4), 1+rng.Intn(6), 3)
+		nc, firstCopy := NonCircularize(f)
+		if err := nc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Original variables keep their identity as the first copy.
+		for v := 1; v <= f.NumVars; v++ {
+			if firstCopy[v] != v {
+				t.Fatalf("first copy of x%d = %d", v, firstCopy[v])
+			}
+		}
+		// Satisfiability preserved under fixing an original variable.
+		fixed := Assignment{1 + rng.Intn(f.NumVars): rng.Intn(2) == 0}
+		_, want := Solve(f, fixed)
+		_, got := Solve(nc, fixed)
+		if got != want {
+			t.Fatalf("trial %d: non-circularization broke satisfiability\n%s\nvs\n%s", trial, f, nc)
+		}
+	}
+}
+
+func TestAssignmentSatisfiesPartial(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{clause(1, 2)}}
+	if (Assignment{}).Satisfies(f) {
+		t.Error("empty assignment cannot satisfy a nonempty clause")
+	}
+	if !(Assignment{2: true}).Satisfies(f) {
+		t.Error("partial assignment satisfying the clause rejected")
+	}
+}

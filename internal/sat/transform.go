@@ -1,0 +1,103 @@
+package sat
+
+// The Appendix B reduction chains three satisfiability-preserving
+// transformations before the polygraph construction. Given a 3-CNF ψ:
+//
+//  1. AddGuard introduces a fresh variable X and adds it (positively)
+//     to every clause: ψ' is always satisfiable (set X), and ψ is
+//     satisfiable iff ψ' is satisfiable with X = false.
+//  2. ToThreeCNF rewrites the now four-literal clauses back to three
+//     literals each with fresh variables: (a ∨ b ∨ c ∨ d) becomes
+//     (a ∨ b ∨ z) ∧ (¬z ∨ c ∨ d).
+//  3. NonCircularize splits each variable's occurrences into fresh
+//     copies chained by equivalence clauses, so that no variable has
+//     more than one occurrence inside a mixed clause (Definition 8).
+//
+// Guard returns the guard variable of step 1 so callers can phrase
+// "satisfiable with X = false" across the chain.
+
+// AddGuard returns ψ' and the guard variable X.
+func AddGuard(f *Formula) (*Formula, int) {
+	guard := f.NumVars + 1
+	out := &Formula{NumVars: guard}
+	for _, c := range f.Clauses {
+		nc := append(Clause{}, c...)
+		nc = append(nc, Lit(guard))
+		out.Clauses = append(out.Clauses, nc)
+	}
+	return out, guard
+}
+
+// ToThreeCNF rewrites clauses longer than three literals using fresh
+// splitter variables: (l1 ∨ l2 ∨ rest...) becomes (l1 ∨ l2 ∨ z) ∧
+// (¬z ∨ rest...), applied recursively. Clauses of three or fewer
+// literals pass through. Satisfiability (under any fixing of original
+// variables) is preserved.
+func ToThreeCNF(f *Formula) *Formula {
+	out := &Formula{NumVars: f.NumVars}
+	for _, c := range f.Clauses {
+		cur := append(Clause{}, c...)
+		for len(cur) > 3 {
+			out.NumVars++
+			z := Lit(out.NumVars)
+			out.Clauses = append(out.Clauses, Clause{cur[0], cur[1], z})
+			rest := append(Clause{z.Not()}, cur[2:]...)
+			cur = rest
+		}
+		out.Clauses = append(out.Clauses, cur)
+	}
+	return out
+}
+
+// NonCircularize renames each occurrence of every multiply-occurring
+// variable to a fresh copy and adds two-literal equivalence clauses
+// (¬a ∨ b) ∧ (¬b ∨ a) between consecutive copies, forcing all copies
+// equal. The result is satisfiability-equivalent (under a fixing of the
+// first copy of any variable).
+//
+// Note on Definition 8: the equivalence clauses are themselves mixed,
+// so a variable with three or more occurrences still ends up with two
+// mixed occurrences through its chain, and the output is not always
+// non-circular in the strict syntactic sense — the paper's own
+// description of this step is not fully specified. The polygraph
+// construction (package reduction) is validated empirically against
+// satisfiability regardless, on formulas that are syntactically
+// non-circular by generation.
+func NonCircularize(f *Formula) (*Formula, map[int]int) {
+	occurrences := map[int]int{}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			occurrences[l.Var()]++
+		}
+	}
+	out := &Formula{NumVars: f.NumVars}
+	firstCopy := map[int]int{}
+	nextCopy := map[int]int{} // variable -> previous copy in the chain
+	for v := 1; v <= f.NumVars; v++ {
+		firstCopy[v] = v
+	}
+	for _, c := range f.Clauses {
+		nc := make(Clause, len(c))
+		for i, l := range c {
+			v := l.Var()
+			use := v
+			if prev, seen := nextCopy[v]; seen && occurrences[v] > 1 {
+				// Fresh copy chained to the previous one.
+				out.NumVars++
+				use = out.NumVars
+				out.Clauses = append(out.Clauses,
+					Clause{Lit(-prev), Lit(use)},
+					Clause{Lit(-use), Lit(prev)},
+				)
+			}
+			nextCopy[v] = use
+			if l.Neg() {
+				nc[i] = Lit(-use)
+			} else {
+				nc[i] = Lit(use)
+			}
+		}
+		out.Clauses = append(out.Clauses, nc)
+	}
+	return out, firstCopy
+}

@@ -1,0 +1,366 @@
+// Package server implements the broadcast disk server (Section 3.2.1):
+// it maintains the database and the control information, ensures the
+// conflict serializability of every update transaction submitted to it
+// — whether executed locally or shipped up from clients as read/write
+// sets — and publishes, at the beginning of every broadcast cycle, the
+// latest committed values together with the control matrix (F-Matrix),
+// vector (R-Matrix / Datacycle) or grouped matrix the configured
+// protocol requires.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+// Errors returned by transaction processing.
+var (
+	// ErrConflict rejects a commit whose reads have been overwritten by
+	// a later committed transaction (optimistic backward validation).
+	ErrConflict = errors.New("server: transaction conflicts with a committed update")
+	// ErrClosed rejects operations on a closed server.
+	ErrClosed = errors.New("server: closed")
+	// ErrTxnFinished rejects operations on a committed or aborted
+	// transaction handle.
+	ErrTxnFinished = errors.New("server: transaction already finished")
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Objects is the database size n.
+	Objects int
+	// ObjectBits is the broadcast size of each object in bits (timing
+	// and overhead accounting only; stored values are arbitrary bytes).
+	ObjectBits int64
+	// TimestampBits is the control timestamp width TS.
+	TimestampBits int
+	// Algorithm selects the control information broadcast each cycle.
+	Algorithm protocol.Algorithm
+	// Groups is the partition size for protocol.Grouped.
+	Groups int
+	// InitialValues optionally seeds the database; missing entries
+	// default to nil.
+	InitialValues [][]byte
+	// Audit, when true, keeps the in-order log of committed update
+	// transactions (read set, write set, commit cycle) so tests and
+	// tools can reconstruct and check the induced history.
+	Audit bool
+}
+
+// Stats are cumulative server counters.
+type Stats struct {
+	Cycles         int64 // broadcast cycles published
+	Commits        int64 // update transactions committed
+	ConflictAborts int64 // update transactions rejected by validation
+	UplinkRequests int64 // client update requests received
+}
+
+// Server is the broadcast server. All methods are safe for concurrent
+// use.
+type Server struct {
+	mu        sync.Mutex
+	cfg       Config
+	layout    bcast.Layout
+	partition *cmatrix.Partition
+	medium    *bcast.Medium
+
+	committed [][]byte        // latest committed value per object
+	version   []int64         // per-object commit sequence number
+	lastCycle []cmatrix.Cycle // per-object cycle of last committed write (the exact V)
+	matrix    *cmatrix.Matrix
+	vector    *cmatrix.Vector
+
+	cycle  cmatrix.Cycle // cycle currently on the air; 0 before the first broadcast
+	closed bool
+	stats  Stats
+	audit  []cmatrix.Commit
+}
+
+// New builds a server. The configuration must describe a valid broadcast
+// layout.
+func New(cfg Config) (*Server, error) {
+	if cfg.TimestampBits == 0 {
+		cfg.TimestampBits = 8
+	}
+	layout := bcast.LayoutFor(cfg.Algorithm, cfg.Objects, cfg.ObjectBits, cfg.TimestampBits, cfg.Groups)
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		layout:    layout,
+		medium:    bcast.NewMedium(),
+		committed: make([][]byte, cfg.Objects),
+		version:   make([]int64, cfg.Objects),
+		lastCycle: make([]cmatrix.Cycle, cfg.Objects),
+		matrix:    cmatrix.NewMatrix(cfg.Objects),
+		vector:    cmatrix.NewVector(cfg.Objects),
+	}
+	if cfg.Algorithm == protocol.Grouped {
+		s.partition = cmatrix.UniformPartition(cfg.Objects, cfg.Groups)
+	}
+	for i, v := range cfg.InitialValues {
+		if i >= cfg.Objects {
+			break
+		}
+		s.committed[i] = append([]byte(nil), v...)
+	}
+	return s, nil
+}
+
+// Layout reports the broadcast layout in force.
+func (s *Server) Layout() bcast.Layout { return s.layout }
+
+// CurrentCycle reports the cycle currently on the air (0 before the
+// first StartCycle).
+func (s *Server) CurrentCycle() cmatrix.Cycle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycle
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// AuditLog returns the in-order committed update log (empty unless
+// Config.Audit).
+func (s *Server) AuditLog() []cmatrix.Commit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]cmatrix.Commit, len(s.audit))
+	copy(out, s.audit)
+	return out
+}
+
+// Subscribe tunes a client in with the given channel buffer.
+func (s *Server) Subscribe(buffer int) *bcast.Subscription {
+	return s.medium.Subscribe(buffer)
+}
+
+// Close shuts the server down and closes every subscription.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.medium.Close()
+}
+
+// StartCycle begins the next broadcast cycle: it snapshots the committed
+// database and control information as of this instant — transactions
+// committed during earlier cycles — publishes the cycle on the medium,
+// and returns it. Returns nil on a closed server.
+func (s *Server) StartCycle() *bcast.CycleBroadcast {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.cycle++
+	s.stats.Cycles++
+	cb := &bcast.CycleBroadcast{
+		Number: s.cycle,
+		Layout: s.layout,
+		Values: make([][]byte, len(s.committed)),
+	}
+	for i, v := range s.committed {
+		cb.Values[i] = append([]byte(nil), v...)
+	}
+	switch s.layout.Control {
+	case bcast.ControlMatrix, bcast.ControlNone:
+		cb.Matrix = s.matrix.Clone()
+	case bcast.ControlVector:
+		cb.Vector = s.vector.Clone()
+	case bcast.ControlGrouped:
+		cb.Grouped = cmatrix.GroupedOf(s.matrix, s.partition)
+	}
+	s.mu.Unlock()
+	s.medium.Publish(cb)
+	return cb
+}
+
+// commitLocked installs a validated update transaction. Callers hold mu.
+func (s *Server) commitLocked(readSet []int, writeSet []int, values map[int][]byte) {
+	commitCycle := s.cycle
+	for _, obj := range writeSet {
+		s.committed[obj] = append([]byte(nil), values[obj]...)
+		s.version[obj]++
+		s.lastCycle[obj] = commitCycle
+	}
+	s.matrix.Apply(readSet, writeSet, commitCycle)
+	s.vector.Apply(writeSet, commitCycle)
+	s.stats.Commits++
+	if s.cfg.Audit {
+		s.audit = append(s.audit, cmatrix.Commit{
+			ReadSet:  append([]int(nil), readSet...),
+			WriteSet: append([]int(nil), writeSet...),
+			Cycle:    commitCycle,
+		})
+	}
+}
+
+func (s *Server) checkObj(obj int) error {
+	if obj < 0 || obj >= s.cfg.Objects {
+		return fmt.Errorf("server: object %d out of range [0,%d)", obj, s.cfg.Objects)
+	}
+	return nil
+}
+
+// checkValue rejects values that cannot fit the broadcast slot.
+func (s *Server) checkValue(obj int, val []byte) error {
+	if int64(len(val))*8 > s.cfg.ObjectBits {
+		return fmt.Errorf("server: value for object %d is %d bytes, broadcast slot holds %d bits", obj, len(val), s.cfg.ObjectBits)
+	}
+	return nil
+}
+
+// SubmitUpdate validates and commits a client update transaction
+// shipped over the uplink: the write set with values, plus every read
+// the client performed and the cycle it was performed in. Validation is
+// optimistic and backward: each read of (obj, cycle) saw the committed
+// state as of the beginning of cycle, so it is valid iff no transaction
+// has committed a write to obj during or after that cycle. Success means
+// the transaction is committed; any error means it must abort.
+//
+// SubmitUpdate implements protocol.Uplink.
+func (s *Server) SubmitUpdate(req protocol.UpdateRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.stats.UplinkRequests++
+	for _, r := range req.Reads {
+		if err := s.checkObj(r.Obj); err != nil {
+			return err
+		}
+		if s.lastCycle[r.Obj] >= r.Cycle {
+			s.stats.ConflictAborts++
+			return fmt.Errorf("%w: object %d written during cycle %d, read at cycle %d",
+				ErrConflict, r.Obj, s.lastCycle[r.Obj], r.Cycle)
+		}
+	}
+	values := map[int][]byte{}
+	var writeSet []int
+	for _, w := range req.Writes {
+		if err := s.checkObj(w.Obj); err != nil {
+			return err
+		}
+		if err := s.checkValue(w.Obj, w.Value); err != nil {
+			return err
+		}
+		if _, dup := values[w.Obj]; !dup {
+			writeSet = append(writeSet, w.Obj)
+		}
+		values[w.Obj] = w.Value
+	}
+	var readSet []int
+	seen := map[int]bool{}
+	for _, r := range req.Reads {
+		if !seen[r.Obj] {
+			seen[r.Obj] = true
+			readSet = append(readSet, r.Obj)
+		}
+	}
+	s.commitLocked(readSet, writeSet, values)
+	return nil
+}
+
+// Txn is a server-local update transaction: it reads the latest
+// committed values and buffers writes; Commit validates optimistically
+// (each read version must still be current) and installs atomically.
+// A Txn is not safe for concurrent use, but any number of Txns may run
+// concurrently against the server.
+type Txn struct {
+	s         *Server
+	reads     map[int]int64 // object -> version read
+	readObjs  []int         // in first-read order
+	writes    map[int][]byte
+	writeObjs []int
+	done      bool
+}
+
+// Begin starts a server-local update transaction.
+func (s *Server) Begin() *Txn {
+	return &Txn{s: s, reads: map[int]int64{}, writes: map[int][]byte{}}
+}
+
+// Read returns the latest committed value of obj (its own buffered write
+// if it wrote obj earlier), recording the version for commit-time
+// validation.
+func (t *Txn) Read(obj int) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnFinished
+	}
+	if err := t.s.checkObj(obj); err != nil {
+		return nil, err
+	}
+	if v, ok := t.writes[obj]; ok {
+		return append([]byte(nil), v...), nil
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.s.closed {
+		return nil, ErrClosed
+	}
+	if _, seen := t.reads[obj]; !seen {
+		t.reads[obj] = t.s.version[obj]
+		t.readObjs = append(t.readObjs, obj)
+	}
+	return append([]byte(nil), t.s.committed[obj]...), nil
+}
+
+// Write buffers a write of val to obj.
+func (t *Txn) Write(obj int, val []byte) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	if err := t.s.checkObj(obj); err != nil {
+		return err
+	}
+	if err := t.s.checkValue(obj, val); err != nil {
+		return err
+	}
+	if _, seen := t.writes[obj]; !seen {
+		t.writeObjs = append(t.writeObjs, obj)
+	}
+	t.writes[obj] = append([]byte(nil), val...)
+	return nil
+}
+
+// Commit validates and installs the transaction. ErrConflict means a
+// read was stale and the transaction aborted; the caller may Begin a new
+// attempt.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	t.done = true
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.s.closed {
+		return ErrClosed
+	}
+	for obj, ver := range t.reads {
+		if t.s.version[obj] != ver {
+			t.s.stats.ConflictAborts++
+			return fmt.Errorf("%w: object %d changed since it was read", ErrConflict, obj)
+		}
+	}
+	if len(t.writes) == 0 {
+		return nil // read-only: nothing to install
+	}
+	t.s.commitLocked(t.readObjs, t.writeObjs, t.writes)
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.done = true }

@@ -1,0 +1,205 @@
+// Package sim is the discrete-event simulator behind the paper's
+// performance study (Section 4): a broadcast server committing update
+// transactions at a configured rate, a broadcast disk carrying every
+// object plus the protocol's control information each cycle, and a
+// client running read-only transactions whose reads wait for their
+// objects to come around on the disk and are validated against the
+// control snapshot of the cycle they were read in. Time is measured in
+// bit-units — the time to broadcast one bit — exactly as in the paper.
+//
+// The simulator reuses the production read-condition validators from
+// internal/protocol and the control-matrix maintenance from
+// internal/cmatrix, so the measured behaviour is that of the real
+// protocol implementations.
+package sim
+
+import (
+	"fmt"
+
+	"broadcastcc/internal/protocol"
+)
+
+// Config holds the simulation parameters of Table 1. The zero value is
+// not runnable; start from DefaultConfig.
+type Config struct {
+	// Algorithm selects the concurrency control protocol under test.
+	Algorithm protocol.Algorithm
+	// Groups is the partition size for protocol.Grouped (ignored
+	// otherwise).
+	Groups int
+
+	// ClientTxnLength is the number of read operations per client
+	// transaction (default 4).
+	ClientTxnLength int
+	// ServerTxnLength is the number of read/write operations per server
+	// transaction (default 8).
+	ServerTxnLength int
+	// ServerTxnInterval is the time between server transaction
+	// completions in bit-units (default 250000 — the paper's "1 in
+	// 250000 bit-units" rate).
+	ServerTxnInterval float64
+	// ServerIntervalExponential draws the interval from an exponential
+	// distribution with the configured mean instead of a fixed spacing.
+	ServerIntervalExponential bool
+	// Objects is the database size n (default 300).
+	Objects int
+	// ObjectBits is the broadcast size of one object (default 8192 =
+	// 1 KB).
+	ObjectBits int64
+	// ServerReadProb is the probability a server operation is a read
+	// (default 0.5).
+	ServerReadProb float64
+	// MeanInterOpDelay is the mean of the exponential think time before
+	// each client read (default 65536).
+	MeanInterOpDelay float64
+	// MeanInterTxnDelay is the mean of the exponential delay between
+	// client transactions (default 131072).
+	MeanInterTxnDelay float64
+	// RestartDelay is the fixed delay before a client transaction
+	// restarts after an abort (default 0).
+	RestartDelay float64
+	// TimestampBits is the control timestamp width TS (default 8).
+	TimestampBits int
+
+	// Clients is the number of concurrent clients (0 or 1 = the paper's
+	// single client). With more than one client the event-driven
+	// multi-client engine runs; each client executes ClientTxns
+	// transactions and metrics are pooled (plus reported per client).
+	// The client cache is not supported in multi-client mode.
+	Clients int
+
+	// ClientTxns is the number of client transactions to run to
+	// completion (default 1000), per client.
+	ClientTxns int
+	// MeasureFrom discards the first MeasureFrom transactions as warmup;
+	// the paper measures the last 500 of 1000 (default 500).
+	MeasureFrom int
+
+	// HotDiskSpeed, when above 1, replaces the paper's single-speed disk
+	// with a two-disk broadcast program: the first HotSetSize objects
+	// spin HotDiskSpeed times per major cycle (an extension the paper
+	// explicitly leaves out of scope).
+	HotDiskSpeed int
+	// HotSetSize is the size of the hot disk (required when
+	// HotDiskSpeed > 1; the cold set size must be divisible by
+	// HotDiskSpeed for the chunked broadcast program).
+	HotSetSize int
+	// HotAccessProb skews client reads: each read targets the hot set
+	// with this probability (0 keeps the paper's uniform access).
+	HotAccessProb float64
+
+	// ClientUpdateProb makes a client transaction an update transaction
+	// with this probability (the paper's future-work direction): it
+	// performs its reads as usual, writes ClientTxnWrites of the objects
+	// it read, and commits via the uplink, where the server validates
+	// its reads against committed state.
+	ClientUpdateProb float64
+	// ClientTxnWrites is the number of written objects per client update
+	// transaction (capped at ClientTxnLength; default 1 when
+	// ClientUpdateProb > 0).
+	ClientTxnWrites int
+	// UplinkLatency is the commit round-trip cost in bit-units.
+	UplinkLatency float64
+
+	// CacheCurrency enables the Section 3.3 client cache when positive:
+	// a cached item satisfies reads while it is at most CacheCurrency
+	// cycles old. Cached reads cost no broadcast wait.
+	CacheCurrency int64
+	// CacheSize caps cached entries (0 = unlimited).
+	CacheSize int
+
+	// Audit records the server commit log and every committed client
+	// read-set in the Result so tests can reconstruct and check the
+	// induced history. Only suitable for small runs.
+	Audit bool
+
+	// Seed makes runs reproducible.
+	Seed int64
+	// MaxTime aborts the simulation (with an error) if the clock passes
+	// this many bit-units, guarding against pathological configurations;
+	// 0 means no limit.
+	MaxTime float64
+}
+
+// DefaultConfig returns Table 1's parameter settings with the F-Matrix
+// algorithm selected.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:         protocol.FMatrix,
+		ClientTxnLength:   4,
+		ServerTxnLength:   8,
+		ServerTxnInterval: 250000,
+		Objects:           300,
+		ObjectBits:        8192,
+		ServerReadProb:    0.5,
+		MeanInterOpDelay:  65536,
+		MeanInterTxnDelay: 131072,
+		RestartDelay:      0,
+		TimestampBits:     8,
+		ClientTxns:        1000,
+		MeasureFrom:       500,
+		Seed:              1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Objects <= 0:
+		return fmt.Errorf("sim: Objects = %d, need > 0", c.Objects)
+	case c.ObjectBits <= 0:
+		return fmt.Errorf("sim: ObjectBits = %d, need > 0", c.ObjectBits)
+	case c.ClientTxnLength <= 0:
+		return fmt.Errorf("sim: ClientTxnLength = %d, need > 0", c.ClientTxnLength)
+	case c.ClientTxnLength > c.Objects:
+		return fmt.Errorf("sim: ClientTxnLength %d exceeds Objects %d (transactions read distinct objects)", c.ClientTxnLength, c.Objects)
+	case c.ServerTxnLength < 0:
+		return fmt.Errorf("sim: ServerTxnLength = %d, need >= 0", c.ServerTxnLength)
+	case c.ServerTxnInterval <= 0:
+		return fmt.Errorf("sim: ServerTxnInterval = %v, need > 0", c.ServerTxnInterval)
+	case c.ServerReadProb < 0 || c.ServerReadProb > 1:
+		return fmt.Errorf("sim: ServerReadProb = %v, need [0,1]", c.ServerReadProb)
+	case c.MeanInterOpDelay < 0 || c.MeanInterTxnDelay < 0 || c.RestartDelay < 0:
+		return fmt.Errorf("sim: delays must be non-negative")
+	case c.ClientTxns <= 0:
+		return fmt.Errorf("sim: ClientTxns = %d, need > 0", c.ClientTxns)
+	case c.MeasureFrom < 0 || c.MeasureFrom >= c.ClientTxns:
+		return fmt.Errorf("sim: MeasureFrom = %d, need [0,%d)", c.MeasureFrom, c.ClientTxns)
+	case c.Algorithm == protocol.Grouped && (c.Groups < 1 || c.Groups > c.Objects):
+		return fmt.Errorf("sim: Groups = %d, need [1,%d]", c.Groups, c.Objects)
+	case c.CacheCurrency < 0:
+		return fmt.Errorf("sim: CacheCurrency = %d, need >= 0", c.CacheCurrency)
+	case c.HotAccessProb < 0 || c.HotAccessProb > 1:
+		return fmt.Errorf("sim: HotAccessProb = %v, need [0,1]", c.HotAccessProb)
+	case c.ClientUpdateProb < 0 || c.ClientUpdateProb > 1:
+		return fmt.Errorf("sim: ClientUpdateProb = %v, need [0,1]", c.ClientUpdateProb)
+	case c.ClientTxnWrites < 0:
+		return fmt.Errorf("sim: ClientTxnWrites = %d, need >= 0", c.ClientTxnWrites)
+	case c.UplinkLatency < 0:
+		return fmt.Errorf("sim: UplinkLatency = %v, need >= 0", c.UplinkLatency)
+	case c.Clients < 0:
+		return fmt.Errorf("sim: Clients = %d, need >= 0", c.Clients)
+	case c.Clients > 1 && c.CacheCurrency > 0:
+		return fmt.Errorf("sim: the client cache is not supported in multi-client mode")
+	}
+	if c.HotDiskSpeed > 1 {
+		if c.HotSetSize < 1 || c.HotSetSize >= c.Objects {
+			return fmt.Errorf("sim: HotSetSize = %d, need [1,%d) when HotDiskSpeed > 1", c.HotSetSize, c.Objects)
+		}
+		if (c.Objects-c.HotSetSize)%c.HotDiskSpeed != 0 {
+			return fmt.Errorf("sim: cold set size %d not divisible by HotDiskSpeed %d (chunked broadcast program)", c.Objects-c.HotSetSize, c.HotDiskSpeed)
+		}
+	} else if c.HotDiskSpeed < 0 {
+		return fmt.Errorf("sim: HotDiskSpeed = %d, need >= 0", c.HotDiskSpeed)
+	}
+	if c.HotAccessProb > 0 && c.HotSetSize < 1 {
+		return fmt.Errorf("sim: HotAccessProb needs HotSetSize >= 1")
+	}
+	if c.HotAccessProb == 1 && c.HotSetSize < c.ClientTxnLength {
+		return fmt.Errorf("sim: HotAccessProb = 1 needs HotSetSize >= ClientTxnLength (distinct reads)")
+	}
+	if c.TimestampBits < 1 || c.TimestampBits > 32 {
+		return fmt.Errorf("sim: TimestampBits = %d, need [1,32]", c.TimestampBits)
+	}
+	return nil
+}

@@ -1,0 +1,530 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/stats"
+)
+
+// Result summarizes one simulation run. Response times are in
+// bit-units, measured over the transactions after the warmup.
+type Result struct {
+	Config Config
+	Layout bcast.Layout
+
+	// ResponseTime aggregates per-transaction response times: the time
+	// from submission to commit, including all restarts.
+	ResponseTime stats.Sample
+	// ResponseCI is the 95% confidence interval of the mean response
+	// time.
+	ResponseCI stats.Interval
+	// Restarts aggregates per-transaction restart counts.
+	Restarts stats.Sample
+	// RestartRatio is total restarts divided by measured transactions
+	// (the paper's transaction restart ratio).
+	RestartRatio float64
+
+	// CyclesSimulated counts broadcast cycles begun.
+	CyclesSimulated int64
+	// ServerCommits counts update transactions committed at the server.
+	ServerCommits int64
+	// SimulatedTime is the final clock value in bit-units.
+	SimulatedTime float64
+	// CacheHits counts client reads served from the local cache.
+	CacheHits int64
+
+	// PerClient holds each client's own metrics in multi-client runs
+	// (Config.Clients > 1); nil otherwise.
+	PerClient []ClientStats
+
+	// UpdateResponseTime aggregates response times of client *update*
+	// transactions (ClientUpdateProb > 0), measured separately from the
+	// read-only ResponseTime.
+	UpdateResponseTime stats.Sample
+	// UpdateRestarts aggregates restart counts of client update
+	// transactions.
+	UpdateRestarts stats.Sample
+	// ClientCommits counts update transactions committed via the uplink.
+	ClientCommits int64
+	// UplinkRejects counts update transactions the server's validation
+	// rejected (each causes a restart).
+	UplinkRejects int64
+
+	// AuditLog is the server's committed-update log (Config.Audit only).
+	AuditLog []cmatrix.Commit
+	// CommittedReadSets holds every committed client transaction's
+	// read-set (Config.Audit only).
+	CommittedReadSets [][]protocol.ReadAt
+}
+
+// ErrMaxTime reports that the simulated clock passed Config.MaxTime —
+// the configuration is pathological for the protocol under test (the
+// paper's "outside the limits of the Y-axis" Datacycle runs).
+var ErrMaxTime = errors.New("sim: simulated time exceeded MaxTime")
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clients > 1 {
+		return e.runMulti()
+	}
+	return e.run()
+}
+
+// engine is the discrete-event core. The server's commit stream is a
+// deterministic function of time generated lazily in time order; the
+// single client (the paper simulates one client — protocol behaviour is
+// client-count independent) drives the clock forward through its reads,
+// pulling the server state and per-cycle control snapshots along.
+type engine struct {
+	cfg    Config
+	layout bcast.Layout
+	rng    *rand.Rand
+	// srvRng drives server workload generation. It aliases rng in the
+	// single-client engine (preserving its exact event stream) and is a
+	// dedicated stream in the multi-client engine so client count does
+	// not perturb the server workload.
+	srvRng *rand.Rand
+
+	now       float64
+	cycleBits float64
+	schedule  *bcast.Schedule
+
+	// Server state.
+	matrix         *cmatrix.Matrix // F-Matrix, F-Matrix-No, Grouped
+	vector         *cmatrix.Vector // R-Matrix, Datacycle
+	partition      *cmatrix.Partition
+	lastWrite      []cmatrix.Cycle // per-object last committed-write cycle
+	nextCommitTime float64
+	serverCommits  int64
+	clientCommits  int64
+	uplinkRejects  int64
+
+	// Per-cycle control snapshots, pruned as the clock advances.
+	snaps          map[cmatrix.Cycle]protocol.Snapshot
+	snappedThrough cmatrix.Cycle
+
+	// Client cache (Section 3.3), enabled by cfg.CacheCurrency > 0.
+	cache     map[int]cacheEntry
+	cacheFIFO []int
+	cacheHits int64
+
+	// Audit trail (cfg.Audit only).
+	auditLog      []cmatrix.Commit
+	auditReadSets [][]protocol.ReadAt
+}
+
+type cacheEntry struct {
+	cycle cmatrix.Cycle
+	snap  protocol.Snapshot
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	layout := bcast.LayoutFor(cfg.Algorithm, cfg.Objects, cfg.ObjectBits, cfg.TimestampBits, cfg.Groups)
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	var schedule *bcast.Schedule
+	var err error
+	if cfg.HotDiskSpeed > 1 {
+		hot := make([]int, cfg.HotSetSize)
+		for i := range hot {
+			hot[i] = i
+		}
+		cold := make([]int, cfg.Objects-cfg.HotSetSize)
+		for i := range cold {
+			cold[i] = cfg.HotSetSize + i
+		}
+		schedule, err = bcast.NewSchedule(layout, []bcast.Disk{
+			{Objects: hot, Speed: cfg.HotDiskSpeed},
+			{Objects: cold, Speed: 1},
+		})
+	} else {
+		schedule, err = bcast.SingleDiskSchedule(layout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:            cfg,
+		layout:         layout,
+		schedule:       schedule,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		cycleBits:      float64(schedule.MajorCycleBits()),
+		lastWrite:      make([]cmatrix.Cycle, cfg.Objects),
+		nextCommitTime: cfg.ServerTxnInterval,
+		snaps:          map[cmatrix.Cycle]protocol.Snapshot{},
+	}
+	e.srvRng = e.rng
+	if cfg.ServerIntervalExponential {
+		e.nextCommitTime = e.srvExp(cfg.ServerTxnInterval)
+	}
+	switch cfg.Algorithm {
+	case protocol.FMatrix, protocol.FMatrixNo:
+		e.matrix = cmatrix.NewMatrix(cfg.Objects)
+	case protocol.Grouped:
+		e.matrix = cmatrix.NewMatrix(cfg.Objects)
+		e.partition = cmatrix.UniformPartition(cfg.Objects, cfg.Groups)
+	default:
+		e.vector = cmatrix.NewVector(cfg.Objects)
+	}
+	if cfg.CacheCurrency > 0 {
+		e.cache = map[int]cacheEntry{}
+	}
+	return e, nil
+}
+
+// exp draws an exponential variate with the given mean (0 stays 0)
+// from the client stream.
+func (e *engine) exp(mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return e.rng.ExpFloat64() * mean
+}
+
+// srvExp draws from the server stream.
+func (e *engine) srvExp(mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return e.srvRng.ExpFloat64() * mean
+}
+
+// cycleOf reports the cycle containing time t (cycle 1 starts at 0).
+func (e *engine) cycleOf(t float64) cmatrix.Cycle {
+	return cmatrix.Cycle(math.Floor(t/e.cycleBits)) + 1
+}
+
+// nextReady reports the earliest instant >= t at which object j,
+// together with its control information, has been fully broadcast, and
+// the (major) cycle that broadcast belongs to.
+func (e *engine) nextReady(t float64, j int) (float64, cmatrix.Cycle) {
+	ready, cycle := e.schedule.NextReady(t, j)
+	return ready, cmatrix.Cycle(cycle)
+}
+
+// applyNextCommit generates the next server update transaction and
+// commits it, stamping it with the cycle its completion time falls in.
+// Server transactions execute serially (the paper's commit-order
+// serialization), so conflict serializability of H_update holds by
+// construction.
+func (e *engine) applyNextCommit() {
+	commitCycle := e.cycleOf(e.nextCommitTime)
+	var readSet, writeSet []int
+	seenR := map[int]bool{}
+	seenW := map[int]bool{}
+	for op := 0; op < e.cfg.ServerTxnLength; op++ {
+		obj := e.srvRng.Intn(e.cfg.Objects)
+		if e.srvRng.Float64() < e.cfg.ServerReadProb {
+			if !seenR[obj] {
+				seenR[obj] = true
+				readSet = append(readSet, obj)
+			}
+		} else if !seenW[obj] {
+			seenW[obj] = true
+			writeSet = append(writeSet, obj)
+		}
+	}
+	e.install(readSet, writeSet, commitCycle)
+	e.serverCommits++
+	if e.cfg.Audit {
+		e.auditLog = append(e.auditLog, cmatrix.Commit{
+			ReadSet: readSet, WriteSet: writeSet, Cycle: commitCycle,
+		})
+	}
+	if e.cfg.ServerIntervalExponential {
+		e.nextCommitTime += e.srvExp(e.cfg.ServerTxnInterval)
+	} else {
+		e.nextCommitTime += e.cfg.ServerTxnInterval
+	}
+}
+
+// install folds one committed transaction (server- or client-
+// originated) into the control state.
+func (e *engine) install(readSet, writeSet []int, commitCycle cmatrix.Cycle) {
+	if e.matrix != nil {
+		e.matrix.Apply(readSet, writeSet, commitCycle)
+	}
+	if e.vector != nil {
+		e.vector.Apply(writeSet, commitCycle)
+	}
+	for _, obj := range writeSet {
+		e.lastWrite[obj] = commitCycle
+	}
+}
+
+// advanceCommitsTo applies every pending server commit with completion
+// time strictly before t, taking any crossed cycle-boundary snapshots
+// first so snapshots never leak later commits.
+func (e *engine) advanceCommitsTo(t float64) {
+	e.ensureSnapshot(e.cycleOf(t))
+	for e.nextCommitTime < t {
+		e.applyNextCommit()
+	}
+}
+
+// ensureSnapshot advances the server through time so that the control
+// snapshot at the beginning of cycle c exists: all commits of earlier
+// cycles applied, none of cycle c or later.
+func (e *engine) ensureSnapshot(c cmatrix.Cycle) {
+	for e.snappedThrough < c {
+		next := e.snappedThrough + 1
+		start := float64(next-1) * e.cycleBits
+		for e.nextCommitTime < start {
+			e.applyNextCommit()
+		}
+		e.snaps[next] = e.snapshot()
+		e.snappedThrough = next
+		delete(e.snaps, next-8) // keep a short window of recent cycles
+	}
+}
+
+// snapshot clones the current control state into the form the client
+// protocol consumes.
+func (e *engine) snapshot() protocol.Snapshot {
+	switch e.cfg.Algorithm {
+	case protocol.FMatrix, protocol.FMatrixNo:
+		return protocol.MatrixSnapshot{C: e.matrix.Clone()}
+	case protocol.Grouped:
+		return protocol.GroupedSnapshot{MC: cmatrix.GroupedOf(e.matrix, e.partition)}
+	default:
+		return protocol.VectorSnapshot{V: e.vector.Clone()}
+	}
+}
+
+// columnOf extracts the per-object control slice cached with an entry:
+// the guard values Bound(i, obj) for every i.
+func columnOf(snap protocol.Snapshot, obj, n int) protocol.ColumnSnapshot {
+	col := make([]cmatrix.Cycle, n)
+	for i := 0; i < n; i++ {
+		col[i] = snap.Bound(i, obj)
+	}
+	return protocol.ColumnSnapshot{Obj: obj, Col: col}
+}
+
+// cacheGet serves obj from the cache if present and fresh at time t.
+func (e *engine) cacheGet(obj int, t float64) (cacheEntry, bool) {
+	if e.cache == nil {
+		return cacheEntry{}, false
+	}
+	entry, ok := e.cache[obj]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	if int64(e.cycleOf(t)-entry.cycle) > e.cfg.CacheCurrency {
+		delete(e.cache, obj) // local invalidation, no communication
+		return cacheEntry{}, false
+	}
+	return entry, true
+}
+
+func (e *engine) cachePut(obj int, entry cacheEntry) {
+	if e.cache == nil {
+		return
+	}
+	if _, exists := e.cache[obj]; !exists {
+		if e.cfg.CacheSize > 0 && len(e.cache) >= e.cfg.CacheSize {
+			// FIFO eviction.
+			for len(e.cacheFIFO) > 0 {
+				victim := e.cacheFIFO[0]
+				e.cacheFIFO = e.cacheFIFO[1:]
+				if _, ok := e.cache[victim]; ok {
+					delete(e.cache, victim)
+					break
+				}
+			}
+		}
+		e.cacheFIFO = append(e.cacheFIFO, obj)
+	}
+	e.cache[obj] = entry
+}
+
+// run executes the client workload to completion.
+func (e *engine) run() (*Result, error) {
+	cfg := e.cfg
+	res := &Result{Config: cfg, Layout: e.layout}
+
+	validator := e.newValidator()
+	for txn := 0; txn < cfg.ClientTxns; txn++ {
+		// Distinct objects, fixed across restarts: the same transaction
+		// program re-executes after an abort.
+		objs := e.pickObjects()
+		isUpdate := cfg.ClientUpdateProb > 0 && e.rng.Float64() < cfg.ClientUpdateProb
+		writes := 0
+		if isUpdate {
+			writes = cfg.ClientTxnWrites
+			if writes == 0 {
+				writes = 1
+			}
+			if writes > len(objs) {
+				writes = len(objs)
+			}
+		}
+		submit := e.now
+		restarts := 0
+		for { // attempts
+			validator.Reset()
+			aborted := false
+			for _, j := range objs {
+				e.now += e.exp(cfg.MeanInterOpDelay)
+				if ok, err := e.performRead(validator, j); err != nil {
+					return nil, err
+				} else if !ok {
+					aborted = true
+					break
+				}
+			}
+			if !aborted && isUpdate {
+				// Commit over the uplink: the round trip costs latency,
+				// and the server validates the read-set against what has
+				// committed meanwhile.
+				e.now += cfg.UplinkLatency
+				if !e.submitClientUpdate(validator.ReadSet(), objs[:writes]) {
+					aborted = true
+					e.uplinkRejects++
+				}
+			}
+			if !aborted {
+				break
+			}
+			restarts++
+			// Drop the transaction's objects from the cache: an aborted
+			// attempt must not be replayed against the same stale
+			// entries, or a long currency bound could starve it.
+			if e.cache != nil {
+				for _, j := range objs {
+					delete(e.cache, j)
+				}
+			}
+			e.now += cfg.RestartDelay
+			if cfg.MaxTime > 0 && e.now > cfg.MaxTime {
+				return nil, fmt.Errorf("%w: MaxTime=%g during transaction %d (restart %d)", ErrMaxTime, cfg.MaxTime, txn, restarts)
+			}
+		}
+		if txn >= cfg.MeasureFrom {
+			if isUpdate {
+				res.UpdateResponseTime.Add(e.now - submit)
+				res.UpdateRestarts.Add(float64(restarts))
+			} else {
+				res.ResponseTime.Add(e.now - submit)
+				res.Restarts.Add(float64(restarts))
+			}
+		}
+		if cfg.Audit && !isUpdate {
+			// Update transactions are already in the commit log; only
+			// read-only read-sets need recording for the history audit.
+			e.auditReadSets = append(e.auditReadSets, validator.ReadSet())
+		}
+		e.now += e.exp(cfg.MeanInterTxnDelay)
+	}
+
+	e.finalizeResult(res)
+	return res, nil
+}
+
+// pickObjects draws the transaction's distinct object set, skewed to
+// the hot set when HotAccessProb is set.
+func (e *engine) pickObjects() []int { return e.pickObjectsFrom(e.rng) }
+
+func (e *engine) pickObjectsFrom(rng *rand.Rand) []int {
+	cfg := e.cfg
+	if cfg.HotAccessProb == 0 {
+		return rng.Perm(cfg.Objects)[:cfg.ClientTxnLength]
+	}
+	coldSize := cfg.Objects - cfg.HotSetSize
+	seen := make(map[int]bool, cfg.ClientTxnLength)
+	out := make([]int, 0, cfg.ClientTxnLength)
+	for len(out) < cfg.ClientTxnLength {
+		var j int
+		if coldSize == 0 || rng.Float64() < cfg.HotAccessProb {
+			j = rng.Intn(cfg.HotSetSize)
+		} else {
+			j = cfg.HotSetSize + rng.Intn(coldSize)
+		}
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// submitClientUpdate performs the server-side validation and commit of
+// a client update transaction at the current clock: every read must
+// still be current (no committed write to the object during or after
+// the cycle it was read in), exactly the live server's rule. On success
+// the transaction is installed at the current cycle.
+func (e *engine) submitClientUpdate(reads []protocol.ReadAt, writeSet []int) bool {
+	e.advanceCommitsTo(e.now)
+	for _, r := range reads {
+		if e.lastWrite[r.Obj] >= r.Cycle {
+			return false
+		}
+	}
+	readSet := make([]int, 0, len(reads))
+	for _, r := range reads {
+		readSet = append(readSet, r.Obj)
+	}
+	commitCycle := e.cycleOf(e.now)
+	e.install(readSet, writeSet, commitCycle)
+	e.clientCommits++
+	if e.cfg.Audit {
+		e.auditLog = append(e.auditLog, cmatrix.Commit{
+			ReadSet: readSet, WriteSet: append([]int(nil), writeSet...), Cycle: commitCycle,
+		})
+	}
+	return true
+}
+
+// newValidator builds the per-transaction validator: the exact paper
+// validators normally, the snapshot-retaining validator when the cache
+// may serve (older) reads.
+func (e *engine) newValidator() protocol.Validator {
+	if e.cache != nil {
+		return &protocol.SnapshotValidator{}
+	}
+	return protocol.NewValidator(e.cfg.Algorithm)
+}
+
+// performRead executes one client read of object j at the current clock:
+// from the cache when fresh (no wait), otherwise waiting for the object
+// to come around on the broadcast. It reports whether the read passed
+// validation.
+func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
+	if entry, ok := e.cacheGet(j, e.now); ok {
+		e.cacheHits++
+		return v.TryRead(entry.snap, j, entry.cycle), nil
+	}
+	readTime, cycle := e.nextReady(e.now, j)
+	if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
+		return false, fmt.Errorf("%w: MaxTime=%g waiting for object %d", ErrMaxTime, e.cfg.MaxTime, j)
+	}
+	e.now = readTime
+	e.ensureSnapshot(cycle)
+	snap := e.snaps[cycle]
+	if snap == nil {
+		return false, fmt.Errorf("sim: internal error: no snapshot for cycle %d", cycle)
+	}
+	if e.cache != nil {
+		col := columnOf(snap, j, e.cfg.Objects)
+		if !v.TryRead(col, j, cycle) {
+			return false, nil
+		}
+		e.cachePut(j, cacheEntry{cycle: cycle, snap: col})
+		return true, nil
+	}
+	return v.TryRead(snap, j, cycle), nil
+}

@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"broadcastcc/internal/bctest"
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/protocol"
+)
+
+// smallConfig is a fast configuration with enough contention for
+// protocol differences to show.
+func smallConfig(alg protocol.Algorithm) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.Objects = 40
+	cfg.ObjectBits = 1024
+	cfg.ClientTxns = 120
+	cfg.MeasureFrom = 20
+	cfg.ClientTxnLength = 5
+	cfg.ServerTxnInterval = 40000
+	cfg.MeanInterOpDelay = 8192
+	cfg.MeanInterTxnDelay = 16384
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"objects", func(c *Config) { c.Objects = 0 }},
+		{"objectbits", func(c *Config) { c.ObjectBits = 0 }},
+		{"clientlen", func(c *Config) { c.ClientTxnLength = 0 }},
+		{"clientlen>objects", func(c *Config) { c.ClientTxnLength = c.Objects + 1 }},
+		{"serverlen", func(c *Config) { c.ServerTxnLength = -1 }},
+		{"interval", func(c *Config) { c.ServerTxnInterval = 0 }},
+		{"readprob", func(c *Config) { c.ServerReadProb = 1.5 }},
+		{"delays", func(c *Config) { c.MeanInterOpDelay = -1 }},
+		{"txns", func(c *Config) { c.ClientTxns = 0 }},
+		{"measure", func(c *Config) { c.MeasureFrom = c.ClientTxns }},
+		{"groups", func(c *Config) { c.Algorithm = protocol.Grouped; c.Groups = 0 }},
+		{"cache", func(c *Config) { c.CacheCurrency = -1 }},
+		{"ts", func(c *Config) { c.TimestampBits = 0 }},
+	}
+	for _, m := range mutations {
+		cfg := DefaultConfig()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: Run should refuse an invalid config", m.name)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := smallConfig(protocol.RMatrix)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResponseTime.Mean() != r2.ResponseTime.Mean() ||
+		r1.Restarts.Sum() != r2.Restarts.Sum() ||
+		r1.ServerCommits != r2.ServerCommits {
+		t.Error("same seed must reproduce the run exactly")
+	}
+	cfg.Seed = 8
+	r3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResponseTime.Mean() == r3.ResponseTime.Mean() && r1.SimulatedTime == r3.SimulatedTime {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNoUpdatesMeansNoAborts(t *testing.T) {
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo} {
+		cfg := smallConfig(alg)
+		cfg.ServerTxnLength = 0 // server transactions do nothing
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Restarts.Sum() != 0 {
+			t.Errorf("%v: %v restarts with no updates", alg, r.Restarts.Sum())
+		}
+		if r.ResponseTime.Mean() <= 0 {
+			t.Errorf("%v: nonpositive response time", alg)
+		}
+	}
+}
+
+func TestMeasuredCountMatches(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ResponseTime.N(); got != cfg.ClientTxns-cfg.MeasureFrom {
+		t.Errorf("measured %d txns, want %d", got, cfg.ClientTxns-cfg.MeasureFrom)
+	}
+	if r.ResponseCI.Mean != r.ResponseTime.Mean() {
+		t.Error("CI mean should match sample mean")
+	}
+	if r.CyclesSimulated <= 0 || r.ServerCommits <= 0 || r.SimulatedTime <= 0 {
+		t.Errorf("counters not populated: %+v", r)
+	}
+}
+
+// The headline qualitative result: Datacycle restarts far more than
+// R-Matrix, which restarts more than F-Matrix; response times order the
+// same way. F-Matrix-No is at least as fast as F-Matrix.
+func TestProtocolOrdering(t *testing.T) {
+	results := map[protocol.Algorithm]*Result{}
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo} {
+		cfg := smallConfig(alg)
+		// Contention high enough for the paper's ordering to separate
+		// cleanly (cf. Figure 2 beyond client length 6).
+		cfg.ClientTxnLength = 8
+		cfg.ServerTxnInterval = 25000
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[alg] = r
+	}
+	d, rm, f, fno := results[protocol.Datacycle], results[protocol.RMatrix], results[protocol.FMatrix], results[protocol.FMatrixNo]
+	if !(d.RestartRatio > rm.RestartRatio) {
+		t.Errorf("restart ratio: Datacycle %v should exceed R-Matrix %v", d.RestartRatio, rm.RestartRatio)
+	}
+	if !(rm.RestartRatio > f.RestartRatio) {
+		t.Errorf("restart ratio: R-Matrix %v should exceed F-Matrix %v", rm.RestartRatio, f.RestartRatio)
+	}
+	if !(d.ResponseTime.Mean() > rm.ResponseTime.Mean()) {
+		t.Errorf("response: Datacycle %v should exceed R-Matrix %v", d.ResponseTime.Mean(), rm.ResponseTime.Mean())
+	}
+	if !(rm.ResponseTime.Mean() > f.ResponseTime.Mean()) {
+		t.Errorf("response: R-Matrix %v should exceed F-Matrix %v", rm.ResponseTime.Mean(), f.ResponseTime.Mean())
+	}
+	if !(fno.ResponseTime.Mean() <= f.ResponseTime.Mean()) {
+		t.Errorf("response: F-Matrix-No %v should not exceed F-Matrix %v", fno.ResponseTime.Mean(), f.ResponseTime.Mean())
+	}
+}
+
+// Grouped with g=1 must behave like a conjunctive vector check; with
+// g=n it must equal F-Matrix's acceptance behaviour (same seed, same
+// layout? no — layout differs; compare restart ratio against
+// F-Matrix's only qualitatively: fewer groups, more restarts).
+func TestGroupedSpectrumMonotonicity(t *testing.T) {
+	restarts := map[int]float64{}
+	for _, g := range []int{1, 8, 40} {
+		cfg := smallConfig(protocol.Grouped)
+		cfg.Groups = g
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restarts[g] = r.Restarts.Sum()
+	}
+	if !(restarts[1] >= restarts[8] && restarts[8] >= restarts[40]) {
+		t.Errorf("coarser grouping should not restart less: %v", restarts)
+	}
+}
+
+func TestCachingReducesResponseTime(t *testing.T) {
+	// Caching pays off under weak currency requirements and low update
+	// contention: hot objects are re-read from the cache instead of
+	// waiting up to a full cycle for them to come around again.
+	base := smallConfig(protocol.FMatrix)
+	base.ClientTxnLength = 4
+	base.Objects = 10
+	base.ServerTxnInterval = 300000
+	noCache, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := base
+	cached.CacheCurrency = 10
+	withCache, err := Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCache.CacheHits == 0 {
+		t.Fatal("expected cache hits")
+	}
+	if !(withCache.ResponseTime.Mean() < noCache.ResponseTime.Mean()) {
+		t.Errorf("caching should cut response time: %v vs %v",
+			withCache.ResponseTime.Mean(), noCache.ResponseTime.Mean())
+	}
+}
+
+func TestMaxTimeGuard(t *testing.T) {
+	cfg := smallConfig(protocol.Datacycle)
+	cfg.MaxTime = float64(cfg.ObjectBits) // absurdly small
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "MaxTime") {
+		t.Fatalf("Run = %v, want MaxTime error", err)
+	}
+}
+
+func TestServerIntervalExponential(t *testing.T) {
+	cfg := smallConfig(protocol.RMatrix)
+	cfg.ServerIntervalExponential = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ServerCommits == 0 {
+		t.Error("exponential server interval should still commit")
+	}
+}
+
+// Every simulated run must produce a history the protocol's criterion
+// accepts: APPROX for the matrix protocols and R-Matrix, global
+// serializability for Datacycle. This audits the whole simulator against
+// the formal checkers.
+func TestSimulatedRunsAreConsistent(t *testing.T) {
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := smallConfig(alg)
+			cfg.Objects = 10
+			cfg.ClientTxns = 60
+			cfg.MeasureFrom = 10
+			cfg.ClientTxnLength = 3
+			cfg.Audit = true
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.CommittedReadSets) != cfg.ClientTxns {
+				t.Fatalf("audited %d read-sets, want %d", len(r.CommittedReadSets), cfg.ClientTxns)
+			}
+			h := bctest.InducedHistory(r.AuditLog, r.CommittedReadSets)
+			if alg == protocol.Datacycle {
+				if v := core.Serializable(h); !v.OK {
+					t.Fatalf("Datacycle simulation produced non-serializable history: %s", v.Reason)
+				}
+			}
+			if v := core.Approx(h); !v.OK {
+				t.Fatalf("%v simulation violates APPROX: %s", alg, v.Reason)
+			}
+		})
+	}
+}
+
+// Cached runs must also be consistent: out-of-order (cached) reads go
+// through the bidirectional snapshot validator.
+func TestCachedSimulatedRunsAreConsistent(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Objects = 10
+	cfg.ClientTxns = 80
+	cfg.MeasureFrom = 10
+	cfg.ClientTxnLength = 3
+	cfg.CacheCurrency = 6
+	cfg.Audit = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHits == 0 {
+		t.Fatal("expected cache hits")
+	}
+	h := bctest.InducedHistory(r.AuditLog, r.CommittedReadSets)
+	if v := core.Approx(h); !v.OK {
+		t.Fatalf("cached simulation violates APPROX: %s", v.Reason)
+	}
+}
+
+func TestAuditDisabledByDefault(t *testing.T) {
+	r, err := Run(smallConfig(protocol.FMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AuditLog != nil || r.CommittedReadSets != nil {
+		t.Error("audit fields should be empty without Config.Audit")
+	}
+}
+
+// A hot disk spinning faster must cut response times for a hot-skewed
+// client (the multi-speed extension the paper leaves out of scope).
+func TestMultiDiskHelpsHotSkew(t *testing.T) {
+	base := smallConfig(protocol.RMatrix)
+	base.Objects = 40
+	base.HotSetSize = 8
+	base.HotAccessProb = 0.9
+	flat, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.HotDiskSpeed = 4 // cold set 32 divisible by 4
+	fast, err := Run(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.ResponseTime.Mean() < flat.ResponseTime.Mean()) {
+		t.Errorf("hot disk should cut response time: %.0f vs flat %.0f",
+			fast.ResponseTime.Mean(), flat.ResponseTime.Mean())
+	}
+}
+
+func TestMultiDiskValidation(t *testing.T) {
+	cfg := smallConfig(protocol.RMatrix)
+	cfg.HotDiskSpeed = 3
+	cfg.HotSetSize = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("hot disk without hot set should fail")
+	}
+	cfg.HotSetSize = 7 // cold = 33, divisible by 3: fine
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("divisible cold set rejected: %v", err)
+	}
+	cfg.HotDiskSpeed = 4 // cold = 33, not divisible by 4
+	if err := cfg.Validate(); err == nil {
+		t.Error("indivisible cold set should fail")
+	}
+	cfg = smallConfig(protocol.RMatrix)
+	cfg.HotAccessProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad HotAccessProb should fail")
+	}
+	cfg = smallConfig(protocol.RMatrix)
+	cfg.HotAccessProb = 1
+	cfg.HotSetSize = cfg.ClientTxnLength - 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("hot set smaller than txn length with p=1 should fail")
+	}
+}
+
+// Client update transactions: commits and rejects both happen, the
+// update metrics populate, and the audited history — which now contains
+// client-originated update transactions — still satisfies APPROX with a
+// serializable update sub-history.
+func TestClientUpdateTransactions(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Objects = 12
+	cfg.ClientTxnLength = 3
+	cfg.ClientTxns = 150
+	cfg.MeasureFrom = 20
+	cfg.ClientUpdateProb = 0.4
+	cfg.ClientTxnWrites = 1
+	cfg.UplinkLatency = 2048
+	cfg.Audit = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClientCommits == 0 {
+		t.Fatal("no client update commits")
+	}
+	if r.UpdateResponseTime.N() == 0 {
+		t.Fatal("update response times not measured")
+	}
+	if r.ResponseTime.N()+r.UpdateResponseTime.N() != cfg.ClientTxns-cfg.MeasureFrom {
+		t.Errorf("measured %d+%d txns, want %d", r.ResponseTime.N(), r.UpdateResponseTime.N(), cfg.ClientTxns-cfg.MeasureFrom)
+	}
+	h := bctest.InducedHistory(r.AuditLog, r.CommittedReadSets)
+	if v := core.Approx(h); !v.OK {
+		t.Fatalf("client-update run violates APPROX: %s", v.Reason)
+	}
+	if v := core.ConflictSerializable(h.UpdateSubhistory()); !v.OK {
+		t.Fatalf("update sub-history with client updates not serializable: %s", v.Reason)
+	}
+}
+
+// Under contention the uplink must reject some updates, and rejected
+// transactions eventually commit through restarts.
+func TestClientUpdateRejections(t *testing.T) {
+	cfg := smallConfig(protocol.Datacycle)
+	cfg.Objects = 10
+	cfg.ClientTxnLength = 4
+	cfg.ClientTxns = 200
+	cfg.MeasureFrom = 20
+	cfg.ClientUpdateProb = 0.5
+	cfg.ServerTxnInterval = 15000 // hot server: frequent invalidations
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UplinkRejects == 0 {
+		t.Error("expected uplink rejections under contention")
+	}
+	if r.ClientCommits == 0 {
+		t.Error("rejected transactions should still commit eventually")
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	want := Config{
+		Algorithm:         protocol.FMatrix,
+		ClientTxnLength:   4,
+		ServerTxnLength:   8,
+		ServerTxnInterval: 250000,
+		Objects:           300,
+		ObjectBits:        8192,
+		ServerReadProb:    0.5,
+		MeanInterOpDelay:  65536,
+		MeanInterTxnDelay: 131072,
+		TimestampBits:     8,
+		ClientTxns:        1000,
+		MeasureFrom:       500,
+		Seed:              1,
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("DefaultConfig = %+v, want Table 1 values %+v", cfg, want)
+	}
+}

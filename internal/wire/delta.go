@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+)
+
+// Delta frames implement the incremental control-information
+// transmission the paper proposes as future work (Section 3.2.1):
+// instead of the full n² matrix, a cycle carries only the values and
+// matrix entries that changed since the previous cycle. A client must
+// hold the previous cycle's reconstruction to apply a delta; one that
+// tuned in late or missed a frame waits for the next full frame.
+//
+// Layout (big-endian, then bit-packed):
+//
+//	magic      4 bytes  "BCD1"
+//	cycle      8 bytes  this cycle's number
+//	base       8 bytes  number of the cycle this delta builds on
+//	objects    4 bytes  n
+//	objBytes   4 bytes  value slot width
+//	tsBits     1 byte
+//	nValues    4 bytes  changed-value count
+//	nEntries   4 bytes  changed-matrix-entry count
+//	per changed value: obj 4 bytes + slot bytes
+//	then bit-packed: per entry, i and j at ceil(log2 n) bits and the
+//	wrapped timestamp at tsBits
+//
+// Only the full-matrix (F-Matrix) layout supports deltas: the vector
+// layouts are already tiny.
+
+// DeltaMagic identifies a delta frame.
+var DeltaMagic = [4]byte{'B', 'C', 'D', '1'}
+
+const deltaHeaderBytes = 4 + 8 + 8 + 4 + 4 + 1 + 4 + 4
+
+// indexBits reports the bit width used for object indices.
+func indexBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// EncodeCycleDelta encodes cur as a delta over prev. Both must use the
+// matrix layout with identical dimensions, and prev.Number must precede
+// cur.Number.
+func EncodeCycleDelta(prev, cur *bcast.CycleBroadcast) ([]byte, error) {
+	l := cur.Layout
+	if l.Control != bcast.ControlMatrix {
+		return nil, fmt.Errorf("wire: delta frames require the matrix layout, got %v", l.Control)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if prev.Layout != l {
+		return nil, fmt.Errorf("wire: delta across differing layouts")
+	}
+	if prev.Number >= cur.Number {
+		return nil, fmt.Errorf("wire: delta base cycle %d not before %d", prev.Number, cur.Number)
+	}
+	if prev.Matrix == nil || cur.Matrix == nil {
+		return nil, fmt.Errorf("wire: delta needs both matrices")
+	}
+	objBytes := int((l.ObjectBits + 7) / 8)
+
+	var changedVals []int
+	for j := 0; j < l.Objects; j++ {
+		a, b := prev.Values[j], cur.Values[j]
+		if !slotEqual(a, b, objBytes) {
+			changedVals = append(changedVals, j)
+		}
+	}
+	entries, err := cmatrix.Diff(prev.Matrix, cur.Matrix)
+	if err != nil {
+		return nil, err
+	}
+
+	w := NewBitWriter()
+	var hdr [deltaHeaderBytes]byte
+	copy(hdr[0:4], DeltaMagic[:])
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(cur.Number))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(prev.Number))
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(l.Objects))
+	binary.BigEndian.PutUint32(hdr[24:28], uint32(objBytes))
+	hdr[28] = byte(l.TimestampBits)
+	binary.BigEndian.PutUint32(hdr[29:33], uint32(len(changedVals)))
+	binary.BigEndian.PutUint32(hdr[33:37], uint32(len(entries)))
+	w.WriteBytes(hdr[:])
+	for _, j := range changedVals {
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(j))
+		w.WriteBytes(idx[:])
+		slot := make([]byte, objBytes)
+		copy(slot, cur.Values[j])
+		w.WriteBytes(slot)
+	}
+	ib := indexBits(l.Objects)
+	codec := cmatrix.Codec{Bits: l.TimestampBits}
+	for _, e := range entries {
+		w.WriteBits(uint64(e.I), ib)
+		w.WriteBits(uint64(e.J), ib)
+		w.WriteBits(uint64(codec.Encode(e.Value)), l.TimestampBits)
+	}
+	return w.Bytes(), nil
+}
+
+func slotEqual(a, b []byte, slot int) bool {
+	get := func(v []byte, i int) byte {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	for i := 0; i < slot; i++ {
+		if get(a, i) != get(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDeltaFrame reports whether data starts with the delta magic.
+func IsDeltaFrame(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[0:4]) == DeltaMagic
+}
+
+// DecodeCycleDelta reconstructs the current cycle from a delta frame
+// and the previous reconstruction. prev is not modified.
+func DecodeCycleDelta(data []byte, prev *bcast.CycleBroadcast) (*bcast.CycleBroadcast, error) {
+	if len(data) < deltaHeaderBytes {
+		return nil, ErrShortBuffer
+	}
+	if !IsDeltaFrame(data) {
+		return nil, fmt.Errorf("wire: bad delta magic %q", data[0:4])
+	}
+	number := cmatrix.Cycle(binary.BigEndian.Uint64(data[4:12]))
+	base := cmatrix.Cycle(binary.BigEndian.Uint64(data[12:20]))
+	objects := int(binary.BigEndian.Uint32(data[20:24]))
+	objBytes := int(binary.BigEndian.Uint32(data[24:28]))
+	tsBits := int(data[28])
+	nValues := int(binary.BigEndian.Uint32(data[29:33]))
+	nEntries := int(binary.BigEndian.Uint32(data[33:37]))
+
+	if prev == nil || prev.Matrix == nil {
+		return nil, fmt.Errorf("wire: delta frame without a previous reconstruction")
+	}
+	if prev.Number != base {
+		return nil, fmt.Errorf("wire: delta builds on cycle %d but previous reconstruction is cycle %d", base, prev.Number)
+	}
+	if prev.Layout.Objects != objects || int((prev.Layout.ObjectBits+7)/8) != objBytes || prev.Layout.TimestampBits != tsBits {
+		return nil, fmt.Errorf("wire: delta layout mismatch")
+	}
+	if nValues > objects || nEntries > objects*objects {
+		return nil, fmt.Errorf("wire: implausible delta counts %d/%d", nValues, nEntries)
+	}
+
+	cb := &bcast.CycleBroadcast{
+		Number: number,
+		Layout: prev.Layout,
+		Values: make([][]byte, objects),
+		Matrix: prev.Matrix.Clone(),
+	}
+	for j, v := range prev.Values {
+		slot := make([]byte, objBytes)
+		copy(slot, v)
+		cb.Values[j] = slot
+	}
+
+	r := NewBitReader(data[deltaHeaderBytes:])
+	for k := 0; k < nValues; k++ {
+		idx, err := r.ReadBytes(4)
+		if err != nil {
+			return nil, err
+		}
+		j := int(binary.BigEndian.Uint32(idx))
+		if j < 0 || j >= objects {
+			return nil, fmt.Errorf("wire: delta value index %d out of range", j)
+		}
+		slot, err := r.ReadBytes(objBytes)
+		if err != nil {
+			return nil, err
+		}
+		cb.Values[j] = slot
+	}
+	ib := indexBits(objects)
+	codec := cmatrix.Codec{Bits: tsBits}
+	ref := number - 1
+	entries := make([]cmatrix.DeltaEntry, 0, nEntries)
+	for k := 0; k < nEntries; k++ {
+		i, err := r.ReadBits(ib)
+		if err != nil {
+			return nil, err
+		}
+		j, err := r.ReadBits(ib)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.ReadBits(tsBits)
+		if err != nil {
+			return nil, err
+		}
+		ts := codec.Decode(uint32(raw), ref)
+		if ts < 0 {
+			return nil, fmt.Errorf("wire: delta timestamp %d decodes before cycle 0 (corrupt frame)", raw)
+		}
+		entries = append(entries, cmatrix.DeltaEntry{I: int(i), J: int(j), Value: ts})
+	}
+	if err := cb.Matrix.ApplyDelta(entries); err != nil {
+		return nil, err
+	}
+	return cb, nil
+}
+
+// DeltaBits reports the exact size in bits of the delta payload for the
+// given change counts — used by the bandwidth analysis (bcbench -figure
+// delta).
+func DeltaBits(layout bcast.Layout, changedValues, changedEntries int) int64 {
+	objBytes := int64((layout.ObjectBits + 7) / 8)
+	return int64(deltaHeaderBytes)*8 +
+		int64(changedValues)*(32+objBytes*8) +
+		int64(changedEntries)*int64(2*indexBits(layout.Objects)+layout.TimestampBits)
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"testing"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+// FuzzDecodeCycle checks that arbitrary bytes never panic the cycle
+// decoder, and that valid frames survive a decode/encode/decode loop.
+func FuzzDecodeCycle(f *testing.F) {
+	layout := bcast.LayoutFor(protocol.FMatrix, 3, 16, 8, 0)
+	cb := &bcast.CycleBroadcast{
+		Number: 7, Layout: layout,
+		Values: [][]byte{{1, 2}, {3}, nil},
+		Matrix: cmatrix.NewMatrix(3),
+	}
+	good, err := EncodeCycle(cb)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("BCC1 garbage"))
+	vec := &bcast.CycleBroadcast{
+		Number: 2,
+		Layout: bcast.LayoutFor(protocol.RMatrix, 2, 8, 8, 0),
+		Values: [][]byte{{9}, {8}},
+		Vector: cmatrix.NewVector(2),
+	}
+	goodVec, _ := EncodeCycle(vec)
+	f.Add(goodVec)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeCycle(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeCycle(decoded)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		again, err := DecodeCycle(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if again.Number != decoded.Number || len(again.Values) != len(decoded.Values) {
+			t.Fatal("decode/encode/decode unstable")
+		}
+	})
+}
+
+// FuzzDecodeUpdateRequest checks the uplink request decoder against
+// arbitrary input.
+func FuzzDecodeUpdateRequest(f *testing.F) {
+	good := EncodeUpdateRequest(protocol.UpdateRequest{
+		Reads:  []protocol.ReadAt{{Obj: 1, Cycle: 3}},
+		Writes: []protocol.ObjectWrite{{Obj: 0, Value: []byte("v")}},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("BCU1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeUpdateRequest(data)
+		if err != nil {
+			return
+		}
+		round, err := DecodeUpdateRequest(EncodeUpdateRequest(req))
+		if err != nil {
+			t.Fatalf("accepted request failed round trip: %v", err)
+		}
+		if len(round.Reads) != len(req.Reads) || len(round.Writes) != len(req.Writes) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzDecodeUpdateReply checks the reply decoder.
+func FuzzDecodeUpdateReply(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add(EncodeUpdateReply(nil))
+	f.Add([]byte{1, 0, 2, 'n', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeUpdateReply(data) // must not panic
+	})
+}

@@ -1,0 +1,29 @@
+# Build/verify entry points. `make verify` is the tier-1 gate plus the
+# race pass; CI and the pre-commit flow should run it.
+
+GO ?= go
+
+.PHONY: build test race verify bench bench-figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker-pool sweep harness and the copy-on-write column sharing in
+# cmatrix are concurrency/aliasing surface: run those packages (plus the
+# TCP broadcast runtime) under the race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/...
+
+verify: build test race
+
+# Micro-benchmarks only (matrix apply/snapshot, wire codec, validator).
+bench:
+	$(GO) test -run '^$$' -bench 'Matrix|Snapshot|Validator|Wire' -benchtime 100x
+
+# One pass over every figure sweep at reduced scale.
+bench-figures:
+	$(GO) test -run '^$$' -bench 'Figure|Sweep' -benchtime 1x

@@ -9,8 +9,10 @@ package broadcastcc
 // contended point as response-bit-units/op alongside wall-clock time.
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"broadcastcc/internal/bcast"
@@ -21,9 +23,14 @@ import (
 	"broadcastcc/internal/wire"
 )
 
+// sweepParallel bounds the figure sweeps' worker pool (0 = GOMAXPROCS,
+// 1 = sequential). Results are identical either way; pass it after
+// -args, e.g. `go test -bench Figure2a -args -sweep-parallel=1`.
+var sweepParallel = flag.Int("sweep-parallel", 0, "sweep worker pool size for figure benchmarks (0 = GOMAXPROCS)")
+
 // benchOptions keeps figure sweeps affordable per benchmark iteration.
 func benchOptions(seed int64) experiments.Options {
-	return experiments.Options{Txns: 120, MeasureFrom: 20, Seed: seed, MaxTime: 1e12}
+	return experiments.Options{Txns: 120, MeasureFrom: 20, Seed: seed, MaxTime: 1e12, Parallelism: *sweepParallel}
 }
 
 func benchFigure(b *testing.B, id string) {
@@ -116,6 +123,7 @@ func BenchmarkMatrixApply(b *testing.B) {
 			m := cmatrix.NewMatrix(n)
 			rs := []int{1, 3, 5, 7}
 			ws := []int{2, 4, 6, 8}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Apply(rs, ws, cmatrix.Cycle(i+1))
@@ -124,15 +132,84 @@ func BenchmarkMatrixApply(b *testing.B) {
 	}
 }
 
-// BenchmarkMatrixClone measures the per-cycle snapshot cost the server
-// pays under F-Matrix.
+// BenchmarkMatrixClone measures the deep-copy snapshot cost the server
+// used to pay per cycle under F-Matrix (kept as the baseline for
+// BenchmarkSnapshot).
 func BenchmarkMatrixClone(b *testing.B) {
 	for _, n := range []int{100, 300, 1000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			m := cmatrix.NewMatrix(n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = m.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures one full broadcast cycle of control-state
+// maintenance — take the per-cycle snapshot, then fold in the Table 1
+// commit volume (~13 commits/cycle at the default rate, server txn
+// length 8 with half writes) — comparing the old deep Clone against the
+// copy-on-write Snapshot. allocs/op and B/op are the headline: COW pays
+// only for the write-set's columns instead of all n².
+func BenchmarkSnapshot(b *testing.B) {
+	const commitsPerCycle = 13
+	commitStream := func(n int) func() ([]int, []int) {
+		rng := rand.New(rand.NewSource(99))
+		return func() ([]int, []int) {
+			var rs, ws []int
+			for op := 0; op < 8; op++ {
+				obj := rng.Intn(n)
+				if rng.Float64() < 0.5 {
+					rs = append(rs, obj)
+				} else {
+					ws = append(ws, obj)
+				}
+			}
+			return rs, ws
+		}
+	}
+	for _, n := range []int{100, 300, 1000} {
+		for _, mode := range []string{"clone", "cow"} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				m := cmatrix.NewMatrix(n)
+				next := commitStream(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var snap *cmatrix.Matrix
+				for i := 0; i < b.N; i++ {
+					if mode == "clone" {
+						snap = m.Clone()
+					} else {
+						snap = m.Snapshot()
+					}
+					for c := 0; c < commitsPerCycle; c++ {
+						rs, ws := next()
+						m.Apply(rs, ws, cmatrix.Cycle(i+1))
+					}
+				}
+				_ = snap
+			})
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the Figure 2(a) sweep sequentially and
+// with a GOMAXPROCS worker pool; the tables are byte-identical, so the
+// ratio of the two wall-clock times is the parallel harness's speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := benchOptions(int64(i + 1))
+				opt.Txns = 60
+				opt.MeasureFrom = 10
+				opt.Parallelism = par
+				if _, err := experiments.Figure2a(opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -7,6 +7,12 @@
 //	bcbench -figure 2a              # one figure at paper scale (1000 txns)
 //	bcbench -figure all -txns 200   # everything, quicker
 //	bcbench -figure 4b -csv out.csv # machine-readable series
+//	bcbench -figure all -parallel 8 # bound the sweep worker pool
+//
+// Each sweep fans its independent simulation runs across a worker pool
+// (GOMAXPROCS workers by default; -parallel overrides). Tables are
+// byte-identical at any parallelism — every run is seeded purely by its
+// configuration — so -parallel only changes wall-clock time.
 //
 // Numbers are in bit-units; shapes — who wins, by what factor, where
 // curves diverge — are what reproduce (the substrate is a simulator,
@@ -30,12 +36,14 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-run progress")
 	maxTime := flag.Float64("max-time", 1e13, "per-run simulated-time guard in bit-units (0 = none)")
 	shapeSlack := flag.Float64("shape-slack", 0.35, "tolerance for the qualitative shape check")
+	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	opt := broadcastcc.ExperimentOptions{
-		Txns:    *txns,
-		Seed:    *seed,
-		MaxTime: *maxTime,
+		Txns:        *txns,
+		Seed:        *seed,
+		MaxTime:     *maxTime,
+		Parallelism: *parallel,
 	}
 	if !*quiet {
 		opt.Progress = func(format string, args ...any) {

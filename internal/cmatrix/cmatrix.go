@@ -6,7 +6,10 @@
 // timestamp encoding that bounds each entry to a fixed number of bits.
 package cmatrix
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Cycle is a broadcast cycle number. Cycle 0 is the paper's virtual
 // cycle in which the initial transaction t0 wrote every object; real
@@ -17,9 +20,23 @@ type Cycle int64
 // entry (i, j) is the latest commit cycle of any transaction that
 // affects the latest committed value of object j and also wrote
 // object i — 0 when only t0 did.
+//
+// Storage is column-major (one slice per column) because Theorem 2's
+// incremental rule only ever rewrites whole columns — the columns of
+// the transaction's write set — which makes both Apply and the
+// copy-on-write Snapshot column-granular: a snapshot shares every
+// column with the live matrix, and the live matrix replaces a shared
+// column before its next write instead of deep-copying all n².
 type Matrix struct {
-	n int
-	c []Cycle // row-major: c[i*n+j]
+	n    int
+	cols [][]Cycle // column-major: cols[j][i] = C(i, j)
+	// shared[j] marks cols[j] as aliased by a Snapshot (or, within a
+	// snapshot, by the live matrix): it must be replaced, never written.
+	shared []bool
+	// Scratch buffers reused across Apply calls; owned exclusively by
+	// this matrix (Clone and Snapshot never carry them over).
+	dep  []Cycle
+	inWS []bool
 }
 
 // NewMatrix returns the cycle-0 matrix over n objects (all entries 0).
@@ -27,7 +44,12 @@ func NewMatrix(n int) *Matrix {
 	if n <= 0 {
 		panic(fmt.Sprintf("cmatrix: matrix needs n > 0, got %d", n))
 	}
-	return &Matrix{n: n, c: make([]Cycle, n*n)}
+	backing := make([]Cycle, n*n)
+	cols := make([][]Cycle, n)
+	for j := range cols {
+		cols[j] = backing[j*n : (j+1)*n : (j+1)*n]
+	}
+	return &Matrix{n: n, cols: cols, shared: make([]bool, n)}
 }
 
 // N reports the number of objects.
@@ -37,7 +59,7 @@ func (m *Matrix) N() int { return m.n }
 func (m *Matrix) At(i, j int) Cycle {
 	m.check(i)
 	m.check(j)
-	return m.c[i*m.n+j]
+	return m.cols[j][i]
 }
 
 // Column returns a copy of column j — the control information broadcast
@@ -45,24 +67,56 @@ func (m *Matrix) At(i, j int) Cycle {
 func (m *Matrix) Column(j int) []Cycle {
 	m.check(j)
 	out := make([]Cycle, m.n)
-	for i := 0; i < m.n; i++ {
-		out[i] = m.c[i*m.n+j]
-	}
+	copy(out, m.cols[j])
 	return out
 }
 
-// Clone returns a deep copy — the per-cycle snapshot taken at the
-// beginning of each broadcast cycle.
+// Clone returns a deep copy sharing no storage with the receiver.
 func (m *Matrix) Clone() *Matrix {
-	c := make([]Cycle, len(m.c))
-	copy(c, m.c)
-	return &Matrix{n: m.n, c: c}
+	c := NewMatrix(m.n)
+	for j, col := range m.cols {
+		copy(c.cols[j], col)
+	}
+	return c
+}
+
+// Snapshot returns a copy-on-write snapshot: an immutable view of the
+// matrix at this instant that shares every column with the live matrix.
+// Taking it costs O(n) (column headers + shared marks) instead of
+// Clone's O(n²); a later Apply on the live matrix replaces the columns
+// it writes (O(changed-columns × n)) so the snapshot never changes.
+func (m *Matrix) Snapshot() *Matrix {
+	cols := make([][]Cycle, m.n)
+	copy(cols, m.cols)
+	shared := make([]bool, m.n)
+	for j := range shared {
+		m.shared[j] = true
+		shared[j] = true
+	}
+	return &Matrix{n: m.n, cols: cols, shared: shared}
 }
 
 func (m *Matrix) check(i int) {
 	if i < 0 || i >= m.n {
 		panic(fmt.Sprintf("cmatrix: object %d out of range [0,%d)", i, m.n))
 	}
+}
+
+// mutableColumn returns column j ready for in-place writes, replacing
+// it first if a snapshot aliases it. When willOverwrite is true the
+// caller rewrites every entry, so a replacement column starts blank.
+func (m *Matrix) mutableColumn(j int, willOverwrite bool) []Cycle {
+	col := m.cols[j]
+	if m.shared[j] {
+		fresh := make([]Cycle, m.n)
+		if !willOverwrite {
+			copy(fresh, col)
+		}
+		m.cols[j] = fresh
+		m.shared[j] = false
+		col = fresh
+	}
+	return col
 }
 
 // Apply folds one committed transaction into the matrix per the
@@ -77,30 +131,38 @@ func (m *Matrix) Apply(readSet, writeSet []int, commitCycle Cycle) {
 	if len(writeSet) == 0 {
 		return // read-only transactions never touch the matrix
 	}
-	inWS := make(map[int]bool, len(writeSet))
+	if m.dep == nil {
+		m.dep = make([]Cycle, m.n)
+		m.inWS = make([]bool, m.n)
+	}
 	for _, j := range writeSet {
 		m.check(j)
-		inWS[j] = true
+		m.inWS[j] = true
 	}
 	// dep[i] = max_{k∈RS} Cold(i,k), computed against the old matrix
 	// before any column is overwritten.
-	dep := make([]Cycle, m.n)
+	dep := m.dep
+	clear(dep)
 	for _, k := range readSet {
 		m.check(k)
-		for i := 0; i < m.n; i++ {
-			if v := m.c[i*m.n+k]; v > dep[i] {
+		for i, v := range m.cols[k] {
+			if v > dep[i] {
 				dep[i] = v
 			}
 		}
 	}
 	for _, j := range writeSet {
-		for i := 0; i < m.n; i++ {
-			if inWS[i] {
-				m.c[i*m.n+j] = commitCycle
+		col := m.mutableColumn(j, true)
+		for i := range col {
+			if m.inWS[i] {
+				col[i] = commitCycle
 			} else {
-				m.c[i*m.n+j] = dep[i]
+				col[i] = dep[i]
 			}
 		}
+	}
+	for _, j := range writeSet {
+		m.inWS[j] = false
 	}
 }
 
@@ -110,9 +172,12 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	if m.n != o.n {
 		return false
 	}
-	for i := range m.c {
-		if m.c[i] != o.c[i] {
-			return false
+	for j, col := range m.cols {
+		ocol := o.cols[j]
+		for i, v := range col {
+			if v != ocol[i] {
+				return false
+			}
 		}
 	}
 	return true
@@ -120,14 +185,15 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
-	s := ""
+	var b strings.Builder
+	b.Grow(m.n * (m.n*4 + 1))
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
-			s += fmt.Sprintf("%4d", m.c[i*m.n+j])
+			fmt.Fprintf(&b, "%4d", m.cols[j][i])
 		}
-		s += "\n"
+		b.WriteByte('\n')
 	}
-	return s
+	return b.String()
 }
 
 // MatrixFromColumns reconstructs a matrix from per-column entries,
@@ -142,9 +208,7 @@ func MatrixFromColumns(cols [][]Cycle) (*Matrix, error) {
 		if len(col) != n {
 			return nil, fmt.Errorf("cmatrix: column %d has %d entries, want %d", j, len(col), n)
 		}
-		for i, v := range col {
-			m.c[i*n+j] = v
-		}
+		copy(m.cols[j], col)
 	}
 	return m, nil
 }
@@ -205,10 +269,11 @@ func FromLog(n int, log []Commit) *Matrix {
 		if tj < 0 {
 			continue // column stays 0: only t0 affects object j
 		}
+		col := m.cols[j]
 		for t := range live(tj) {
 			for i := range writerAt[t] {
-				if log[t].Cycle > m.c[i*n+j] {
-					m.c[i*n+j] = log[t].Cycle
+				if log[t].Cycle > col[i] {
+					col[i] = log[t].Cycle
 				}
 			}
 		}

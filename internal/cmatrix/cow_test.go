@@ -1,0 +1,107 @@
+package cmatrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randObjSet draws a non-empty set of distinct objects in [0, n).
+func randObjSet(rng *rand.Rand, n int) []int {
+	k := 1 + rng.Intn(min(n, 6))
+	return rng.Perm(n)[:k]
+}
+
+// TestSnapshotEqualsCloneUnderRandomCommits is the copy-on-write
+// aliasing guard: for random commit streams, a Snapshot taken at every
+// cycle boundary is Equal to a deep Clone taken at the same instant,
+// and — checked again after the whole stream has been applied — later
+// Apply calls never mutate an already-taken snapshot.
+func TestSnapshotEqualsCloneUnderRandomCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		live := NewMatrix(n)
+		ref := NewMatrix(n) // control copy fed the identical stream
+		type pair struct {
+			cow, deep *Matrix
+			cycle     Cycle
+		}
+		var snaps []pair
+		cycle := Cycle(1)
+		for step := 0; step < 150; step++ {
+			if rng.Intn(4) == 0 { // cycle boundary
+				cycle++
+				snaps = append(snaps, pair{cow: live.Snapshot(), deep: live.Clone(), cycle: cycle})
+			}
+			rs := randObjSet(rng, n)
+			var ws []int
+			if rng.Intn(8) != 0 { // occasional read-only transaction
+				ws = randObjSet(rng, n)
+			}
+			live.Apply(rs, ws, cycle)
+			ref.Apply(rs, ws, cycle)
+
+			// Fresh snapshots must match a deep clone immediately.
+			if rng.Intn(10) == 0 {
+				if s := live.Snapshot(); !s.Equal(live) || !s.Equal(live.Clone()) {
+					t.Fatalf("trial %d step %d: fresh snapshot diverges from live matrix", trial, step)
+				}
+			}
+		}
+		// After the full stream: no snapshot may have been mutated by the
+		// Apply calls that followed it.
+		for i, p := range snaps {
+			if !p.cow.Equal(p.deep) {
+				t.Fatalf("trial %d: COW snapshot %d (cycle %d) was mutated by a later Apply:\ncow:\n%sdeep:\n%s",
+					trial, i, p.cycle, p.cow, p.deep)
+			}
+		}
+		// And the live matrix must have evolved exactly as an unshared one.
+		if !live.Equal(ref) {
+			t.Fatalf("trial %d: COW live matrix diverged from unshared control", trial)
+		}
+	}
+}
+
+// TestApplyDeltaCopiesSharedColumns guards the partial-write path:
+// ApplyDelta on a matrix whose columns are shared with a snapshot must
+// copy the touched column, preserving both the snapshot and the
+// untouched entries of the column.
+func TestApplyDeltaCopiesSharedColumns(t *testing.T) {
+	m := NewMatrix(4)
+	m.Apply([]int{0}, []int{1, 2}, 5)
+	snap := m.Snapshot()
+	before := snap.Clone()
+
+	if err := m.ApplyDelta([]DeltaEntry{{I: 3, J: 1, Value: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(before) {
+		t.Fatalf("ApplyDelta mutated a shared snapshot:\n%s", snap)
+	}
+	if got := m.At(3, 1); got != 9 {
+		t.Fatalf("delta entry not applied: C(3,1) = %d, want 9", got)
+	}
+	// The rest of the copied column must be intact.
+	for i := 0; i < 3; i++ {
+		if m.At(i, 1) != before.At(i, 1) {
+			t.Fatalf("ApplyDelta corrupted untouched entry C(%d,1): %d != %d", i, m.At(i, 1), before.At(i, 1))
+		}
+	}
+}
+
+// TestSnapshotOfSnapshot makes sure snapshot chains stay consistent:
+// snapshotting a snapshot is legal and equal to its source.
+func TestSnapshotOfSnapshot(t *testing.T) {
+	m := NewMatrix(5)
+	m.Apply([]int{0, 1}, []int{2, 3}, 3)
+	s1 := m.Snapshot()
+	s2 := s1.Snapshot()
+	m.Apply([]int{2}, []int{0}, 4)
+	if !s1.Equal(s2) {
+		t.Fatal("snapshot-of-snapshot diverged from its source")
+	}
+	if s1.Equal(m) {
+		t.Fatal("live matrix should have moved past the snapshots")
+	}
+}

@@ -18,7 +18,7 @@ func Diff(old, new *Matrix) ([]DeltaEntry, error) {
 	var out []DeltaEntry
 	for i := 0; i < old.n; i++ {
 		for j := 0; j < old.n; j++ {
-			if v := new.c[i*old.n+j]; v != old.c[i*old.n+j] {
+			if v := new.cols[j][i]; v != old.cols[j][i] {
 				out = append(out, DeltaEntry{I: i, J: j, Value: v})
 			}
 		}
@@ -26,14 +26,15 @@ func Diff(old, new *Matrix) ([]DeltaEntry, error) {
 	return out, nil
 }
 
-// ApplyDelta overwrites the listed entries in place, turning the
-// previous cycle's matrix into the current one.
+// ApplyDelta overwrites the listed entries, turning the previous
+// cycle's matrix into the current one. Columns shared with a snapshot
+// are copied before being written.
 func (m *Matrix) ApplyDelta(entries []DeltaEntry) error {
 	for _, e := range entries {
 		if e.I < 0 || e.I >= m.n || e.J < 0 || e.J >= m.n {
 			return fmt.Errorf("cmatrix: delta entry (%d,%d) out of range for n=%d", e.I, e.J, m.n)
 		}
-		m.c[e.I*m.n+e.J] = e.Value
+		m.mutableColumn(e.J, false)[e.I] = e.Value
 	}
 	return nil
 }

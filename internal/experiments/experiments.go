@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/sim"
@@ -65,7 +68,16 @@ type Options struct {
 	// MaxTime guards each run against pathological blowup, in bit-units
 	// (0 = none).
 	MaxTime float64
-	// Progress, when set, receives one line per completed run.
+	// Parallelism bounds how many simulations a sweep runs concurrently
+	// (each (x, algorithm) run is independent). 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 forces sequential execution. Results are
+	// bit-identical at any parallelism: every run draws from its own
+	// RNG seeded purely by its configuration, and points are assembled
+	// in sweep order.
+	Parallelism int
+	// Progress, when set, receives one line per completed run. The
+	// harness serializes calls, but in parallel mode lines arrive in
+	// completion order rather than sweep order.
 	Progress func(format string, args ...any)
 }
 
@@ -83,6 +95,9 @@ func (o Options) normalized() Options {
 		o.Algorithms = []protocol.Algorithm{
 			protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo,
 		}
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
@@ -111,33 +126,107 @@ func metricsOf(r *sim.Result) Metrics {
 	}
 }
 
+// sweepRun is one independent (x, algorithm) simulation of a sweep.
+type sweepRun struct {
+	alg protocol.Algorithm
+	x   float64
+}
+
+// runOne executes one sweep run to a Metrics value. Every run owns an
+// RNG derived purely from its configuration seed, so the result is a
+// deterministic function of (Options, id, run) regardless of which
+// worker executes it or in what order.
+func runOne(opt Options, id string, rn sweepRun, apply func(*sim.Config, float64), progress func(format string, args ...any)) (Metrics, error) {
+	cfg := opt.baseConfig(rn.alg)
+	apply(&cfg, rn.x)
+	r, err := sim.Run(cfg)
+	switch {
+	case errors.Is(err, sim.ErrMaxTime):
+		progress("figure %s: %s x=%g off-scale (%v)", id, rn.alg, rn.x, err)
+		return Metrics{ResponseMean: math.Inf(1), RestartRatio: math.Inf(1), OffScale: true}, nil
+	case err != nil:
+		return Metrics{}, fmt.Errorf("experiment %s, %v at x=%v: %w", id, rn.alg, rn.x, err)
+	}
+	progress("figure %s: %s x=%g response=%.3g restarts=%.3g",
+		id, rn.alg, rn.x, r.ResponseTime.Mean(), r.RestartRatio)
+	return metricsOf(r), nil
+}
+
 // sweep runs one experiment: for each x, mutate the base config and run
-// every algorithm.
+// every algorithm. Runs fan out across a worker pool bounded by
+// Options.Parallelism; results are assembled in sweep order, so the
+// experiment table is byte-identical to a sequential sweep. On error
+// the pool stops dispatching and the earliest run's error (in sweep
+// order) is returned — the same one a sequential sweep would hit.
 func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.Config, float64)) (*Experiment, error) {
 	opt = opt.normalized()
 	exp := &Experiment{ID: id, Title: title, XLabel: xlabel}
 	for _, alg := range opt.Algorithms {
 		exp.Labels = append(exp.Labels, alg.String())
 	}
+	runs := make([]sweepRun, 0, len(xs)*len(opt.Algorithms))
 	for _, x := range xs {
-		pt := Point{X: x, Runs: map[string]Metrics{}}
 		for _, alg := range opt.Algorithms {
-			cfg := opt.baseConfig(alg)
-			apply(&cfg, x)
-			r, err := sim.Run(cfg)
-			switch {
-			case errors.Is(err, sim.ErrMaxTime):
-				pt.Runs[alg.String()] = Metrics{
-					ResponseMean: math.Inf(1), RestartRatio: math.Inf(1), OffScale: true,
-				}
-				opt.Progress("figure %s: %s x=%g off-scale (%v)", id, alg, x, err)
-				continue
-			case err != nil:
-				return nil, fmt.Errorf("experiment %s, %v at x=%v: %w", id, alg, x, err)
+			runs = append(runs, sweepRun{alg: alg, x: x})
+		}
+	}
+	results := make([]Metrics, len(runs))
+	errs := make([]error, len(runs))
+
+	if workers := min(opt.Parallelism, len(runs)); workers <= 1 {
+		for i, rn := range runs {
+			m, err := runOne(opt, id, rn, apply, opt.Progress)
+			if err != nil {
+				return nil, err
 			}
-			pt.Runs[alg.String()] = metricsOf(r)
-			opt.Progress("figure %s: %s x=%g response=%.3g restarts=%.3g",
-				id, alg, x, r.ResponseTime.Mean(), r.RestartRatio)
+			results[i] = m
+		}
+	} else {
+		// Progress callbacks may not be goroutine-safe; serialize them.
+		var progressMu sync.Mutex
+		progress := func(format string, args ...any) {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			opt.Progress(format, args...)
+		}
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(runs) || failed.Load() {
+						return
+					}
+					m, err := runOne(opt, id, runs[i], apply, progress)
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+						return
+					}
+					results[i] = m
+				}
+			}()
+		}
+		wg.Wait()
+		// Workers claim indices in sweep order, so any run a sequential
+		// sweep would have reached before the first failure has either
+		// completed or recorded its own error; the earliest recorded
+		// error is the sequential one.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for pi, x := range xs {
+		pt := Point{X: x, Runs: map[string]Metrics{}}
+		for ai, alg := range opt.Algorithms {
+			pt.Runs[alg.String()] = results[pi*len(opt.Algorithms)+ai]
 		}
 		exp.Points = append(exp.Points, pt)
 	}
@@ -274,19 +363,16 @@ func ClientCountAblation(opt Options) (*Experiment, error) {
 		func(cfg *sim.Config, x float64) {
 			cfg.Clients = int(x)
 			// Keep total work comparable: measured txns per client shrink.
-			cfg.ClientTxns = maxInt(cfg.ClientTxns/int(x), 40)
+			cfg.ClientTxns = max(cfg.ClientTxns/int(x), 40)
 			cfg.MeasureFrom = cfg.ClientTxns / 4
 		})
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// All runs every figure of the paper plus the two ablations.
+// All runs every figure of the paper plus the two ablations. Figures
+// run in sequence, but each figure's sweep fans its independent
+// simulation runs out across the Options.Parallelism worker pool, so
+// All saturates the machine while producing tables byte-identical to a
+// fully sequential reproduction.
 func All(opt Options) ([]*Experiment, error) {
 	type gen struct {
 		name string

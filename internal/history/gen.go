@@ -148,17 +148,3 @@ func RandomHistory(rng *rand.Rand, cfg GenConfig) *History {
 	}
 	return h
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -176,7 +176,10 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 	}
 	switch s.layout.Control {
 	case bcast.ControlMatrix, bcast.ControlNone:
-		cb.Matrix = s.matrix.Clone()
+		// Copy-on-write: the published snapshot shares columns with the
+		// live matrix; commitLocked's Apply replaces (never mutates)
+		// shared columns, so subscribers read a stable cycle image.
+		cb.Matrix = s.matrix.Snapshot()
 	case bcast.ControlVector:
 		cb.Vector = s.vector.Clone()
 	case bcast.ControlGrouped:

@@ -292,12 +292,14 @@ func (e *engine) ensureSnapshot(c cmatrix.Cycle) {
 	}
 }
 
-// snapshot clones the current control state into the form the client
-// protocol consumes.
+// snapshot captures the current control state in the form the client
+// protocol consumes. The matrix snapshot is copy-on-write: it shares
+// unchanged columns with the live matrix (O(n) per cycle) and later
+// Apply calls replace the columns they write instead of mutating them.
 func (e *engine) snapshot() protocol.Snapshot {
 	switch e.cfg.Algorithm {
 	case protocol.FMatrix, protocol.FMatrixNo:
-		return protocol.MatrixSnapshot{C: e.matrix.Clone()}
+		return protocol.MatrixSnapshot{C: e.matrix.Snapshot()}
 	case protocol.Grouped:
 		return protocol.GroupedSnapshot{MC: cmatrix.GroupedOf(e.matrix, e.partition)}
 	default:

@@ -13,10 +13,11 @@ test:
 
 # The worker-pool sweep harness and the copy-on-write column sharing in
 # cmatrix are concurrency/aliasing surface: run those packages (plus the
-# TCP broadcast runtime) under the race detector.
+# TCP broadcast runtime, the fault layer's listener/proxy goroutines and
+# the client recovery path) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/...
 
 verify: build test race
 

@@ -52,6 +52,7 @@ import (
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/core"
 	"broadcastcc/internal/experiments"
+	"broadcastcc/internal/faultair"
 	"broadcastcc/internal/history"
 	"broadcastcc/internal/netcast"
 	"broadcastcc/internal/protocol"
@@ -208,6 +209,45 @@ type NetUplink = netcast.Uplink
 // DialUplink connects to a server's uplink port.
 func DialUplink(addr string) (*NetUplink, error) { return netcast.DialUplink(addr) }
 
+// ---- Fault injection (the lossy air) ----
+
+// FaultProfile parameterizes reception faults: per-client frame loss,
+// doze windows, disconnects, bounded delivery delay and scripted doze
+// windows. The zero value injects nothing.
+type FaultProfile = faultair.Profile
+
+// FaultWindow is one scripted doze window of a FaultProfile.
+type FaultWindow = faultair.Window
+
+// FaultSchedule answers fault questions deterministically: every
+// decision is a pure function of (profile, client, cycle).
+type FaultSchedule = faultair.Schedule
+
+// NewFaultSchedule builds the deterministic fault schedule for a
+// profile. It panics on an invalid profile; Validate first when the
+// profile comes from user input.
+func NewFaultSchedule(p FaultProfile) *FaultSchedule { return faultair.NewSchedule(p) }
+
+// LossyListener is one client's faulty tuner over a perfect source.
+type LossyListener = faultair.Listener
+
+// ListenLossy interposes the fault schedule between a broadcast source
+// (a *Server or a *Tuner) and one client: subscribe the client to the
+// returned listener instead of the source.
+func ListenLossy(src faultair.Source, sched *FaultSchedule, clientID, buffer int) *LossyListener {
+	return faultair.Listen(src, sched, clientID, buffer)
+}
+
+// FaultProxy injects faults into a real TCP broadcast stream; tuners
+// dial the proxy instead of the server.
+type FaultProxy = faultair.Proxy
+
+// NewFaultProxy relays the broadcast stream from upstreamAddr through
+// the fault schedule, listening on listenAddr.
+func NewFaultProxy(listenAddr, upstreamAddr string, sched *FaultSchedule) (*FaultProxy, error) {
+	return faultair.NewProxy(listenAddr, upstreamAddr, sched)
+}
+
 // ---- Simulation and experiments ----
 
 // SimConfig holds the Table 1 simulation parameters.
@@ -228,8 +268,9 @@ type Experiment = experiments.Experiment
 // ExperimentOptions control figure reproductions.
 type ExperimentOptions = experiments.Options
 
-// RunFigure reproduces one figure by id: 2a, 2b, 3a, 3b, 4a, 4b, or the
-// ablations "groups" and "caching".
+// RunFigure reproduces one figure by id: 2a, 2b, 3a, 3b, 4a, 4b, or an
+// ablation ("groups", "caching", "disks", "updates", "clients",
+// "faults").
 func RunFigure(id string, opt ExperimentOptions) (*Experiment, error) {
 	return experiments.ByID(id, opt)
 }

@@ -1,6 +1,7 @@
 // Command bcbench regenerates the paper's evaluation: one table per
-// figure (2a, 2b, 3a, 3b, 4a, 4b) plus the grouped-matrix and caching
-// ablations, across Datacycle, R-Matrix, F-Matrix and F-Matrix-No.
+// figure (2a, 2b, 3a, 3b, 4a, 4b) plus the ablations (grouped matrix,
+// caching, multi-speed disks, client updates, client count, reception
+// faults), across Datacycle, R-Matrix, F-Matrix and F-Matrix-No.
 //
 // Usage:
 //
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, or all")
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, delta, or all")
 	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")

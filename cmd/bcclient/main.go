@@ -4,6 +4,11 @@
 //
 //	bcclient -broadcast 127.0.0.1:7070 -read 0,1,2
 //	bcclient -broadcast 127.0.0.1:7070 -uplink 127.0.0.1:7071 -write 3=hello
+//
+// With -loss/-doze the client listens through a simulated lossy air
+// (seeded by -fault-seed) and recovers from the induced reception gaps:
+//
+//	bcclient -broadcast 127.0.0.1:7070 -read 0,1 -txns 20 -loss 0.2 -fault-seed 7
 package main
 
 import (
@@ -26,6 +31,10 @@ func main() {
 	writeSpec := flag.String("write", "", "obj=value[,obj=value...] to write in one update transaction")
 	txns := flag.Int("txns", 1, "how many transactions to run")
 	cacheT := flag.Int64("cache-currency", 0, "client cache currency bound in cycles (0 = off)")
+	loss := flag.Float64("loss", 0, "inject per-cycle frame loss with this probability [0,1]")
+	doze := flag.Float64("doze", 0, "per-cycle probability a doze window starts [0,1]")
+	dozeLen := flag.Int("doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -43,10 +52,30 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tuner.Close()
+
+	// With faults configured, interpose the lossy air between the tuner
+	// and the client; the client recovers by retuning and re-validating
+	// (RetainSnapshots keeps per-read control snapshots across gaps).
+	profile := broadcastcc.FaultProfile{Loss: *loss, Doze: *doze, DozeLen: *dozeLen, Seed: *faultSeed}
+	if err := profile.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	faulty := !profile.Zero()
+	var lossy *broadcastcc.LossyListener
+	var sub *broadcastcc.Subscription
+	if faulty {
+		lossy = broadcastcc.ListenLossy(tuner, broadcastcc.NewFaultSchedule(profile), 0, 64)
+		defer lossy.Close()
+		sub = lossy.Subscribe(64)
+	} else {
+		sub = tuner.Subscribe(64)
+	}
 	cli := broadcastcc.NewClient(broadcastcc.ClientConfig{
-		Algorithm:     alg,
-		CacheCurrency: broadcastcc.Cycle(*cacheT),
-	}, tuner.Subscribe(64))
+		Algorithm:       alg,
+		CacheCurrency:   broadcastcc.Cycle(*cacheT),
+		RetainSnapshots: faulty,
+	}, sub)
 
 	var uplink *broadcastcc.NetUplink
 	if *writeSpec != "" {
@@ -116,6 +145,11 @@ func main() {
 	st := cli.Stats()
 	fmt.Printf("stats: %d validated reads, %d cache hits, %d aborts (%d observed here)\n",
 		st.Reads, st.CacheHits, st.ReadAborts, aborts)
+	if faulty {
+		ls := lossy.Stats()
+		fmt.Printf("faults: %d delivered, %d dozed, %d dropped, %d delayed, %d disconnects; %d cycle gaps (%d cycles missed)\n",
+			ls.Delivered, ls.Dozed, ls.Dropped, ls.Delayed, ls.Disconnects, st.Gaps, st.CyclesMissed)
+	}
 }
 
 func parseReads(s string) ([]int, error) {

@@ -49,6 +49,10 @@ func main() {
 	flag.IntVar(&cfg.ClientTxnWrites, "update-writes", 1, "writes per client update transaction")
 	flag.Float64Var(&cfg.UplinkLatency, "uplink-latency", 0, "uplink commit round trip (bit-units)")
 	flag.IntVar(&cfg.Clients, "clients", 0, "concurrent clients (0/1 = the paper's single client)")
+	flag.Float64Var(&cfg.FaultLoss, "loss", 0, "per-cycle probability a broadcast cycle is lost to the client ([0,1))")
+	flag.Float64Var(&cfg.FaultDoze, "doze", 0, "per-cycle probability a client doze window starts ([0,1))")
+	flag.IntVar(&cfg.FaultDozeLen, "doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
+	flag.Int64Var(&cfg.FaultSeed, "fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Float64Var(&cfg.MaxTime, "max-time", 1e13, "abort the run past this simulated time (bit-units, 0 = unlimited)")
 	flag.Parse()
@@ -76,6 +80,14 @@ func main() {
 	fmt.Printf("restart ratio        %.4g restarts/txn (max %g)\n", res.RestartRatio, res.Restarts.Max())
 	fmt.Printf("cycles simulated     %d\n", res.CyclesSimulated)
 	fmt.Printf("server commits       %d\n", res.ServerCommits)
+	if cfg.FaultLoss > 0 || cfg.FaultDoze > 0 {
+		dozeLen := cfg.FaultDozeLen
+		if dozeLen == 0 {
+			dozeLen = 1 // the schedule's documented default
+		}
+		fmt.Printf("fault model          loss=%g doze=%g doze-len=%d seed=%d\n",
+			cfg.FaultLoss, cfg.FaultDoze, dozeLen, cfg.FaultSeed)
+	}
 	if cfg.CacheCurrency > 0 {
 		fmt.Printf("cache hits           %d\n", res.CacheHits)
 	}

@@ -53,6 +53,17 @@ type Config struct {
 	// CacheSize caps the number of cached entries (0 = unlimited).
 	// Eviction is least-recently-cached.
 	CacheSize int
+	// RetainSnapshots forces the snapshot-retaining validator for every
+	// transaction even without a cache — the doze-recovery mode: a
+	// transaction that spans a reception gap keeps the control snapshot
+	// of each read it performed, so when the client retunes after
+	// missing whole cycles its in-progress read set is re-validated
+	// exactly (in both cycle directions) instead of conservatively.
+	// The transaction aborts only when the read-condition actually
+	// fails, never silently reads stale data, and never aborts merely
+	// because cycles were missed. Enabled automatically when a cache is
+	// configured.
+	RetainSnapshots bool
 }
 
 // currencyOf resolves the effective currency bound for one object.
@@ -76,10 +87,12 @@ type Client struct {
 
 // Stats are cumulative client counters.
 type Stats struct {
-	CyclesSeen int64
-	Reads      int64 // successful validated reads
-	CacheHits  int64 // reads served from the local cache
-	ReadAborts int64 // reads rejected by the read-condition
+	CyclesSeen   int64
+	Gaps         int64 // discontinuities in the received cycle sequence
+	CyclesMissed int64 // whole cycles lost to dozes, drops or disconnects
+	Reads        int64 // successful validated reads
+	CacheHits    int64 // reads served from the local cache
+	ReadAborts   int64 // reads rejected by the read-condition
 }
 
 // New builds a client over an existing subscription (obtain one from
@@ -93,14 +106,19 @@ func New(cfg Config, sub *bcast.Subscription) *Client {
 }
 
 // AwaitCycle blocks until the next broadcast cycle arrives and makes it
-// current. It reports false when the subscription is closed.
+// current. Stale redeliveries (a lossy tuner retuning can replay the
+// cycle already current) are skipped. It reports false when the
+// subscription is closed.
 func (c *Client) AwaitCycle() (*bcast.CycleBroadcast, bool) {
-	cb, ok := <-c.sub.C
-	if !ok {
-		return nil, false
+	for {
+		cb, ok := <-c.sub.C
+		if !ok {
+			return nil, false
+		}
+		if c.setCurrent(cb) {
+			return cb, true
+		}
 	}
-	c.setCurrent(cb)
-	return cb, true
 }
 
 // PollCycle makes the newest already-delivered cycle current without
@@ -113,20 +131,62 @@ func (c *Client) PollCycle() bool {
 			if !ok {
 				return advanced
 			}
-			c.setCurrent(cb)
-			advanced = true
+			if c.setCurrent(cb) {
+				advanced = true
+			}
 		default:
 			return advanced
 		}
 	}
 }
 
-func (c *Client) setCurrent(cb *bcast.CycleBroadcast) {
+// AwaitRetune is the doze-recovery entry point: it blocks for the next
+// broadcast cycle, drains to the newest one already delivered, and
+// reports how many whole cycles the client missed since its previous
+// current cycle. A client waking from a doze calls AwaitRetune and then
+// simply continues: an in-progress transaction stays valid — each of
+// its later reads is validated against the control information of the
+// cycle it happens in, which carries the full dependency history, so
+// the transaction aborts only if the read-condition actually fails
+// across the gap (never merely because cycles were missed).
+func (c *Client) AwaitRetune() (cb *bcast.CycleBroadcast, missed int64, ok bool) {
+	var prev cmatrix.Cycle
+	if c.cur != nil {
+		prev = c.cur.Number
+	}
+	if _, ok := c.AwaitCycle(); !ok {
+		return nil, 0, false
+	}
+	c.PollCycle()
+	if prev > 0 {
+		missed = int64(c.cur.Number - prev - 1)
+		if missed < 0 {
+			missed = 0
+		}
+	}
+	return c.cur, missed, true
+}
+
+// setCurrent installs a received cycle, reporting whether it advanced
+// the client. Duplicates and regressions (retune replays) are ignored;
+// gaps — the client was dozing, frames were lost — are detected and
+// counted.
+func (c *Client) setCurrent(cb *bcast.CycleBroadcast) bool {
+	if c.cur != nil {
+		if cb.Number <= c.cur.Number {
+			return false
+		}
+		if gap := int64(cb.Number-c.cur.Number) - 1; gap > 0 {
+			c.stats.Gaps++
+			c.stats.CyclesMissed += gap
+		}
+	}
 	c.cur = cb
 	c.stats.CyclesSeen++
 	if c.cache != nil {
 		c.cache.evictStale(cb.Number, c.cfg.currencyOf)
 	}
+	return true
 }
 
 // Current returns the cycle the client is currently reading from, or
@@ -140,12 +200,13 @@ func (c *Client) Stats() Stats { return c.stats }
 func (c *Client) Cancel() { c.sub.Cancel() }
 
 // validatorFor builds the validator for one transaction attempt. With
-// caching enabled, reads can be out of cycle order, so the
-// snapshot-retaining validator is used for every algorithm (for the
-// vector protocols this is conservative but sound; without caching the
-// exact paper validators apply, including R-Matrix's disjunct).
+// caching enabled (or RetainSnapshots set), reads can be out of cycle
+// order, so the snapshot-retaining validator is used for every
+// algorithm (for the vector protocols this is conservative but sound;
+// without caching the exact paper validators apply, including
+// R-Matrix's disjunct).
 func (c *Client) validatorFor() protocol.Validator {
-	if c.cache != nil {
+	if c.cache != nil || c.cfg.RetainSnapshots {
 		return &protocol.SnapshotValidator{}
 	}
 	return protocol.NewValidator(c.cfg.Algorithm)

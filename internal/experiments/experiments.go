@@ -368,6 +368,29 @@ func ClientCountAblation(opt Options) (*Experiment, error) {
 		})
 }
 
+// FaultAblation sweeps the per-cycle frame-loss rate under a light doze
+// load (2% doze-window starts, 2 cycles each) — the lossy-air
+// experiment the paper's mobility premise implies but never runs. A
+// missed cycle carries no data, so reads wait for the object's next
+// received transmission; transactions stretch across more cycles, see
+// more concurrent updates, and abort more. The plotted metric is the
+// restart ratio per protocol (the ideal F-Matrix-No is excluded: it
+// broadcasts no control information and could not be validated over a
+// lossy air).
+func FaultAblation(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	opt.Algorithms = []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix}
+	return sweep(opt, "faults", "Restart ratio vs per-cycle frame-loss rate (plus 2% doze windows of 2 cycles)",
+		"per-cycle frame loss probability",
+		[]float64{0, 0.1, 0.2, 0.3, 0.4},
+		func(cfg *sim.Config, x float64) {
+			cfg.FaultLoss = x
+			cfg.FaultDoze = 0.02
+			cfg.FaultDozeLen = 2
+			cfg.FaultSeed = cfg.Seed
+		})
+}
+
 // All runs every figure of the paper plus the two ablations. Figures
 // run in sequence, but each figure's sweep fans its independent
 // simulation runs out across the Options.Parallelism worker pool, so
@@ -383,7 +406,7 @@ func All(opt Options) ([]*Experiment, error) {
 		{"3b", Figure3b}, {"4a", Figure4a}, {"4b", Figure4b},
 		{"groups", GroupsAblation}, {"caching", CachingAblation},
 		{"disks", MultiDiskAblation}, {"updates", ClientUpdateAblation},
-		{"clients", ClientCountAblation},
+		{"clients", ClientCountAblation}, {"faults", FaultAblation},
 	}
 	var out []*Experiment
 	for _, g := range gens {
@@ -421,8 +444,10 @@ func ByID(id string, opt Options) (*Experiment, error) {
 		return ClientUpdateAblation(opt)
 	case "clients":
 		return ClientCountAblation(opt)
+	case "faults":
+		return FaultAblation(opt)
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %q (want 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, delta)", id)
+		return nil, fmt.Errorf("experiments: unknown figure %q (want 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults)", id)
 	}
 }
 
@@ -453,7 +478,7 @@ func (m Metric) value(x Metrics) float64 {
 
 // Metric picks the measurement the paper plots for this figure.
 func (e *Experiment) Metric() Metric {
-	if e.ID == "2b" {
+	if e.ID == "2b" || e.ID == "faults" {
 		return RestartRatio
 	}
 	return ResponseTime

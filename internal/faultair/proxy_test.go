@@ -1,0 +1,126 @@
+package faultair
+
+import (
+	"testing"
+	"time"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/netcast"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+func startNetServer(t *testing.T) *netcast.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{Objects: 4, ObjectBits: 64, Algorithm: protocol.FMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := netcast.Serve(srv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ns.Close(); srv.Close() })
+	return ns
+}
+
+func TestProxyPassesFramesThrough(t *testing.T) {
+	ns := startNetServer(t)
+	p, err := NewProxy("127.0.0.1:0", ns.BroadcastAddr(), NewSchedule(Profile{Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	tuner, err := netcast.Tune(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	sub := tuner.Subscribe(64)
+
+	waitForSubscriber(t, ns, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := receiveCycles(t, sub.C, 3)
+	want := []cmatrix.Cycle{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycles through zero-fault proxy = %v, want %v", got, want)
+		}
+	}
+	if st := p.Stats(); st.Delivered != 3 || st.Dozed+st.Dropped+st.Disconnects+st.Delayed != 0 {
+		t.Errorf("zero-fault proxy stats = %+v", st)
+	}
+}
+
+// TestProxyDropsScriptedFrames: a scripted doze window swallows whole
+// frames on the wire; the tuner sees the stream resume afterwards.
+func TestProxyDropsScriptedFrames(t *testing.T) {
+	ns := startNetServer(t)
+	// Frame indexes 2..3 on the first proxied connection are dozed.
+	sched := NewSchedule(Profile{Windows: []Window{{Client: 0, From: 2, To: 3}}})
+	p, err := NewProxy("127.0.0.1:0", ns.BroadcastAddr(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	tuner, err := netcast.Tune(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	sub := tuner.Subscribe(64)
+
+	waitForSubscriber(t, ns, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := receiveCycles(t, sub.C, 3)
+	want := []cmatrix.Cycle{1, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycles through lossy proxy = %v, want %v", got, want)
+		}
+	}
+	if st := p.Stats(); st.Dozed != 2 {
+		t.Errorf("proxy stats = %+v, want Dozed=2", st)
+	}
+}
+
+func waitForSubscriber(t *testing.T, ns *netcast.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.Subscribers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber count never reached %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func receiveCycles(t *testing.T, ch <-chan *bcast.CycleBroadcast, n int) []cmatrix.Cycle {
+	t.Helper()
+	var got []cmatrix.Cycle
+	timeout := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case cb, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %v", got)
+			}
+			got = append(got, cb.Number)
+		case <-timeout:
+			t.Fatalf("timed out after %v", got)
+		}
+	}
+	return got
+}

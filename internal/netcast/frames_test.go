@@ -1,0 +1,114 @@
+package netcast
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"broadcastcc/internal/protocol"
+)
+
+// The exported frame codec is what middleboxes (the faultair proxy)
+// speak; its rejection behaviour is part of the wire contract.
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length prefix: err = %v, want limit rejection", err)
+	}
+	// The reader must reject on the header alone — a malicious length
+	// must not trigger a 4 GiB allocation or a blocking read.
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	// Header promises 9 payload bytes; only one arrives.
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 9, 'x'}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Header itself cut short mid-way.
+	_, err = ReadFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// A clean stream end before any header is a plain EOF, so stream
+	// consumers can tell shutdown from corruption.
+	_, err = ReadFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrameExportedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("via the exported API")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || string(got) != "via the exported API" {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized WriteFrame must fail")
+	}
+}
+
+// A subscriber that disconnects outright (not merely stalls) must be
+// reaped by the broadcast loop without wedging it: remaining and future
+// subscribers keep receiving.
+func TestClosedSubscriberIsReaped(t *testing.T) {
+	_, ns := newNetServer(t, protocol.RMatrix, 2)
+	dead, err := net.Dial("tcp", ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitSubscribers(t, ns, 1)
+	dead.Close()
+
+	live, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	sub := live.Subscribe(16)
+	awaitSubscribers(t, ns, 2)
+
+	// Step until the dead connection is gone. A closed socket may absorb
+	// a few writes into kernel buffers before erroring, so loop.
+	deadline := time.Now().Add(30 * time.Second)
+	for ns.Subscribers() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("closed subscriber never reaped")
+		}
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The broadcaster is not wedged: the live tuner still gets cycles.
+	before := ns.Subscribers()
+	if _, err := ns.Step(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cb, ok := <-sub.C:
+		if !ok {
+			t.Fatal("live subscription closed")
+		}
+		if cb == nil {
+			t.Fatal("nil cycle delivered")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live subscriber starved after reaping")
+	}
+	if ns.Subscribers() != before {
+		t.Fatalf("live subscriber count changed: %d -> %d", before, ns.Subscribers())
+	}
+}

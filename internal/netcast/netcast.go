@@ -31,6 +31,16 @@ import (
 // cycle or uplink request).
 const maxFrame = 16 << 20
 
+// WriteFrame writes one length-prefixed frame in the broadcast stream's
+// wire format (4-byte big-endian length, then the payload). Exported so
+// frame-level middleboxes — the faultair proxy, capture tools — can
+// speak the stream format without decoding cycles.
+func WriteFrame(w io.Writer, data []byte) error { return writeFrame(w, data) }
+
+// ReadFrame reads one length-prefixed frame, rejecting frames above the
+// stream's size limit.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
 // writeFrame writes a length-prefixed frame.
 func writeFrame(w io.Writer, data []byte) error {
 	if len(data) > maxFrame {

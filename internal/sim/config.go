@@ -108,6 +108,23 @@ type Config struct {
 	// CacheSize caps cached entries (0 = unlimited).
 	CacheSize int
 
+	// FaultLoss is the per-client per-cycle probability that the cycle's
+	// broadcast is lost to the client (frame drop), driving the faultair
+	// schedule: a read cannot complete in a missed cycle and waits for
+	// the object's next transmission in a received one. Cached reads are
+	// unaffected (they never touch the air).
+	FaultLoss float64
+	// FaultDoze is the per-cycle probability that a doze window starts,
+	// during which the client misses FaultDozeLen whole cycles.
+	FaultDoze float64
+	// FaultDozeLen is the doze window length in cycles (default 1 when
+	// FaultDoze > 0).
+	FaultDozeLen int
+	// FaultSeed selects the fault schedule; runs with the same FaultSeed
+	// replay the identical per-client drop/doze trace regardless of
+	// execution order or parallelism.
+	FaultSeed int64
+
 	// Audit records the server commit log and every committed client
 	// read-set in the Result so tests can reconstruct and check the
 	// induced history. Only suitable for small runs.
@@ -181,6 +198,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Clients = %d, need >= 0", c.Clients)
 	case c.Clients > 1 && c.CacheCurrency > 0:
 		return fmt.Errorf("sim: the client cache is not supported in multi-client mode")
+	case c.FaultLoss < 0 || c.FaultLoss >= 1:
+		return fmt.Errorf("sim: FaultLoss = %v, need [0,1) (at 1 no read ever completes)", c.FaultLoss)
+	case c.FaultDoze < 0 || c.FaultDoze >= 1:
+		return fmt.Errorf("sim: FaultDoze = %v, need [0,1) (at 1 no read ever completes)", c.FaultDoze)
+	case c.FaultDozeLen < 0:
+		return fmt.Errorf("sim: FaultDozeLen = %d, need >= 0", c.FaultDozeLen)
 	}
 	if c.HotDiskSpeed > 1 {
 		if c.HotSetSize < 1 || c.HotSetSize >= c.Objects {

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"broadcastcc/internal/bctest"
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/protocol"
+)
+
+func faultedConfig(alg protocol.Algorithm) Config {
+	cfg := smallConfig(alg)
+	cfg.FaultLoss = 0.2
+	cfg.FaultDoze = 0.02
+	cfg.FaultDozeLen = 2
+	cfg.FaultSeed = 11
+	cfg.MaxTime = 5e11
+	return cfg
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.FaultLoss = -0.1 },
+		func(c *Config) { c.FaultLoss = 1 }, // no read would ever complete
+		func(c *Config) { c.FaultDoze = 1 },
+		func(c *Config) { c.FaultDozeLen = -1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.FaultLoss = 0.3
+	cfg.FaultDoze = 0.05
+	cfg.FaultDozeLen = 3
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid fault config rejected: %v", err)
+	}
+}
+
+// A configuration with fault knobs at zero must run the exact fault-free
+// engine, whatever the FaultSeed says.
+func TestZeroFaultRatesMatchBaseline(t *testing.T) {
+	base := smallConfig(protocol.FMatrix)
+	faulted := base
+	faulted.FaultSeed = 99 // rates are zero; the seed alone changes nothing
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResponseTime.Mean() != r2.ResponseTime.Mean() ||
+		r1.Restarts.Sum() != r2.Restarts.Sum() ||
+		r1.SimulatedTime != r2.SimulatedTime {
+		t.Error("zero fault rates must not perturb the simulation")
+	}
+}
+
+// Reception faults stretch transactions across more cycles: response
+// time must rise, and the run must stay exactly reproducible per seed.
+func TestFaultsSlowReadsDeterministically(t *testing.T) {
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.FMatrix} {
+		clean := smallConfig(alg)
+		faulted := faultedConfig(alg)
+		rc, err := Run(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf1, err := Run(faulted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf1.ResponseTime.Mean() <= rc.ResponseTime.Mean() {
+			t.Errorf("%v: faulted response %.4g not above clean %.4g",
+				alg, rf1.ResponseTime.Mean(), rc.ResponseTime.Mean())
+		}
+		rf2, err := Run(faulted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf1.ResponseTime.Mean() != rf2.ResponseTime.Mean() ||
+			rf1.Restarts.Sum() != rf2.Restarts.Sum() ||
+			rf1.SimulatedTime != rf2.SimulatedTime {
+			t.Errorf("%v: same FaultSeed must reproduce the faulted run exactly", alg)
+		}
+		other := faulted
+		other.FaultSeed = 12
+		rf3, err := Run(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf1.SimulatedTime == rf3.SimulatedTime && rf1.ResponseTime.Mean() == rf3.ResponseTime.Mean() {
+			t.Errorf("%v: different FaultSeed should yield a different trace", alg)
+		}
+	}
+}
+
+// Faulted runs must still satisfy the protocols' correctness criteria:
+// a doze or drop delays reads but never lets an inconsistent read set
+// commit. This is the sim-level doze-recovery guarantee, checked against
+// the formal criteria on the induced history.
+func TestFaultedRunsAreConsistent(t *testing.T) {
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := faultedConfig(alg)
+			cfg.Objects = 10
+			cfg.ClientTxns = 60
+			cfg.MeasureFrom = 10
+			cfg.ClientTxnLength = 3
+			cfg.FaultLoss = 0.3 // heavy enough that most txns span a gap
+			cfg.Audit = true
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := bctest.InducedHistory(r.AuditLog, r.CommittedReadSets)
+			if v := core.UpdateConsistent(h); !v.OK {
+				t.Fatalf("%v faulted run not update consistent: %s", alg, v.Reason)
+			}
+			if v := core.Approx(h); !v.OK {
+				t.Fatalf("%v faulted run violates APPROX: %s", alg, v.Reason)
+			}
+		})
+	}
+}
+
+// The multi-client engine keys the fault schedule by client id: each
+// client sees its own trace, and the whole run replays exactly.
+func TestMultiClientFaultsDeterministic(t *testing.T) {
+	cfg := faultedConfig(protocol.FMatrix)
+	cfg.Clients = 3
+	cfg.ClientTxns = 40
+	cfg.MeasureFrom = 10
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SimulatedTime != r2.SimulatedTime || r1.Restarts.Sum() != r2.Restarts.Sum() {
+		t.Fatal("multi-client faulted run must replay exactly")
+	}
+	if len(r1.PerClient) != 3 {
+		t.Fatalf("PerClient = %d entries, want 3", len(r1.PerClient))
+	}
+	for i := range r1.PerClient {
+		if r1.PerClient[i].ResponseTime.Mean() != r2.PerClient[i].ResponseTime.Mean() {
+			t.Fatalf("client %d response time not reproducible", i)
+		}
+	}
+	// Against a fault-free run the faulted clients must be slower.
+	clean := cfg
+	clean.FaultLoss, clean.FaultDoze, clean.FaultDozeLen = 0, 0, 0
+	rc, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ResponseTime.Mean() <= rc.ResponseTime.Mean() {
+		t.Errorf("faulted multi-client response %.4g not above clean %.4g",
+			r1.ResponseTime.Mean(), rc.ResponseTime.Mean())
+	}
+}

@@ -196,6 +196,12 @@ func (e *engine) startTxnAt(c *mcClient, submit float64) {
 func (e *engine) scheduleReadAt(c *mcClient, base float64) float64 {
 	start := base + e.clientExp(c, e.cfg.MeanInterOpDelay)
 	ready, cycle := e.nextReady(start, c.objs[c.idx])
+	// Skip cycles this client's tuner misses (doze or frame loss); the
+	// read completes at the object's next transmission in a received
+	// cycle. The MaxTime guard fires in runMulti when the event pops.
+	for e.faults != nil && e.faults.Missed(c.id, cycle) {
+		ready, cycle = e.nextReady(float64(cycle)*e.cycleBits, c.objs[c.idx])
+	}
 	c.readCycle = cycle
 	c.action = actRead
 	return ready

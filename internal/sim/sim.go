@@ -8,6 +8,7 @@ import (
 
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/faultair"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/stats"
 )
@@ -101,6 +102,11 @@ type engine struct {
 	now       float64
 	cycleBits float64
 	schedule  *bcast.Schedule
+	// faults, when non-nil, decides which whole cycles each client's
+	// tuner misses (FaultLoss/FaultDoze). Decisions are pure functions of
+	// (FaultSeed, client, cycle), so the trace is identical at any
+	// parallelism.
+	faults *faultair.Schedule
 
 	// Server state.
 	matrix         *cmatrix.Matrix // F-Matrix, F-Matrix-No, Grouped
@@ -168,6 +174,14 @@ func newEngine(cfg Config) (*engine, error) {
 		snaps:          map[cmatrix.Cycle]protocol.Snapshot{},
 	}
 	e.srvRng = e.rng
+	if cfg.FaultLoss > 0 || cfg.FaultDoze > 0 {
+		e.faults = faultair.NewSchedule(faultair.Profile{
+			Loss:    cfg.FaultLoss,
+			Doze:    cfg.FaultDoze,
+			DozeLen: cfg.FaultDozeLen,
+			Seed:    cfg.FaultSeed,
+		})
+	}
 	if cfg.ServerIntervalExponential {
 		e.nextCommitTime = e.srvExp(cfg.ServerTxnInterval)
 	}
@@ -511,6 +525,15 @@ func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 		return v.TryRead(entry.snap, j, entry.cycle), nil
 	}
 	readTime, cycle := e.nextReady(e.now, j)
+	// A missed cycle (doze or frame loss) carries no data for this
+	// client: the read retries from the start of the next cycle until the
+	// object comes around in a cycle the tuner actually receives.
+	for e.faults != nil && e.faults.Missed(0, cycle) {
+		readTime, cycle = e.nextReady(float64(cycle)*e.cycleBits, j)
+		if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
+			return false, fmt.Errorf("%w: MaxTime=%g waiting out faults for object %d", ErrMaxTime, e.cfg.MaxTime, j)
+		}
+	}
 	if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
 		return false, fmt.Errorf("%w: MaxTime=%g waiting for object %d", ErrMaxTime, e.cfg.MaxTime, j)
 	}

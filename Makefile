@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures
+.PHONY: build test race verify bench bench-figures conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,26 @@ test:
 
 # The worker-pool sweep harness and the copy-on-write column sharing in
 # cmatrix are concurrency/aliasing surface: run those packages (plus the
-# TCP broadcast runtime, the fault layer's listener/proxy goroutines and
-# the client recovery path) under the race detector.
+# TCP broadcast runtime, the fault layer's listener/proxy goroutines, the
+# client recovery path, the dual-server conformance harness, and the
+# server/protocol state it exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/...
 
 verify: build test race
+
+# Differential soak of the acceptance lattice; violations shrink into
+# internal/conformance/corpus and fail the target.
+conform:
+	$(GO) run ./cmd/bcconform -soak 10000
+
+# Short native-fuzzing pass over every fuzz target (parser, wire codec,
+# acceptance lattice); CI runs this on each push.
+fuzz-smoke:
+	$(GO) test ./internal/history/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeCycle -fuzztime 30s
+	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 
 # Micro-benchmarks only (matrix apply/snapshot, wire codec, validator).
 bench:

@@ -82,3 +82,12 @@ func InducedHistory(log []cmatrix.Commit, clients [][]protocol.ReadAt) *history.
 func ClientTxnID(logLen, ci int) history.TxnID {
 	return history.TxnID(logLen + 1 + ci)
 }
+
+// InducedHistoryWithTxn builds the induced history of the update log
+// plus a single read-only transaction's read-set, returning the history
+// together with that transaction's id in it — the per-transaction shape
+// the conformance oracle runs APPROX and the update-consistency checker
+// over.
+func InducedHistoryWithTxn(log []cmatrix.Commit, reads []protocol.ReadAt) (*history.History, history.TxnID) {
+	return InducedHistory(log, [][]protocol.ReadAt{reads}), ClientTxnID(len(log), 0)
+}

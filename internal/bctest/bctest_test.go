@@ -1,0 +1,141 @@
+package bctest
+
+import (
+	"testing"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/history"
+	"broadcastcc/internal/protocol"
+)
+
+// roundTrip asserts the induced history is well-formed and survives a
+// String → Parse → String round trip, then returns its string form.
+func roundTrip(t *testing.T, h *history.History) string {
+	t.Helper()
+	if err := h.CheckWellFormed(); err != nil {
+		t.Fatalf("induced history ill-formed: %v\n%s", err, h)
+	}
+	s := h.String()
+	parsed, err := history.Parse(s)
+	if err != nil {
+		t.Fatalf("induced history does not parse: %v\n%s", err, s)
+	}
+	if got := parsed.String(); got != s {
+		t.Fatalf("round trip changed the history:\n%s\nvs\n%s", s, got)
+	}
+	return s
+}
+
+func TestInducedHistoryEmptyLog(t *testing.T) {
+	// No committed updates at all: the history is just the client's
+	// reads and commit, and the client id starts right after the empty
+	// log.
+	h := InducedHistory(nil, [][]protocol.ReadAt{{
+		{Obj: 0, Cycle: 3},
+		{Obj: 2, Cycle: 5},
+	}})
+	want := "r1(x0) r1(x2) c1"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+	if id := ClientTxnID(0, 0); id != 1 {
+		t.Fatalf("ClientTxnID(0, 0) = %d, want 1", id)
+	}
+}
+
+func TestInducedHistoryEmptyEverything(t *testing.T) {
+	h := InducedHistory(nil, nil)
+	if h.Len() != 0 {
+		t.Fatalf("empty log and no clients should induce an empty history, got %s", h)
+	}
+	// A client present but with zero reads contributes no commit either.
+	h = InducedHistory(nil, [][]protocol.ReadAt{{}})
+	if h.Len() != 0 {
+		t.Fatalf("client with no reads should contribute nothing, got %s", h)
+	}
+}
+
+func TestInducedHistoryReadsAtCycleZero(t *testing.T) {
+	// A read at cycle 0 precedes every commit (commits get cycle >= 1):
+	// it saw the initial database state, so it must be placed before
+	// the first update transaction.
+	log := []cmatrix.Commit{
+		{WriteSet: []int{0}, Cycle: 1},
+	}
+	h := InducedHistory(log, [][]protocol.ReadAt{{
+		{Obj: 0, Cycle: 0},
+	}})
+	want := "r2(x0) w1(x0) c1 c2"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+}
+
+func TestInducedHistoryOutOfOrderCachedReads(t *testing.T) {
+	// The client read x1 off the air at cycle 3, then served x0 from a
+	// cache entry of cycle 1 — reads arrive out of cycle order. The
+	// induced history must still place each read by its cycle: the x0
+	// read before the cycle-2 commit that overwrote x0, the x1 read
+	// after it.
+	log := []cmatrix.Commit{
+		{WriteSet: []int{0}, Cycle: 2},
+		{WriteSet: []int{1}, Cycle: 2},
+	}
+	h := InducedHistory(log, [][]protocol.ReadAt{{
+		{Obj: 1, Cycle: 3}, // performed first, placed last
+		{Obj: 0, Cycle: 1}, // cached read, placed first
+	}})
+	want := "r3(x0) w1(x0) c1 w2(x1) c2 r3(x1) c3"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+}
+
+func TestInducedHistoryTwoClientsSameObjectCycle(t *testing.T) {
+	// Two clients reading the same (object, cycle) pair stay distinct
+	// transactions reading the same version; insertion is stable, so
+	// client order breaks the tie.
+	log := []cmatrix.Commit{
+		{WriteSet: []int{0}, Cycle: 1},
+		{WriteSet: []int{0}, Cycle: 3},
+	}
+	h := InducedHistory(log, [][]protocol.ReadAt{
+		{{Obj: 0, Cycle: 2}},
+		{{Obj: 0, Cycle: 2}},
+	})
+	want := "w1(x0) c1 r3(x0) r4(x0) w2(x0) c2 c3 c4"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+}
+
+func TestInducedHistoryCommitReadSets(t *testing.T) {
+	// Update transactions carry their read sets into the induced
+	// history, before their writes, in commit order.
+	log := []cmatrix.Commit{
+		{ReadSet: []int{1}, WriteSet: []int{0}, Cycle: 1},
+		{ReadSet: []int{0}, WriteSet: []int{1, 2}, Cycle: 2},
+	}
+	h := InducedHistory(log, nil)
+	want := "r1(x1) w1(x0) c1 r2(x0) w2(x1) w2(x2) c2"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+}
+
+func TestInducedHistoryWithTxn(t *testing.T) {
+	log := []cmatrix.Commit{
+		{WriteSet: []int{0}, Cycle: 1},
+	}
+	h, id := InducedHistoryWithTxn(log, []protocol.ReadAt{{Obj: 0, Cycle: 2}})
+	if id != 2 {
+		t.Fatalf("txn id = %d, want 2", id)
+	}
+	want := "w1(x0) c1 r2(x0) c2"
+	if got := roundTrip(t, h); got != want {
+		t.Fatalf("history = %q, want %q", got, want)
+	}
+	if !h.IsReadOnly(id) {
+		t.Fatalf("t%d should be read-only in the induced history", id)
+	}
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// because cycles were missed. Enabled automatically when a cache is
 	// configured.
 	RetainSnapshots bool
+	// ObserveRead, when set, is called after every read validation with
+	// the object, the cycle the read was performed in (the cache entry's
+	// cycle for cache hits), whether it was served from the cache, and
+	// whether the read-condition accepted it. It instruments the read
+	// path for the conformance harness's live-stack audits; production
+	// clients leave it nil.
+	ObserveRead func(obj int, cycle cmatrix.Cycle, cacheHit, accepted bool)
 }
 
 // currencyOf resolves the effective currency bound for one object.
@@ -242,6 +249,7 @@ func (t *ReadTxn) Read(obj int) ([]byte, error) {
 	if !t.val.TryRead(snap, obj, cycle) {
 		t.done = true
 		t.c.stats.ReadAborts++
+		t.c.observeRead(obj, cycle, hit, false)
 		t.c.invalidateAfterAbort(t.val, obj)
 		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
 	}
@@ -249,7 +257,15 @@ func (t *ReadTxn) Read(obj int) ([]byte, error) {
 	if hit {
 		t.c.stats.CacheHits++
 	}
+	t.c.observeRead(obj, cycle, hit, true)
 	return value, nil
+}
+
+// observeRead notifies the instrumentation hook, when one is installed.
+func (c *Client) observeRead(obj int, cycle cmatrix.Cycle, cacheHit, accepted bool) {
+	if c.cfg.ObserveRead != nil {
+		c.cfg.ObserveRead(obj, cycle, cacheHit, accepted)
+	}
 }
 
 // Commit finishes the transaction, returning its read-set. Read-only
@@ -364,17 +380,19 @@ func (t *UpdateTxn) Read(obj int) ([]byte, error) {
 	if v, ok := t.writes[obj]; ok {
 		return append([]byte(nil), v...), nil
 	}
-	value, snap, cycle, _, err := t.c.fetch(obj)
+	value, snap, cycle, hit, err := t.c.fetch(obj)
 	if err != nil {
 		return nil, err
 	}
 	if !t.val.TryRead(snap, obj, cycle) {
 		t.done = true
 		t.c.stats.ReadAborts++
+		t.c.observeRead(obj, cycle, hit, false)
 		t.c.invalidateAfterAbort(t.val, obj)
 		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
 	}
 	t.c.stats.Reads++
+	t.c.observeRead(obj, cycle, hit, true)
 	return value, nil
 }
 

@@ -183,6 +183,25 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	return true
 }
 
+// Diff locates the first entry (scanning columns, then rows) where the
+// two matrices differ, for diagnostics in differential checks. It
+// reports ok=false when the matrices are equal; a dimension mismatch is
+// reported as (-1, -1, true).
+func (m *Matrix) Diff(o *Matrix) (i, j int, ok bool) {
+	if m.n != o.n {
+		return -1, -1, true
+	}
+	for j, col := range m.cols {
+		ocol := o.cols[j]
+		for i, v := range col {
+			if v != ocol[i] {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var b strings.Builder

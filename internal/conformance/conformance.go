@@ -1,0 +1,235 @@
+// Package conformance is the randomized differential-testing subsystem
+// for the paper's acceptance lattice. It generates seeded broadcast
+// workloads — update-transaction mixes, read-only client transactions
+// with cached (out-of-cycle-order) reads, uplink update commits, and
+// faultair loss/doze schedules — drives the real server and validator
+// implementations over the same air, and checks, per read-only
+// transaction, the inclusion chain the paper proves:
+//
+//	Datacycle-accept ⊆ R-Matrix-accept ⊆ F-Matrix-accept
+//	                 ⊆ APPROX-accept  ⊆ update consistent
+//
+// (Theorems 1, 3 and 6), plus the server-side invariants: incremental
+// C-matrix maintenance equals a from-scratch rebuild every cycle
+// (Theorem 2), copy-on-write snapshots stay bit-identical to deep
+// clones, and two servers fed the identical commit stream stay in
+// lockstep. A protocol that silently over-accepts is a safety bug; one
+// that over-rejects relative to the lattice is a performance bug — the
+// oracle flags both. Failures are minimized by a delta-debugging
+// shrinker and persisted to a corpus that replays on every go test.
+package conformance
+
+import (
+	"fmt"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/faultair"
+)
+
+// PlannedRead is one read of a client transaction.
+type PlannedRead struct {
+	// Obj is the object read. Objects within one transaction are
+	// distinct (the paper's well-formedness assumption).
+	Obj int `json:"obj"`
+	// Step is how many cycles the client lets pass before tuning in for
+	// this read (0 = same cycle as the previous read).
+	Step int `json:"step,omitempty"`
+	// CacheAge, when positive, serves the read from a local cache entry
+	// roughly CacheAge cycles old instead of off the air: the read is
+	// validated at the (older, received) cycle the entry was cached in,
+	// so reads can be out of cycle order within the transaction. The
+	// first read of a transaction is always fresh.
+	CacheAge int `json:"cacheAge,omitempty"`
+}
+
+// PlannedTxn is one client transaction: a sequence of reads and, for
+// update transactions, the objects written and shipped up the uplink.
+type PlannedTxn struct {
+	// Start is the earliest cycle the transaction begins reading in.
+	Start cmatrix.Cycle `json:"start"`
+	// Reads is the read program, in order.
+	Reads []PlannedRead `json:"reads"`
+	// Writes, when non-empty, makes this an update transaction: after
+	// its reads it submits (reads, writes) over the uplink and the
+	// server validates and possibly commits it.
+	Writes []int `json:"writes,omitempty"`
+	// SubmitLag is how many cycles pass between the last read and the
+	// uplink commit arriving at the server.
+	SubmitLag int `json:"submitLag,omitempty"`
+}
+
+// PlannedCommit is one background (server-local) update transaction.
+type PlannedCommit struct {
+	// At is the broadcast cycle during which the transaction commits;
+	// it becomes visible to reads from cycle At+1 on.
+	At cmatrix.Cycle `json:"at"`
+	// ReadSet and WriteSet are the objects read and written. WriteSet
+	// is non-empty (a read-only server transaction is a no-op).
+	ReadSet  []int `json:"readSet,omitempty"`
+	WriteSet []int `json:"writeSet"`
+}
+
+// Workload is a fully explicit, deterministic conformance scenario:
+// running it twice produces the identical trace, verdicts and induced
+// history. Workloads come from Generate (seeded) or from corpus files
+// (shrunk counterexamples).
+type Workload struct {
+	// Seed records the generator seed the workload came from (0 for
+	// hand-built or shrunk workloads); informational.
+	Seed int64 `json:"seed,omitempty"`
+	// Objects is the database size n.
+	Objects int `json:"objects"`
+	// Cycles is how many broadcast cycles the run spans.
+	Cycles cmatrix.Cycle `json:"cycles"`
+	// Commits are the background update transactions.
+	Commits []PlannedCommit `json:"commits,omitempty"`
+	// Clients holds each client's transaction programs.
+	Clients [][]PlannedTxn `json:"clients,omitempty"`
+	// Faults is the reception-fault profile applied to every client's
+	// tuner (the zero profile delivers everything).
+	Faults faultair.Profile `json:"faults,omitempty"`
+}
+
+// Size caps enforced by Validate, protecting the replay and fuzz paths
+// from pathological (or adversarial) corpus input. The exact update-
+// consistency checker is exponential in the worst case, so workloads
+// must stay small.
+const (
+	maxObjects      = 64
+	maxCycles       = 4096
+	maxCommits      = 512
+	maxClients      = 16
+	maxTxnsPerCli   = 64
+	maxReadsPerTxn  = 32
+	maxStep         = 64
+	maxCacheAge     = 64
+	maxSubmitLag    = 64
+	maxSetSize      = 32
+	maxFaultWindows = 64
+)
+
+func checkObjSet(n int, what string, set []int, requireDistinct bool) error {
+	if len(set) > maxSetSize {
+		return fmt.Errorf("conformance: %s has %d objects, cap %d", what, len(set), maxSetSize)
+	}
+	seen := map[int]bool{}
+	for _, o := range set {
+		if o < 0 || o >= n {
+			return fmt.Errorf("conformance: %s references object %d, range [0,%d)", what, o, n)
+		}
+		if requireDistinct && seen[o] {
+			return fmt.Errorf("conformance: %s repeats object %d", what, o)
+		}
+		seen[o] = true
+	}
+	return nil
+}
+
+// Validate reports the first structural problem with the workload:
+// out-of-range objects, repeated reads within a transaction, cycle
+// references outside the run, or sizes beyond the harness caps.
+func (w *Workload) Validate() error {
+	switch {
+	case w.Objects < 1 || w.Objects > maxObjects:
+		return fmt.Errorf("conformance: Objects = %d, need [1,%d]", w.Objects, maxObjects)
+	case w.Cycles < 1 || w.Cycles > maxCycles:
+		return fmt.Errorf("conformance: Cycles = %d, need [1,%d]", w.Cycles, maxCycles)
+	case len(w.Commits) > maxCommits:
+		return fmt.Errorf("conformance: %d commits, cap %d", len(w.Commits), maxCommits)
+	case len(w.Clients) > maxClients:
+		return fmt.Errorf("conformance: %d clients, cap %d", len(w.Clients), maxClients)
+	case len(w.Faults.Windows) > maxFaultWindows:
+		return fmt.Errorf("conformance: %d fault windows, cap %d", len(w.Faults.Windows), maxFaultWindows)
+	case w.Faults.Loss >= 1 || w.Faults.Doze >= 1:
+		return fmt.Errorf("conformance: fault rates must stay below 1 (no cycle is ever received otherwise)")
+	}
+	if err := w.Faults.Validate(); err != nil {
+		return err
+	}
+	for ci, c := range w.Commits {
+		if c.At < 1 || c.At > w.Cycles {
+			return fmt.Errorf("conformance: commit %d at cycle %d, range [1,%d]", ci, c.At, w.Cycles)
+		}
+		if len(c.WriteSet) == 0 {
+			return fmt.Errorf("conformance: commit %d has an empty write set", ci)
+		}
+		if err := checkObjSet(w.Objects, fmt.Sprintf("commit %d read set", ci), c.ReadSet, true); err != nil {
+			return err
+		}
+		if err := checkObjSet(w.Objects, fmt.Sprintf("commit %d write set", ci), c.WriteSet, true); err != nil {
+			return err
+		}
+	}
+	for cli, txns := range w.Clients {
+		if len(txns) > maxTxnsPerCli {
+			return fmt.Errorf("conformance: client %d has %d transactions, cap %d", cli, len(txns), maxTxnsPerCli)
+		}
+		for ti, txn := range txns {
+			what := fmt.Sprintf("client %d txn %d", cli, ti)
+			if txn.Start < 1 {
+				return fmt.Errorf("conformance: %s starts at cycle %d, need >= 1", what, txn.Start)
+			}
+			if len(txn.Reads) == 0 || len(txn.Reads) > maxReadsPerTxn {
+				return fmt.Errorf("conformance: %s has %d reads, need [1,%d]", what, len(txn.Reads), maxReadsPerTxn)
+			}
+			if txn.SubmitLag < 0 || txn.SubmitLag > maxSubmitLag {
+				return fmt.Errorf("conformance: %s SubmitLag = %d, range [0,%d]", what, txn.SubmitLag, maxSubmitLag)
+			}
+			objs := make([]int, 0, len(txn.Reads))
+			for ri, r := range txn.Reads {
+				if r.Step < 0 || r.Step > maxStep {
+					return fmt.Errorf("conformance: %s read %d Step = %d, range [0,%d]", what, ri, r.Step, maxStep)
+				}
+				if r.CacheAge < 0 || r.CacheAge > maxCacheAge {
+					return fmt.Errorf("conformance: %s read %d CacheAge = %d, range [0,%d]", what, ri, r.CacheAge, maxCacheAge)
+				}
+				objs = append(objs, r.Obj)
+			}
+			if err := checkObjSet(w.Objects, what+" reads", objs, true); err != nil {
+				return err
+			}
+			if err := checkObjSet(w.Objects, what+" writes", txn.Writes, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing no mutable state with w.
+func (w *Workload) Clone() *Workload {
+	c := &Workload{Seed: w.Seed, Objects: w.Objects, Cycles: w.Cycles, Faults: w.Faults}
+	c.Faults.Windows = append([]faultair.Window(nil), w.Faults.Windows...)
+	c.Commits = make([]PlannedCommit, len(w.Commits))
+	for i, pc := range w.Commits {
+		c.Commits[i] = PlannedCommit{
+			At:       pc.At,
+			ReadSet:  append([]int(nil), pc.ReadSet...),
+			WriteSet: append([]int(nil), pc.WriteSet...),
+		}
+	}
+	c.Clients = make([][]PlannedTxn, len(w.Clients))
+	for i, txns := range w.Clients {
+		c.Clients[i] = make([]PlannedTxn, len(txns))
+		for j, t := range txns {
+			c.Clients[i][j] = PlannedTxn{
+				Start:     t.Start,
+				Reads:     append([]PlannedRead(nil), t.Reads...),
+				Writes:    append([]int(nil), t.Writes...),
+				SubmitLag: t.SubmitLag,
+			}
+		}
+	}
+	return c
+}
+
+// TxnCount reports the total number of transactions in the workload —
+// background commits plus client transactions — the size measure the
+// shrinker minimizes.
+func (w *Workload) TxnCount() int {
+	n := len(w.Commits)
+	for _, txns := range w.Clients {
+		n += len(txns)
+	}
+	return n
+}

@@ -1,0 +1,307 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"broadcastcc/internal/bctest"
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+// The repo's correct implementations must survive a soak: every seeded
+// workload — faults, caches, uplink updates and all — conforms to the
+// acceptance lattice and the server invariants.
+func TestSoakClean(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	seed, rep, clean, found, err := Soak(1, n, DefaultParams())
+	if err != nil {
+		t.Fatalf("soak error at seed %d after %d clean seeds: %v", seed, clean, err)
+	}
+	if found {
+		t.Fatalf("seed %d violates conformance after %d clean seeds: %v", seed, clean, rep.Violations[0])
+	}
+}
+
+// The whole pipeline is deterministic: generating and checking the same
+// seed twice yields identical verdicts, logs and induced histories.
+func TestCheckWorkloadDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42, 1001} {
+		r1, err := CheckWorkload(Generate(seed, DefaultParams()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := CheckWorkload(Generate(seed, DefaultParams()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.History != r2.History {
+			t.Fatalf("seed %d: histories differ:\n%s\nvs\n%s", seed, r1.History, r2.History)
+		}
+		if !reflect.DeepEqual(r1.Txns, r2.Txns) {
+			t.Fatalf("seed %d: verdicts differ", seed)
+		}
+		if !reflect.DeepEqual(r1.Log, r2.Log) {
+			t.Fatalf("seed %d: audit logs differ", seed)
+		}
+	}
+}
+
+// Generate must always produce a workload Validate accepts, and Clone
+// must be deep (mutating the clone leaves the original alone).
+func TestGenerateValidatesAndClones(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		w := Generate(seed, DefaultParams())
+		if err := w.Validate(); err != nil {
+			t.Fatalf("seed %d: generated workload invalid: %v", seed, err)
+		}
+		c := w.Clone()
+		if len(c.Clients) > 0 && len(c.Clients[0]) > 0 {
+			c.Clients[0][0].Reads[0].Obj = -999
+			if w.Clients[0][0].Reads[0].Obj == -999 {
+				t.Fatal("Clone shares read slices with the original")
+			}
+		}
+	}
+}
+
+// resolveReads is the pure read-placement function: fresh reads advance
+// through received cycles, cached reads step back without moving the
+// cursor, and reads past the end truncate.
+func TestResolveReads(t *testing.T) {
+	w := &Workload{Objects: 3, Cycles: 5}
+	txn := PlannedTxn{Start: 2, Reads: []PlannedRead{
+		{Obj: 0, Step: 0},
+		{Obj: 1, Step: 1},
+		{Obj: 2, CacheAge: 2},
+	}}
+	reads, trunc := resolveReads(w, nil, 0, txn)
+	want := []protocol.ReadAt{{Obj: 0, Cycle: 2}, {Obj: 1, Cycle: 3}, {Obj: 2, Cycle: 1}}
+	if trunc || !reflect.DeepEqual(reads, want) {
+		t.Fatalf("resolveReads = %v (trunc=%v), want %v", reads, trunc, want)
+	}
+
+	// Reads that step past the last cycle truncate the transaction.
+	long := PlannedTxn{Start: 5, Reads: []PlannedRead{{Obj: 0}, {Obj: 1, Step: 3}}}
+	reads, trunc = resolveReads(w, nil, 0, long)
+	if !trunc || len(reads) != 1 {
+		t.Fatalf("expected truncation after 1 read, got %v (trunc=%v)", reads, trunc)
+	}
+
+	// The first read is always fresh even if planned as cached.
+	cachedFirst := PlannedTxn{Start: 3, Reads: []PlannedRead{{Obj: 0, CacheAge: 2}}}
+	reads, _ = resolveReads(w, nil, 0, cachedFirst)
+	if reads[0].Cycle != 3 {
+		t.Fatalf("first read resolved at cycle %d, want fresh at 3", reads[0].Cycle)
+	}
+}
+
+// The acceptance-criterion test: an intentionally broken read-condition
+// (< flipped to <=, behind the protocol test hook) must be caught by the
+// soak, shrink to a tiny counterexample, round-trip through the corpus
+// encoding, and reproduce from the decoded workload alone.
+func TestBrokenReadConditionCaught(t *testing.T) {
+	restore := protocol.SetLooseReadCondition(true)
+	defer restore()
+
+	seed, rep, _, found, err := Soak(1, 500, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("loosened read-condition not caught within 500 seeds")
+	}
+
+	shrunk, srep := Shrink(rep.Workload)
+	if srep == nil || len(srep.Violations) == 0 {
+		t.Fatal("shrinking lost the violation")
+	}
+	if got := shrunk.TxnCount(); got > 4 {
+		t.Fatalf("shrunk counterexample has %d transactions, want <= 4", got)
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk workload no longer validates: %v", err)
+	}
+
+	dir := t.TempDir()
+	ce := &Counterexample{
+		Seed:      seed,
+		Note:      "loosened read-condition (bound > cycle instead of >=)",
+		Violation: srep.Violations[0].Kind,
+		Detail:    srep.Violations[0].Detail,
+		History:   srep.History,
+		Workload:  shrunk,
+	}
+	path, err := WriteCounterexample(dir, ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 1 {
+		t.Fatalf("corpus has %d entries, want 1 (%s)", len(corpus), path)
+	}
+
+	// Replay from the decoded corpus entry: still broken under the hook...
+	for _, loaded := range corpus {
+		rrep, err := CheckWorkload(loaded.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rrep.Violations) == 0 {
+			t.Fatal("replayed counterexample no longer violates under the broken condition")
+		}
+		if rrep.Violations[0].Kind != ce.Violation {
+			t.Fatalf("replay violation kind = %s, recorded %s", rrep.Violations[0].Kind, ce.Violation)
+		}
+		// ...and clean once the condition is fixed.
+		restore()
+		fixed, err := CheckWorkload(loaded.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fixed.Violations) != 0 {
+			t.Fatalf("counterexample still violates with the correct condition: %v", fixed.Violations[0])
+		}
+	}
+}
+
+// TestCorpusReplay replays every committed counterexample in corpus/ and
+// expects zero violations — each entry pins a scenario that once (or
+// nearly) broke, so a regression flips this test. Clean pins also carry
+// a History golden asserting full trace determinism.
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("committed corpus is empty; expected seed entries in internal/conformance/corpus")
+	}
+	for name, ce := range corpus {
+		rep, err := CheckWorkload(ce.Workload)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("%s: replay violates conformance: %v", name, v)
+		}
+		if ce.Violation == "" && ce.History != "" && rep.History != ce.History {
+			t.Errorf("%s: induced history drifted from golden:\ngot  %s\nwant %s", name, rep.History, ce.History)
+		}
+	}
+}
+
+// TestLiveStackAudit runs the real server/client stack — not the
+// replayed validators — with the ObserveRead instrumentation hook, and
+// audits what the client actually did against the exact checkers and
+// the server's incremental control state.
+func TestLiveStackAudit(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Objects:    3,
+		ObjectBits: 64,
+		Algorithm:  protocol.FMatrix,
+		Audit:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type obs struct {
+		obj      int
+		cycle    cmatrix.Cycle
+		cacheHit bool
+		accepted bool
+	}
+	var observed []obs
+	cli := client.New(client.Config{
+		Algorithm:     protocol.FMatrix,
+		CacheCurrency: 2,
+		ObserveRead: func(obj int, cycle cmatrix.Cycle, cacheHit, accepted bool) {
+			observed = append(observed, obs{obj, cycle, cacheHit, accepted})
+		},
+	}, srv.Subscribe(16))
+
+	commit := func(obj int) {
+		txn := srv.Begin()
+		if err := txn.Write(obj, []byte{byte(obj)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commit(0)
+	commit(1)
+	srv.StartCycle()
+	if _, ok := cli.AwaitCycle(); !ok {
+		t.Fatal("no cycle received")
+	}
+	txn := cli.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	commit(2)
+	srv.StartCycle()
+	cli.AwaitCycle()
+	if _, err := txn.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	// Within the currency bound this re-read is served from the cache,
+	// and the hook must see it as a hit.
+	if _, err := txn.Read(0); err != nil {
+		t.Fatalf("cached re-read of object 0: %v", err)
+	}
+	if last := observed[len(observed)-1]; !last.cacheHit || !last.accepted {
+		t.Fatalf("expected an accepted cache hit, observed %+v", last)
+	}
+	rs, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.VerifyControl(); err != nil {
+		t.Fatalf("server control state diverged from rebuild: %v", err)
+	}
+	if len(observed) == 0 {
+		t.Fatal("ObserveRead hook never fired")
+	}
+	var accepted int
+	for _, o := range observed {
+		if o.accepted {
+			accepted++
+		}
+	}
+	if accepted < len(rs) {
+		t.Fatalf("hook observed %d accepted reads, commit read-set has %d", accepted, len(rs))
+	}
+
+	h, id := bctest.InducedHistoryWithTxn(srv.AuditLog(), rs)
+	if v := core.Approx(h); !v.OK {
+		t.Fatalf("live client's accepted transaction t%d fails APPROX: %s\n%s", id, v.Reason, h)
+	}
+}
+
+// A clean workload must shrink to itself (Shrink is a no-op without a
+// violation to preserve).
+func TestShrinkNoViolationIsIdentity(t *testing.T) {
+	w := Generate(7, DefaultParams())
+	got, rep := Shrink(w)
+	if rep != nil {
+		t.Fatal("Shrink invented a violating report for a clean workload")
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatal("Shrink modified a clean workload")
+	}
+}

@@ -1,0 +1,37 @@
+package conformance
+
+import "testing"
+
+// FuzzAcceptanceLattice lets the fuzzer steer the workload generator:
+// the seed picks the scenario, the mode byte toggles fault injection,
+// cached reads and the update mix. Any violation of the acceptance
+// lattice or a server invariant is a crash. Seeded from the committed
+// corpus so past counterexamples anchor the exploration.
+func FuzzAcceptanceLattice(f *testing.F) {
+	corpus, err := LoadCorpus("corpus")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ce := range corpus {
+		f.Add(ce.Seed, uint8(0b111))
+	}
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(42), uint8(0b101))
+	f.Add(int64(9999), uint8(0b010))
+
+	f.Fuzz(func(t *testing.T, seed int64, mode uint8) {
+		p := DefaultParams()
+		p.Faults = mode&1 != 0
+		p.Cache = mode&2 != 0
+		if mode&4 != 0 {
+			p.UpdateProb = 0.6
+		}
+		rep, err := CheckWorkload(Generate(seed, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d mode %#b: %v", seed, mode, v)
+		}
+	})
+}

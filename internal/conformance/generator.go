@@ -1,0 +1,136 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/faultair"
+)
+
+// Params bounds the workload generator. All counts are inclusive upper
+// bounds; the generator draws the actual shape from the seed.
+type Params struct {
+	// MaxObjects bounds the database size n (>= 2).
+	MaxObjects int
+	// MaxCycles bounds the run length.
+	MaxCycles int
+	// MaxCommits bounds the number of background update transactions.
+	MaxCommits int
+	// MaxClients bounds the number of clients.
+	MaxClients int
+	// MaxTxns bounds the transactions per client.
+	MaxTxns int
+	// MaxReads bounds the reads per transaction.
+	MaxReads int
+	// UpdateProb is the probability a client transaction is an uplink
+	// update.
+	UpdateProb float64
+	// CacheProb is the per-read probability (first read excluded) that
+	// a read is served from the cache at an older cycle.
+	CacheProb float64
+	// Faults enables random loss/doze schedules and scripted doze
+	// windows.
+	Faults bool
+	// Cache enables cached (out-of-cycle-order) reads.
+	Cache bool
+}
+
+// DefaultParams returns the soak defaults: workloads small enough for
+// the exponential exact checker, varied enough to exercise every
+// protocol path (fresh and cached reads, uplink commits, faults).
+func DefaultParams() Params {
+	return Params{
+		MaxObjects: 6,
+		MaxCycles:  12,
+		MaxCommits: 8,
+		MaxClients: 2,
+		MaxTxns:    3,
+		MaxReads:   4,
+		UpdateProb: 0.25,
+		CacheProb:  0.35,
+		Faults:     true,
+		Cache:      true,
+	}
+}
+
+// Generate derives a fully explicit workload from the seed under the
+// given bounds. The same (seed, params) pair always yields the
+// identical workload, so a violation reproduces from its seed tuple
+// alone.
+func Generate(seed int64, p Params) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(max(p.MaxObjects-1, 1))
+	cycles := cmatrix.Cycle(4 + rng.Intn(max(p.MaxCycles-3, 1)))
+	w := &Workload{Seed: seed, Objects: n, Cycles: cycles}
+
+	pickDistinct := func(k int) []int {
+		if k > n {
+			k = n
+		}
+		perm := rng.Perm(n)
+		return append([]int(nil), perm[:k]...)
+	}
+
+	// Background commits, biased toward the early cycles so client
+	// reads actually see committed state.
+	for i := 0; i < rng.Intn(p.MaxCommits+1); i++ {
+		c := PlannedCommit{
+			At:       cmatrix.Cycle(1 + rng.Intn(int(cycles))),
+			WriteSet: pickDistinct(1 + rng.Intn(2)),
+		}
+		if rng.Float64() < 0.7 {
+			c.ReadSet = pickDistinct(rng.Intn(3))
+		}
+		w.Commits = append(w.Commits, c)
+	}
+
+	clients := 1 + rng.Intn(max(p.MaxClients, 1))
+	for cli := 0; cli < clients; cli++ {
+		var txns []PlannedTxn
+		for t := 0; t < 1+rng.Intn(max(p.MaxTxns, 1)); t++ {
+			txn := PlannedTxn{Start: cmatrix.Cycle(1 + rng.Intn(int(cycles)))}
+			nr := 1 + rng.Intn(max(p.MaxReads, 1))
+			for ri, obj := range pickDistinct(nr) {
+				r := PlannedRead{Obj: obj, Step: rng.Intn(3)}
+				if p.Cache && ri > 0 && rng.Float64() < p.CacheProb {
+					r.CacheAge = 1 + rng.Intn(3)
+				}
+				txn.Reads = append(txn.Reads, r)
+			}
+			if rng.Float64() < p.UpdateProb {
+				// Update transactions write a subset of what they read,
+				// mirroring the simulator's client update workload.
+				nw := 1 + rng.Intn(len(txn.Reads))
+				for i := 0; i < nw; i++ {
+					txn.Writes = append(txn.Writes, txn.Reads[i].Obj)
+				}
+				txn.SubmitLag = rng.Intn(2)
+			}
+			txns = append(txns, txn)
+		}
+		w.Clients = append(w.Clients, txns)
+	}
+
+	if p.Faults && rng.Float64() < 0.6 {
+		prof := faultair.Profile{Seed: seed}
+		switch rng.Intn(3) {
+		case 0:
+			prof.Loss = 0.15
+		case 1:
+			prof.Loss = 0.35
+		case 2:
+			prof.Doze = 0.15
+			prof.DozeLen = 1 + rng.Intn(2)
+		}
+		if rng.Float64() < 0.3 {
+			from := cmatrix.Cycle(1 + rng.Intn(int(cycles)))
+			prof.Windows = []faultair.Window{{
+				Client: rng.Intn(clients),
+				From:   from,
+				To:     min(from+cmatrix.Cycle(rng.Intn(3)), cycles),
+			}}
+		}
+		w.Faults = prof
+	}
+	return w
+}

@@ -1,0 +1,104 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/history"
+)
+
+// renumberReadOnly maps each committed read-only transaction of h to a
+// fresh id drawn from a shuffled block above every existing id,
+// preserving operation order. APPROX's verdict must not depend on how
+// read-only transactions happen to be numbered — each is judged in
+// isolation against the update sub-history.
+func renumberReadOnly(h *history.History, rng *rand.Rand) *history.History {
+	var maxID history.TxnID
+	for _, t := range h.Transactions() {
+		if t > maxID {
+			maxID = t
+		}
+	}
+	ro := h.ReadOnlyTransactions()
+	perm := rng.Perm(len(ro))
+	mapping := make(map[history.TxnID]history.TxnID, len(ro))
+	for i, t := range ro {
+		mapping[t] = maxID + 1 + history.TxnID(perm[i])
+	}
+	out := history.New()
+	for _, op := range h.Ops() {
+		if to, ok := mapping[op.Txn]; ok {
+			op.Txn = to
+		}
+		out.Append(op)
+	}
+	return out
+}
+
+// Property: core.Approx is invariant under renumbering of read-only
+// transactions.
+func TestApproxInvariantUnderReadOnlyRenumbering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := history.DefaultGenConfig()
+	cfg.ReadOnlyTxns = 3
+	for i := 0; i < 500; i++ {
+		h := history.RandomHistory(rng, cfg)
+		if len(h.ReadOnlyTransactions()) == 0 {
+			continue
+		}
+		before := core.Approx(h).OK
+		after := core.Approx(renumberReadOnly(h, rng)).OK
+		if before != after {
+			t.Fatalf("iteration %d: Approx = %v before renumbering, %v after\n%s", i, before, after, h)
+		}
+	}
+}
+
+// Property (Theorem 6 direction over random histories): every history
+// APPROX accepts is update consistent — the polynomial recognizer never
+// over-accepts relative to the exact exponential checker.
+func TestUpdateConsistentContainsApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := history.DefaultGenConfig()
+	cfg.AbortFraction = 0.1
+	accepted := 0
+	for i := 0; i < 1000; i++ {
+		h := history.RandomHistory(rng, cfg)
+		if !core.Approx(h).OK {
+			continue
+		}
+		accepted++
+		if v := core.UpdateConsistent(h); !v.OK {
+			t.Fatalf("iteration %d: APPROX accepts but update consistency rejects: %s\n%s", i, v.Reason, h)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("generator produced no APPROX-accepted histories; property vacuous")
+	}
+}
+
+// The oracle's per-transaction induced history must itself be
+// well-formed and parse back from its string form (the reproducer
+// format attached to violations).
+func TestReportHistoryRoundTrips(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rep, err := CheckWorkload(Generate(seed, DefaultParams()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.History == "" {
+			continue
+		}
+		h, err := history.Parse(rep.History)
+		if err != nil {
+			t.Fatalf("seed %d: report history does not parse: %v\n%s", seed, err, rep.History)
+		}
+		if err := h.CheckWellFormed(); err != nil {
+			t.Fatalf("seed %d: report history ill-formed: %v", seed, err)
+		}
+		if h.String() != rep.History {
+			t.Fatalf("seed %d: history round-trip changed the string", seed)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/faultair"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+// Violation is one failed conformance invariant.
+type Violation struct {
+	// Kind names the invariant, e.g. KindFMatrixBeyondApprox.
+	Kind string
+	// Client and Txn identify the offending client transaction; both
+	// are -1 for server-level violations.
+	Client, Txn int
+	// Detail is a human-readable description.
+	Detail string
+	// History is the induced history the oracle judged, in the paper's
+	// parseable notation (empty for server-level violations).
+	History string
+}
+
+func (v Violation) String() string {
+	at := ""
+	if v.Client >= 0 {
+		at = fmt.Sprintf(" (client %d txn %d)", v.Client, v.Txn)
+	}
+	return fmt.Sprintf("%s%s: %s", v.Kind, at, v.Detail)
+}
+
+// Violation kinds. The first group are acceptance-lattice inclusions
+// (per read-only transaction), the second server-side invariants.
+const (
+	KindDatacycleBeyondRMatrix = "datacycle-beyond-rmatrix"
+	KindRMatrixBeyondFMatrix   = "rmatrix-beyond-fmatrix"
+	KindFMatrixBeyondApprox    = "fmatrix-beyond-approx"
+	KindApproxBeyondUC         = "approx-beyond-update-consistent"
+	KindCacheValidatorDiverged = "cache-validator-divergence"
+	KindCachedDCBeyondFMatrix  = "datacycle-cache-beyond-fmatrix-cache"
+	KindWholeRunApprox         = "whole-run-approx"
+
+	KindTheorem2       = "theorem2-incremental-maintenance"
+	KindSnapshotStale  = "snapshot-rebuild-mismatch"
+	KindCOWAliasing    = "cow-aliasing"
+	KindServerDiverged = "server-divergence"
+)
+
+// resolvedTxn is a client transaction with its reads pinned to concrete
+// cycles: the pure function of (workload, fault schedule) every
+// protocol validates the same way.
+type resolvedTxn struct {
+	client, index int
+	update        bool
+	cached        bool // at least one cached (out-of-order) read
+	truncated     bool // the run ended before all reads completed
+	reads         []protocol.ReadAt
+	writes        []int
+	submitAt      cmatrix.Cycle // uplink arrival cycle (update txns)
+	uplinkOK      bool          // server accepted the uplink commit
+}
+
+// cycleSnap retains one cycle's published control information: the
+// vector server's vector, the matrix server's copy-on-write snapshot,
+// and a deep clone taken at publish time for the aliasing check.
+type cycleSnap struct {
+	vec    *cmatrix.Vector
+	mat    *cmatrix.Matrix
+	matRef *cmatrix.Matrix
+}
+
+// airTrace is the deterministic record of one workload run.
+type airTrace struct {
+	log        []cmatrix.Commit
+	snaps      []cycleSnap // index by cycle number; [0] unused
+	txns       []*resolvedTxn
+	violations []Violation
+}
+
+// resolveReads pins every planned read to the cycle it is performed in,
+// skipping cycles the client's tuner misses. Fresh reads advance the
+// cursor; cached reads re-use an older received cycle without advancing
+// it. Reads that cannot complete before the run ends truncate the
+// transaction.
+func resolveReads(w *Workload, sched *faultair.Schedule, client int, txn PlannedTxn) (reads []protocol.ReadAt, truncated bool) {
+	next := func(from cmatrix.Cycle) (cmatrix.Cycle, bool) {
+		if from < 1 {
+			from = 1
+		}
+		if sched == nil {
+			if from > w.Cycles {
+				return 0, false
+			}
+			return from, true
+		}
+		return sched.NextReceived(client, from, w.Cycles)
+	}
+	cursor := txn.Start
+	fresh := false
+	for _, r := range txn.Reads {
+		if r.CacheAge > 0 && fresh {
+			// Cached read: validated at the oldest received cycle within
+			// CacheAge cycles of the cursor (maximizing out-of-orderness);
+			// the cursor — the client's position on the air — stays put.
+			at, ok := next(cursor - cmatrix.Cycle(r.CacheAge))
+			if !ok || at > cursor {
+				at = cursor // the cursor's cycle was received
+			}
+			reads = append(reads, protocol.ReadAt{Obj: r.Obj, Cycle: at})
+			continue
+		}
+		at, ok := next(cursor + cmatrix.Cycle(r.Step))
+		if !ok {
+			return reads, true
+		}
+		cursor = at
+		fresh = true
+		reads = append(reads, protocol.ReadAt{Obj: r.Obj, Cycle: at})
+	}
+	return reads, false
+}
+
+// runAir executes the workload against two real servers in lockstep —
+// one broadcasting the control vector, one the full C matrix — fed the
+// identical commit stream, and retains every cycle's published control
+// snapshot. Server-side invariants (Theorem 2 maintenance, snapshot
+// immutability, lockstep agreement) are checked as it goes.
+func runAir(w *Workload) (*airTrace, error) {
+	mk := func(alg protocol.Algorithm) (*server.Server, error) {
+		return server.New(server.Config{
+			Objects:    w.Objects,
+			ObjectBits: 64,
+			Algorithm:  alg,
+			Audit:      true,
+		})
+	}
+	vecSrv, err := mk(protocol.RMatrix)
+	if err != nil {
+		return nil, err
+	}
+	matSrv, err := mk(protocol.FMatrix)
+	if err != nil {
+		return nil, err
+	}
+	defer vecSrv.Close()
+	defer matSrv.Close()
+
+	var sched *faultair.Schedule
+	if !w.Faults.Zero() {
+		sched = faultair.NewSchedule(w.Faults)
+	}
+
+	tr := &airTrace{snaps: make([]cycleSnap, w.Cycles+1)}
+	for cli, txns := range w.Clients {
+		for ti, txn := range txns {
+			rt := &resolvedTxn{client: cli, index: ti, update: len(txn.Writes) > 0}
+			rt.reads, rt.truncated = resolveReads(w, sched, cli, txn)
+			for _, r := range txn.Reads[:len(rt.reads)] {
+				if r.CacheAge > 0 {
+					rt.cached = true
+				}
+			}
+			if rt.update && !rt.truncated && len(rt.reads) > 0 {
+				rt.writes = txn.Writes
+				last := rt.reads[len(rt.reads)-1].Cycle
+				rt.submitAt = min(last+cmatrix.Cycle(txn.SubmitLag), w.Cycles)
+			}
+			tr.txns = append(tr.txns, rt)
+		}
+	}
+
+	serverTxn := func(s *server.Server, c PlannedCommit) error {
+		t := s.Begin()
+		for _, obj := range c.ReadSet {
+			if _, err := t.Read(obj); err != nil {
+				return err
+			}
+		}
+		for _, obj := range c.WriteSet {
+			if err := t.Write(obj, []byte{byte(obj)}); err != nil {
+				return err
+			}
+		}
+		return t.Commit()
+	}
+
+	for c := cmatrix.Cycle(1); c <= w.Cycles; c++ {
+		cbV, cbM := vecSrv.StartCycle(), matSrv.StartCycle()
+		if cbV == nil || cbM == nil || cbV.Number != c || cbM.Number != c {
+			return nil, fmt.Errorf("conformance: servers fell out of lockstep at cycle %d", c)
+		}
+		tr.snaps[c] = cycleSnap{vec: cbV.Vector, mat: cbM.Matrix, matRef: cbM.Matrix.Clone()}
+
+		for ci, pc := range w.Commits {
+			if pc.At != c {
+				continue
+			}
+			errV, errM := serverTxn(vecSrv, pc), serverTxn(matSrv, pc)
+			if (errV == nil) != (errM == nil) {
+				tr.violations = append(tr.violations, Violation{
+					Kind: KindServerDiverged, Client: -1, Txn: -1,
+					Detail: fmt.Sprintf("commit %d at cycle %d: vector server err=%v, matrix server err=%v", ci, c, errV, errM),
+				})
+			} else if errV != nil {
+				return nil, fmt.Errorf("conformance: background commit %d failed: %v", ci, errV)
+			}
+		}
+		for _, rt := range tr.txns {
+			if !rt.update || rt.truncated || len(rt.reads) == 0 || rt.submitAt != c {
+				continue
+			}
+			req := protocol.UpdateRequest{Reads: rt.reads}
+			for _, obj := range rt.writes {
+				req.Writes = append(req.Writes, protocol.ObjectWrite{Obj: obj, Value: []byte{byte(obj)}})
+			}
+			errV, errM := vecSrv.SubmitUpdate(req), matSrv.SubmitUpdate(req)
+			if (errV == nil) != (errM == nil) {
+				tr.violations = append(tr.violations, Violation{
+					Kind: KindServerDiverged, Client: rt.client, Txn: rt.index,
+					Detail: fmt.Sprintf("uplink at cycle %d: vector server err=%v, matrix server err=%v", c, errV, errM),
+				})
+			}
+			rt.uplinkOK = errM == nil
+		}
+
+		// Theorem 2: the incrementally maintained control state must
+		// match a from-scratch rebuild after every cycle's commits.
+		for name, s := range map[string]*server.Server{"vector": vecSrv, "matrix": matSrv} {
+			if err := s.VerifyControl(); err != nil {
+				tr.violations = append(tr.violations, Violation{
+					Kind: KindTheorem2, Client: -1, Txn: -1,
+					Detail: fmt.Sprintf("%s server after cycle %d: %v", name, c, err),
+				})
+			}
+		}
+	}
+
+	tr.log = matSrv.AuditLog()
+	if vecLog := vecSrv.AuditLog(); !reflect.DeepEqual(vecLog, tr.log) {
+		tr.violations = append(tr.violations, Violation{
+			Kind: KindServerDiverged, Client: -1, Txn: -1,
+			Detail: fmt.Sprintf("audit logs diverged: vector server committed %d, matrix server %d", len(vecLog), len(tr.log)),
+		})
+	}
+
+	// Copy-on-write snapshots must still equal the deep clones taken at
+	// publish time, and both must equal a from-definition rebuild of
+	// the control state as of the beginning of their cycle.
+	prefix := 0
+	for c := cmatrix.Cycle(1); c <= w.Cycles; c++ {
+		snap := tr.snaps[c]
+		if !snap.mat.Equal(snap.matRef) {
+			i, j, _ := snap.mat.Diff(snap.matRef)
+			tr.violations = append(tr.violations, Violation{
+				Kind: KindCOWAliasing, Client: -1, Txn: -1,
+				Detail: fmt.Sprintf("cycle %d snapshot entry C(%d,%d) mutated after publish: %d, clone has %d",
+					c, i, j, snap.mat.At(i, j), snap.matRef.At(i, j)),
+			})
+		}
+		for prefix < len(tr.log) && tr.log[prefix].Cycle < c {
+			prefix++
+		}
+		want := cmatrix.FromLog(w.Objects, tr.log[:prefix])
+		if !snap.mat.Equal(want) {
+			i, j, _ := snap.mat.Diff(want)
+			tr.violations = append(tr.violations, Violation{
+				Kind: KindSnapshotStale, Client: -1, Txn: -1,
+				Detail: fmt.Sprintf("cycle %d snapshot C(%d,%d) = %d, rebuild over %d commits says %d",
+					c, i, j, snap.mat.At(i, j), prefix, want.At(i, j)),
+			})
+		}
+	}
+	return tr, nil
+}

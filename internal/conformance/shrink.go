@@ -1,0 +1,188 @@
+package conformance
+
+import (
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/faultair"
+)
+
+// stillFailing reports whether the candidate workload still exhibits at
+// least one conformance violation (and is structurally valid — a shrink
+// step must never produce an invalid workload).
+func stillFailing(w *Workload) (*Report, bool) {
+	if w.Validate() != nil {
+		return nil, false
+	}
+	rep, err := CheckWorkload(w)
+	if err != nil {
+		return nil, false
+	}
+	return rep, len(rep.Violations) > 0
+}
+
+// Shrink minimizes a violating workload by greedy delta debugging: it
+// repeatedly tries structural removals — whole client transactions,
+// background commits, individual reads, read/write-set elements,
+// zeroing the fault profile, truncating trailing cycles — keeping every
+// removal that preserves at least one violation, until a full pass
+// removes nothing. The result is 1-minimal for these removal operators.
+// Returns the shrunk workload and its (violating) report; if w itself
+// does not violate, it is returned unchanged with a nil report.
+func Shrink(w *Workload) (*Workload, *Report) {
+	best, ok := stillFailing(w)
+	if !ok {
+		return w, nil
+	}
+	cur := w.Clone()
+
+	try := func(candidate *Workload) bool {
+		rep, ok := stillFailing(candidate)
+		if ok {
+			cur, best = candidate, rep
+		}
+		return ok
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Drop whole client transactions (and then empty clients).
+		for ci := 0; ci < len(cur.Clients); ci++ {
+			for ti := 0; ti < len(cur.Clients[ci]); ti++ {
+				c := cur.Clone()
+				c.Clients[ci] = append(c.Clients[ci][:ti], c.Clients[ci][ti+1:]...)
+				if len(c.Clients[ci]) == 0 {
+					c.Clients = append(c.Clients[:ci], c.Clients[ci+1:]...)
+				}
+				if try(c) {
+					changed = true
+					ci, ti = -1, len(cur.Clients) // restart scan on cur
+					break
+				}
+			}
+			if ci < 0 {
+				break
+			}
+		}
+
+		// Drop background commits.
+		for i := 0; i < len(cur.Commits); i++ {
+			c := cur.Clone()
+			c.Commits = append(c.Commits[:i], c.Commits[i+1:]...)
+			if try(c) {
+				changed = true
+				i = -1
+			}
+		}
+
+		// Drop individual reads (keeping transactions non-empty).
+		for ci := range cur.Clients {
+			for ti := range cur.Clients[ci] {
+				for ri := 0; ri < len(cur.Clients[ci][ti].Reads); ri++ {
+					if len(cur.Clients[ci][ti].Reads) == 1 {
+						break
+					}
+					c := cur.Clone()
+					t := &c.Clients[ci][ti]
+					t.Reads = append(t.Reads[:ri], t.Reads[ri+1:]...)
+					// Writes must stay a subset of distinct objects; trim
+					// writes of the dropped object.
+					t.Writes = intersectObjs(t.Writes, t.Reads)
+					if try(c) {
+						changed = true
+						ri = -1
+					}
+				}
+			}
+		}
+
+		// Thin commit read/write sets (write sets stay non-empty).
+		for i := range cur.Commits {
+			for ri := 0; ri < len(cur.Commits[i].ReadSet); ri++ {
+				c := cur.Clone()
+				c.Commits[i].ReadSet = append(c.Commits[i].ReadSet[:ri], c.Commits[i].ReadSet[ri+1:]...)
+				if try(c) {
+					changed = true
+					ri = -1
+				}
+			}
+			for wi := 0; wi < len(cur.Commits[i].WriteSet); wi++ {
+				if len(cur.Commits[i].WriteSet) == 1 {
+					break
+				}
+				c := cur.Clone()
+				c.Commits[i].WriteSet = append(c.Commits[i].WriteSet[:wi], c.Commits[i].WriteSet[wi+1:]...)
+				if try(c) {
+					changed = true
+					wi = -1
+				}
+			}
+		}
+
+		// Demote update transactions to read-only.
+		for ci := range cur.Clients {
+			for ti := range cur.Clients[ci] {
+				if len(cur.Clients[ci][ti].Writes) == 0 {
+					continue
+				}
+				c := cur.Clone()
+				c.Clients[ci][ti].Writes = nil
+				c.Clients[ci][ti].SubmitLag = 0
+				if try(c) {
+					changed = true
+				}
+			}
+		}
+
+		// Zero the fault profile.
+		if !cur.Faults.Zero() {
+			c := cur.Clone()
+			c.Faults = faultair.Profile{}
+			if try(c) {
+				changed = true
+			}
+		}
+
+		// Truncate trailing cycles past the last referenced one.
+		if last := lastReferencedCycle(cur); last < cur.Cycles {
+			c := cur.Clone()
+			c.Cycles = max(last, 1)
+			if try(c) {
+				changed = true
+			}
+		}
+	}
+	return cur, best
+}
+
+func intersectObjs(writes []int, reads []PlannedRead) []int {
+	keep := writes[:0]
+	for _, wobj := range writes {
+		for _, r := range reads {
+			if r.Obj == wobj {
+				keep = append(keep, wobj)
+				break
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	return keep
+}
+
+func lastReferencedCycle(w *Workload) cmatrix.Cycle {
+	var last cmatrix.Cycle
+	for _, c := range w.Commits {
+		last = max(last, c.At)
+	}
+	for _, txns := range w.Clients {
+		for _, t := range txns {
+			end := t.Start + cmatrix.Cycle(t.SubmitLag)
+			for _, r := range t.Reads {
+				end += cmatrix.Cycle(r.Step)
+			}
+			last = max(last, end)
+		}
+	}
+	return last
+}

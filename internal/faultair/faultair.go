@@ -177,6 +177,20 @@ func (s *Schedule) Missed(client int, cycle cmatrix.Cycle) bool {
 	return s.Dozing(client, cycle) || s.Dropped(client, cycle)
 }
 
+// NextReceived reports the first cycle in [from, limit] the client
+// actually receives — neither dozing through it nor losing its frame —
+// and whether one exists within the bound. It is how a simulated tuner
+// resolves "the next cycle this read can complete in" against the fault
+// schedule.
+func (s *Schedule) NextReceived(client int, from, limit cmatrix.Cycle) (cmatrix.Cycle, bool) {
+	for c := from; c <= limit; c++ {
+		if !s.Missed(client, c) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // Disconnected reports whether the client's subscription is torn down
 // on receiving the given cycle.
 func (s *Schedule) Disconnected(client int, cycle cmatrix.Cycle) bool {

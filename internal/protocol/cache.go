@@ -65,10 +65,10 @@ type recordedRead struct {
 // sufficient.
 func (v *SnapshotValidator) TryRead(snap Snapshot, obj int, cur cmatrix.Cycle) bool {
 	for _, r := range v.reads {
-		if snap.Bound(r.obj, obj) >= r.cycle {
+		if violates(snap.Bound(r.obj, obj), r.cycle) {
 			return false
 		}
-		if r.snap.Bound(obj, r.obj) >= cur {
+		if violates(r.snap.Bound(obj, r.obj), cur) {
 			return false
 		}
 	}

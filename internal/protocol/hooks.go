@@ -1,0 +1,34 @@
+package protocol
+
+import "broadcastcc/internal/cmatrix"
+
+// looseReadCondition weakens every validator's read-condition from the
+// paper's strict "bound < cycle" to "bound <= cycle" — an off-by-one
+// over-acceptance bug. It exists only as a fault-injection hook for the
+// conformance harness: internal/conformance's differential oracle must
+// detect the resulting safety violations (a protocol accepts a
+// transaction APPROX rejects) and shrink them to small counterexamples.
+// Production code never sets it.
+var looseReadCondition = false
+
+// SetLooseReadCondition toggles the deliberately broken read-condition
+// and returns a function restoring the previous setting. It is a test
+// hook: process-global, not safe to flip while validators are running
+// concurrently.
+func SetLooseReadCondition(on bool) (restore func()) {
+	prev := looseReadCondition
+	looseReadCondition = on
+	return func() { looseReadCondition = prev }
+}
+
+// violates reports whether a control bound invalidates a read performed
+// at the given cycle. The correct condition accepts iff bound < cycle;
+// the loose hook accepts the bound == cycle boundary too, silently
+// admitting reads whose object was overwritten during the very cycle
+// they were performed in.
+func violates(bound, cycle cmatrix.Cycle) bool {
+	if looseReadCondition {
+		return bound > cycle
+	}
+	return bound >= cycle
+}

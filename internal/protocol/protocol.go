@@ -170,7 +170,7 @@ type ConjunctiveValidator struct {
 // TryRead implements Validator.
 func (v *ConjunctiveValidator) TryRead(snap Snapshot, obj int, cur cmatrix.Cycle) bool {
 	for _, r := range v.reads {
-		if snap.Bound(r.Obj, obj) >= r.Cycle {
+		if violates(snap.Bound(r.Obj, obj), r.Cycle) {
 			return false
 		}
 	}
@@ -208,12 +208,12 @@ func (v *RMatrixValidator) TryRead(snap Snapshot, obj int, cur cmatrix.Cycle) bo
 	}
 	okAll := true
 	for _, r := range v.reads {
-		if vs.LastWrite(r.Obj) >= r.Cycle {
+		if violates(vs.LastWrite(r.Obj), r.Cycle) {
 			okAll = false
 			break
 		}
 	}
-	if !okAll && vs.LastWrite(obj) >= v.first {
+	if !okAll && violates(vs.LastWrite(obj), v.first) {
 		return false
 	}
 	v.reads = append(v.reads, ReadAt{Obj: obj, Cycle: cur})

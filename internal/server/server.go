@@ -141,6 +141,45 @@ func (s *Server) AuditLog() []cmatrix.Commit {
 	return out
 }
 
+// VerifyControl cross-checks the incrementally maintained control
+// information against a from-scratch rebuild out of the audit log: the
+// C matrix must equal cmatrix.FromLog over the committed update log
+// (Theorem 2), and each vector entry must equal the last committed
+// write cycle of its object. It requires Config.Audit and exists for
+// the conformance harness and differential tests; cost is O(|log| × n)
+// per call.
+func (s *Server) VerifyControl() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cfg.Audit {
+		return errors.New("server: VerifyControl requires Config.Audit")
+	}
+	rebuilt := cmatrix.FromLog(s.cfg.Objects, s.audit)
+	if !s.matrix.Equal(rebuilt) {
+		i, j, _ := s.matrix.Diff(rebuilt)
+		return fmt.Errorf("server: incremental C(%d,%d) = %d but from-scratch rebuild says %d after %d commits (Theorem 2 violated)",
+			i, j, s.matrix.At(i, j), rebuilt.At(i, j), len(s.audit))
+	}
+	lastWrite := make([]cmatrix.Cycle, s.cfg.Objects)
+	for _, c := range s.audit {
+		for _, j := range c.WriteSet {
+			if c.Cycle > lastWrite[j] {
+				lastWrite[j] = c.Cycle
+			}
+		}
+	}
+	for j := 0; j < s.cfg.Objects; j++ {
+		if got := s.vector.At(j); got != lastWrite[j] {
+			return fmt.Errorf("server: incremental V(%d) = %d but from-scratch rebuild says %d after %d commits",
+				j, got, lastWrite[j], len(s.audit))
+		}
+		if s.lastCycle[j] != lastWrite[j] {
+			return fmt.Errorf("server: lastCycle[%d] = %d but audit log says %d", j, s.lastCycle[j], lastWrite[j])
+		}
+	}
+	return nil
+}
+
 // Subscribe tunes a client in with the given channel buffer.
 func (s *Server) Subscribe(buffer int) *bcast.Subscription {
 	return s.medium.Subscribe(buffer)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures conform fuzz-smoke
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # server/protocol state it exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/...
 
 verify: build test race
 
@@ -28,10 +28,12 @@ conform:
 	$(GO) run ./cmd/bcconform -soak 10000
 
 # Short native-fuzzing pass over every fuzz target (parser, wire codec,
-# acceptance lattice); CI runs this on each push.
+# program-mode index/bucket frames, acceptance lattice); CI runs this on
+# each push.
 fuzz-smoke:
 	$(GO) test ./internal/history/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeCycle -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrames -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 
 # Micro-benchmarks only (matrix apply/snapshot, wire codec, validator).
@@ -41,3 +43,8 @@ bench:
 # One pass over every figure sweep at reduced scale.
 bench-figures:
 	$(GO) test -run '^$$' -bench 'Figure|Sweep' -benchtime 1x
+
+# One end-to-end pass of every experiment-harness benchmark (airsched
+# sweeps included); CI runs this on each push to catch harness breakage.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/experiments/...

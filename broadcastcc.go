@@ -47,6 +47,7 @@
 package broadcastcc
 
 import (
+	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/client"
 	"broadcastcc/internal/cmatrix"
@@ -58,6 +59,7 @@ import (
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
 	"broadcastcc/internal/sim"
+	"broadcastcc/internal/wire"
 )
 
 // Algorithm selects one of the paper's concurrency control protocols.
@@ -173,6 +175,16 @@ type UpdateRequest = protocol.UpdateRequest
 // both implement it.
 type Uplink = protocol.Uplink
 
+// ColumnSnapshot is the control information of a single object under
+// F-Matrix: column Obj of the C matrix at some cycle — exactly what a
+// program-mode Bucket carries.
+type ColumnSnapshot = protocol.ColumnSnapshot
+
+// SnapshotValidator validates reads that each carry their own control
+// snapshot, in any cycle order — the validator for cached reads and
+// for selective tuners, which receive one ColumnSnapshot per bucket.
+type SnapshotValidator = protocol.SnapshotValidator
+
 // Errors surfaced by the runtime that callers commonly branch on.
 var (
 	// ErrInconsistentRead aborts a client transaction whose next read
@@ -182,6 +194,48 @@ var (
 	// overwritten by a committed transaction.
 	ErrConflict = server.ErrConflict
 )
+
+// ---- Air scheduling (broadcast programs, (1,m) index, tuning) ----
+
+// BroadcastProgram is a multi-disk broadcast program: hot objects
+// repeat every minor cycle, cold ones rotate through slow disks, and an
+// optional (1,m) air index lets clients doze between frames. Pass one
+// in ServerConfig.Program.
+type BroadcastProgram = airsched.Program
+
+// BuildProgram derives the broadcast program for a server
+// configuration from per-object access-frequency weights: objects are
+// partitioned across up to disks power-of-two-speed broadcast disks by
+// the square-root rule, with indexM (1,m) index segments per major
+// cycle (0 = no index). disks = 1 with no index reproduces the flat
+// broadcast. The returned program matches the layout NewServer will
+// compute for cfg.
+func BuildProgram(cfg ServerConfig, weights []float64, disks, indexM int) (*BroadcastProgram, error) {
+	if cfg.TimestampBits == 0 {
+		cfg.TimestampBits = 8 // mirror NewServer's default
+	}
+	layout := bcast.LayoutFor(cfg.Algorithm, cfg.Objects, cfg.ObjectBits, cfg.TimestampBits, cfg.Groups)
+	return airsched.Build(layout, weights, disks, indexM)
+}
+
+// ZipfWeights returns the static zipf(θ) access-frequency estimate
+// over n objects (object 0 hottest); θ = 0 is uniform.
+func ZipfWeights(n int, theta float64) []float64 { return airsched.ZipfWeights(n, theta) }
+
+// AccessEstimator produces per-object access-frequency weights for
+// BuildProgram; EWMAEstimator learns them online from uplink read-sets.
+type AccessEstimator = airsched.Estimator
+
+// EWMAEstimator is an online access-frequency estimate: feed it
+// observed read-sets and rebuild the program from its Weights
+// periodically.
+type EWMAEstimator = airsched.EWMA
+
+// NewEWMAEstimator builds an exponentially weighted moving-average
+// estimator over n objects with smoothing factor alpha in (0,1).
+func NewEWMAEstimator(n int, alpha float64) (*EWMAEstimator, error) {
+	return airsched.NewEWMA(n, alpha)
+}
 
 // ---- Network runtime (TCP) ----
 
@@ -196,12 +250,39 @@ func ServeBroadcast(srv *Server, broadcastAddr, uplinkAddr string) (*NetServer, 
 	return netcast.Serve(srv, broadcastAddr, uplinkAddr)
 }
 
+// NetcastOptions tune a network server: DeltaEvery enables cycle-level
+// delta frames (flat matrix broadcasts), RefreshEvery enables
+// per-object delta control columns (program mode).
+type NetcastOptions = netcast.Options
+
+// ServeBroadcastOptions is ServeBroadcast with explicit options.
+func ServeBroadcastOptions(srv *Server, broadcastAddr, uplinkAddr string, opts NetcastOptions) (*NetServer, error) {
+	return netcast.ServeOptions(srv, broadcastAddr, uplinkAddr, opts)
+}
+
 // Tuner receives a TCP broadcast stream and re-publishes decoded cycles
 // locally for NewClient.
 type Tuner = netcast.Tuner
 
 // Tune connects to a broadcast stream.
 func Tune(addr string) (*Tuner, error) { return netcast.Tune(addr) }
+
+// SelectiveTuner is the (1,m) air-index receiver: it probes the
+// stream, dozes to the next index segment, and wakes exactly for the
+// frames it needs, tracking tuning time (frames listened) separately
+// from access time. It requires a program-mode broadcast.
+type SelectiveTuner = netcast.SelectiveTuner
+
+// SelectiveStats are a selective tuner's frame counters.
+type SelectiveStats = netcast.SelectiveStats
+
+// TuneSelective connects a selective tuner to a program-mode broadcast
+// stream.
+func TuneSelective(addr string) (*SelectiveTuner, error) { return netcast.TuneSelective(addr) }
+
+// Bucket is one decoded program-mode data frame: an object's value and
+// reconstructed control column at a major cycle.
+type Bucket = wire.Bucket
 
 // NetUplink is the TCP client-to-server channel for update commits.
 type NetUplink = netcast.Uplink

@@ -9,6 +9,14 @@
 //	bcbench -figure all -txns 200   # everything, quicker
 //	bcbench -figure 4b -csv out.csv # machine-readable series
 //	bcbench -figure all -parallel 8 # bound the sweep worker pool
+//	bcbench -figure airsched -json bench/   # tuning-vs-skew study as BENCH_airsched.json
+//
+// The airsched figures measure the air-scheduling subsystem: "airsched"
+// sweeps zipf skew θ comparing the flat broadcast against a 3-disk
+// program with a (1,8) index on tuning time at equal-or-better access
+// time; "airdisks" sweeps the disk count at θ=0.95. With -json every
+// figure (classic sweeps included) is also written as BENCH_<id>.json
+// in one shared schema for downstream tooling.
 //
 // Each sweep fans its independent simulation runs across a worker pool
 // (GOMAXPROCS workers by default; -parallel overrides). Tables are
@@ -24,13 +32,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"broadcastcc"
 	"broadcastcc/internal/experiments"
 )
 
+// writeBenchJSON writes one figure in the shared benchmark schema.
+func writeBenchJSON(path string, e *broadcastcc.Experiment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
-	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, delta, or all")
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, or all")
 	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")
@@ -38,6 +60,7 @@ func main() {
 	maxTime := flag.Float64("max-time", 1e13, "per-run simulated-time guard in bit-units (0 = none)")
 	shapeSlack := flag.Float64("shape-slack", 0.35, "tolerance for the qualitative shape check")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+	jsonDir := flag.String("json", "", "write one machine-readable BENCH_<id>.json per figure into this directory")
 	flag.Parse()
 
 	opt := broadcastcc.ExperimentOptions{
@@ -82,7 +105,22 @@ func main() {
 		exps = append(exps, e)
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range exps {
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			if err := writeBenchJSON(path, e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 		fmt.Println(e.Table(e.Metric()))
 		if e.ID == "2a" { // the paper discusses both metrics for Figure 2
 			fmt.Println(e.Table(experiments.RestartRatio))

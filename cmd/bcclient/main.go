@@ -9,6 +9,13 @@
 // (seeded by -fault-seed) and recovers from the induced reception gaps:
 //
 //	bcclient -broadcast 127.0.0.1:7070 -read 0,1 -txns 20 -loss 0.2 -fault-seed 7
+//
+// Against a program-mode server (bcserver -disks ... -index-m ...),
+// -selective tunes via the (1,m) air index — dozing between exactly the
+// frames the transaction needs — and reports tuning time (frames
+// listened) separately from the values read:
+//
+//	bcclient -broadcast 127.0.0.1:7070 -read 0,5 -txns 10 -selective
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	doze := flag.Float64("doze", 0, "per-cycle probability a doze window starts [0,1]")
 	dozeLen := flag.Int("doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
+	selective := flag.Bool("selective", false, "tune selectively via the (1,m) air index (requires a program-mode server; read-only)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -45,6 +53,18 @@ func main() {
 	if *readList == "" && *writeSpec == "" {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -read and/or -write")
 		os.Exit(2)
+	}
+	if *selective {
+		if *writeSpec != "" || *loss > 0 || *doze > 0 {
+			fmt.Fprintln(os.Stderr, "-selective supports read-only transactions over a clean air (no -write/-loss/-doze)")
+			os.Exit(2)
+		}
+		reads, err := parseReads(*readList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSelective(*broadcastAddr, reads, *txns)
+		return
 	}
 
 	tuner, err := broadcastcc.Tune(*broadcastAddr)
@@ -150,6 +170,57 @@ func main() {
 		fmt.Printf("faults: %d delivered, %d dozed, %d dropped, %d delayed, %d disconnects; %d cycle gaps (%d cycles missed)\n",
 			ls.Delivered, ls.Dozed, ls.Dropped, ls.Delayed, ls.Disconnects, st.Gaps, st.CyclesMissed)
 	}
+}
+
+// runSelective reads via the (1,m) air index: probe, doze to the index,
+// doze to each object's frame, decoding only what the transaction
+// needs. Every bucket carries the object's control column, so reads are
+// validated with the snapshot (F-Matrix) read-condition even though the
+// client never sees a whole cycle.
+func runSelective(addr string, reads []int, txns int) {
+	st, err := broadcastcc.TuneSelective(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	aborts := 0
+	for done := 0; done < txns; {
+		v := &broadcastcc.SnapshotValidator{}
+		vals := make([][]byte, 0, len(reads))
+		cycles := make([]broadcastcc.Cycle, 0, len(reads))
+		ok := true
+		for _, obj := range reads {
+			b, err := st.ReadObject(obj)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(b.Column) != b.Layout.Objects {
+				log.Fatal("selective validation needs the F-Matrix layout (per-object control columns)")
+			}
+			if !v.TryRead(broadcastcc.ColumnSnapshot{Obj: obj, Col: b.Column}, obj, b.Number) {
+				ok = false
+				break
+			}
+			vals = append(vals, b.Value)
+			cycles = append(cycles, b.Number)
+		}
+		if !ok {
+			aborts++
+			continue
+		}
+		fmt.Printf("txn %d:", done+1)
+		for i, obj := range reads {
+			fmt.Printf(" obj%d=%q@%d", obj, strings.TrimRight(string(vals[i]), "\x00"), cycles[i])
+		}
+		fmt.Printf("  [read-set %v]\n", v.ReadSet())
+		done++
+	}
+	s := st.Stats()
+	fmt.Printf("stats: %d txns, %d aborts\n", txns, aborts)
+	fmt.Printf("tuning: %d frames listened, %d dozed, %d index misses (%.1f%% awake)\n",
+		s.FramesListened, s.FramesDozed, s.IndexMisses,
+		100*float64(s.FramesListened)/float64(max(s.FramesListened+s.FramesDozed, 1)))
 }
 
 func parseReads(s string) ([]int, error) {

@@ -37,12 +37,16 @@ func main() {
 	noShrink := flag.Bool("noshrink", false, "report the first violation without shrinking or persisting it")
 	noFaults := flag.Bool("nofaults", false, "disable reception-fault injection")
 	noCache := flag.Bool("nocache", false, "disable cached (out-of-order) reads")
+	noAir := flag.Bool("noair", false, "disable airsched program workloads (wire-level rebroadcast checks)")
 	verbose := flag.Bool("v", false, "print per-transaction verdicts for single-seed checks")
 	flag.Parse()
 
 	p := conformance.DefaultParams()
 	p.Faults = !*noFaults
 	p.Cache = !*noCache
+	if *noAir {
+		p.Air = 0
+	}
 
 	switch {
 	case *replay:
@@ -64,6 +68,10 @@ func runOne(seed int64, p conformance.Params, verbose bool) int {
 	dc, rm, fm, ro := rep.Accepted()
 	fmt.Printf("seed %d: %d objects, %d cycles, %d commits, %d client txns\n",
 		seed, w.Objects, w.Cycles, len(w.Commits), w.TxnCount()-len(w.Commits))
+	if a := w.Air; a != nil {
+		fmt.Printf("air program: %d disks, (1,%d) index, zipf θ=%.2f, refresh every %d\n",
+			a.Disks, a.IndexM, a.Skew, a.RefreshEvery)
+	}
 	fmt.Printf("read-only accepted: Datacycle %d/%d, R-Matrix %d/%d, F-Matrix %d/%d\n",
 		dc, ro, rm, ro, fm, ro)
 	if verbose {

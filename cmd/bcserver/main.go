@@ -6,6 +6,13 @@
 //
 //	bcserver -broadcast :7070 -uplink :7071 -alg f-matrix -objects 64
 //	bcserver -workload 8 -interval 50ms   # plus 8 update txns/second
+//
+// With -disks the flat broadcast becomes an airsched multi-disk
+// program — hot objects (under a zipf estimate) repeat every minor
+// cycle — optionally with a (1,m) air index for selective tuners and
+// delta-transmitted control columns:
+//
+//	bcserver -disks 3 -index-m 8 -zipf 0.95 -refresh-every 4
 package main
 
 import (
@@ -35,6 +42,10 @@ func main() {
 	workload := flag.Float64("workload", 0, "synthetic update transactions per second (0 = none)")
 	workloadLen := flag.Int("workload-len", 8, "operations per synthetic transaction")
 	seed := flag.Int64("seed", 1, "workload seed")
+	disks := flag.Int("disks", 0, "broadcast disks for an airsched program (0 = flat broadcast, 1 = flat program)")
+	indexM := flag.Int("index-m", 0, "(1,m) air-index segments per major cycle (requires -disks >= 1)")
+	zipf := flag.Float64("zipf", 0, "zipf θ of the access-frequency estimate driving the disk partition")
+	refreshEvery := flag.Int("refresh-every", 0, "full control-column refresh period for program-mode deltas (0 = always full)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -42,19 +53,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv, err := broadcastcc.NewServer(broadcastcc.ServerConfig{
+	cfg := broadcastcc.ServerConfig{
 		Objects:       *objects,
 		ObjectBits:    *objectBits,
 		TimestampBits: *tsBits,
 		Algorithm:     alg,
 		Groups:        *groups,
-	})
+	}
+	if *disks > 0 {
+		prog, err := broadcastcc.BuildProgram(cfg, broadcastcc.ZipfWeights(*objects, *zipf), *disks, *indexM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Program = prog
+	} else if *indexM > 0 || *refreshEvery > 0 {
+		log.Fatal("bcserver: -index-m and -refresh-every require -disks >= 1")
+	}
+	srv, err := broadcastcc.NewServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 
-	ns, err := netcast.Serve(srv, *broadcastAddr, *uplinkAddr)
+	ns, err := netcast.ServeOptions(srv, *broadcastAddr, *uplinkAddr, netcast.Options{RefreshEvery: *refreshEvery})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +83,9 @@ func main() {
 	log.Printf("broadcasting %v on %s (uplink %s): %d objects, cycle = %d bit-units, control overhead %.2f%%",
 		alg, ns.BroadcastAddr(), ns.UplinkAddr(), *objects,
 		srv.Layout().CycleBits(), 100*srv.Layout().ControlOverhead())
+	if p := srv.Program(); p != nil {
+		log.Printf("air program: %s, zipf θ=%.2f, refresh every %d", p, *zipf, *refreshEvery)
+	}
 
 	stop := make(chan struct{})
 	go ns.RunTicker(*interval, stop)

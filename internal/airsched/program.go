@@ -1,0 +1,223 @@
+package airsched
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"broadcastcc/internal/bcast"
+)
+
+// Program is a complete broadcast program: the disk partition, the
+// flattened slot schedule of one major cycle, and the (1,m) index
+// configuration. Programs are immutable after Build.
+type Program struct {
+	layout   bcast.Layout
+	disks    []bcast.Disk
+	schedule *bcast.Schedule
+	indexM   int
+	speedOf  []int // per-object disk speed (appearances per major cycle)
+}
+
+// Build constructs a multi-disk broadcast program over the layout's
+// objects from per-object access weights:
+//
+//  1. Disk speeds are the powers of two 2^(D-1) … 1 (hot to cold), the
+//     classic broadcast-disks geometry, which always satisfies the
+//     chunked-interleave divisibility constraints.
+//  2. Each object's ideal broadcast frequency follows the square-root
+//     rule — spacing ∝ 1/√weight — scaled so the hottest object spins
+//     at the fastest disk; the object lands on the disk whose speed is
+//     nearest its ideal in log space.
+//  3. Divisibility fixup: disk d (speed 2^(D-1-d)) splits into 2^d
+//     chunks, so its size is rounded down to a multiple of 2^d by
+//     promoting its hottest leftovers to the next faster disk — a
+//     conservative move (objects only ever spin faster than ideal).
+//
+// disks = 1 (or uniform weights) yields the paper's flat program.
+// indexM ≥ 1 interleaves that many full index segments per major
+// cycle; 0 broadcasts no index (clients listen continuously).
+func Build(layout bcast.Layout, weights []float64, disks, indexM int) (*Program, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	n := layout.Objects
+	if len(weights) != n {
+		return nil, fmt.Errorf("airsched: %d weights for %d objects", len(weights), n)
+	}
+	if disks < 1 {
+		return nil, fmt.Errorf("airsched: disk count %d must be >= 1", disks)
+	}
+	if indexM < 0 {
+		return nil, fmt.Errorf("airsched: index segment count %d must be >= 0", indexM)
+	}
+	maxW := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("airsched: weight %v of object %d is not a finite non-negative number", w, i)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		return nil, fmt.Errorf("airsched: all %d weights are zero", n)
+	}
+	// Cap the disk count: every disk needs at least one chunk-sized set
+	// of objects, and more disks than ld(n)+1 cannot all be non-empty
+	// under power-of-two speeds.
+	if disks > n {
+		disks = n
+	}
+
+	// Hot-to-cold object order; ties break toward lower ids so the
+	// partition is a pure function of the weights.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	assign := assignDisks(order, weights, disks)
+	dl := make([]bcast.Disk, 0, len(assign))
+	speedOf := make([]int, n)
+	for _, d := range assign {
+		for _, obj := range d.Objects {
+			speedOf[obj] = d.Speed
+		}
+		dl = append(dl, d)
+	}
+	sched, err := bcast.NewSchedule(layout, dl)
+	if err != nil {
+		return nil, fmt.Errorf("airsched: assembling schedule: %w", err)
+	}
+	return &Program{layout: layout, disks: dl, schedule: sched, indexM: indexM, speedOf: speedOf}, nil
+}
+
+// assignDisks partitions the hot-to-cold object order across up to
+// disks power-of-two-speed disks, returning only non-empty disks with
+// speeds normalized so the slowest is 1.
+func assignDisks(order []int, weights []float64, disks int) []bcast.Disk {
+	n := len(order)
+	if disks == 1 {
+		return []bcast.Disk{{Objects: append([]int(nil), order...), Speed: 1}}
+	}
+	maxSpeed := 1 << (disks - 1)
+	maxW := weights[order[0]]
+
+	// Square-root rule: ideal frequency ∝ √w, hottest pinned to the
+	// fastest disk; each object rounds to the nearest power-of-two
+	// speed in log space.
+	sizes := make([]int, disks) // sizes[d]: disk d has speed 2^(disks-1-d)
+	diskOf := make([]int, n)    // per position in order
+	for pos, obj := range order {
+		ideal := math.Sqrt(weights[obj]/maxW) * float64(maxSpeed)
+		if ideal < 1 {
+			ideal = 1
+		}
+		exp := int(math.Round(math.Log2(ideal)))
+		if exp < 0 {
+			exp = 0
+		}
+		if exp > disks-1 {
+			exp = disks - 1
+		}
+		d := disks - 1 - exp // disk index, 0 = fastest
+		// The order is hot-to-cold, so disk assignment must be
+		// monotone; numeric rounding at ties could zig-zag otherwise.
+		if pos > 0 && d < diskOf[pos-1] {
+			d = diskOf[pos-1]
+		}
+		diskOf[pos] = d
+		sizes[d]++
+	}
+
+	// Divisibility fixup, cold to hot: disk d needs size ≡ 0 mod 2^d.
+	for d := disks - 1; d >= 1; d-- {
+		chunks := 1 << d
+		r := sizes[d] % chunks
+		sizes[d] -= r
+		sizes[d-1] += r
+	}
+
+	var out []bcast.Disk
+	at := 0
+	for d := 0; d < disks; d++ {
+		if sizes[d] == 0 {
+			continue
+		}
+		out = append(out, bcast.Disk{
+			Objects: append([]int(nil), order[at:at+sizes[d]]...),
+			Speed:   1 << (disks - 1 - d),
+		})
+		at += sizes[d]
+	}
+	// Normalize speeds so the slowest disk spins once per major cycle;
+	// powers of two keep dividing each other after the shift.
+	minSpeed := out[len(out)-1].Speed
+	if minSpeed > 1 {
+		for i := range out {
+			out[i].Speed /= minSpeed
+		}
+	}
+	return out
+}
+
+// Layout reports the per-slot broadcast layout.
+func (p *Program) Layout() bcast.Layout { return p.layout }
+
+// Disks returns the disk partition (hot to cold). Callers must not
+// mutate the result.
+func (p *Program) Disks() []bcast.Disk { return p.disks }
+
+// Schedule returns the flattened data-slot schedule.
+func (p *Program) Schedule() *bcast.Schedule { return p.schedule }
+
+// IndexM reports the number of (1,m) index segments per major cycle
+// (0 = no air index).
+func (p *Program) IndexM() int { return p.indexM }
+
+// Speed reports how many times obj is broadcast per major cycle.
+func (p *Program) Speed(obj int) int { return p.speedOf[obj] }
+
+// Slots returns the data-slot object sequence of one major cycle.
+func (p *Program) Slots() []int { return p.schedule.Slots() }
+
+// Flat reports whether the program degenerates to the paper's flat
+// broadcast: one disk, no index.
+func (p *Program) Flat() bool { return len(p.disks) == 1 && p.indexM == 0 }
+
+// IndexOffsetBits is the width of one index offset entry: enough for
+// any frame distance within a major cycle (data slots plus index
+// segments).
+func (p *Program) IndexOffsetBits() int {
+	total := len(p.schedule.Slots()) + p.indexM
+	return bits.Len(uint(total)) + 1
+}
+
+// IndexSegmentBits models the air cost of one index segment: an
+// offset entry per object plus a fixed header (cycle number, segment
+// ordinal, next-index pointer). The wire codec's byte framing differs
+// slightly; timing uses this bit-exact account.
+func (p *Program) IndexSegmentBits() int64 {
+	return 64 + int64(p.layout.Objects)*int64(p.IndexOffsetBits())
+}
+
+// String summarizes the program.
+func (p *Program) String() string {
+	s := fmt.Sprintf("airsched: %d objects on %d disk(s) [", p.layout.Objects, len(p.disks))
+	for i, d := range p.disks {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d@%dx", len(d.Objects), d.Speed)
+	}
+	s += fmt.Sprintf("], (1,%d) index", p.indexM)
+	return s
+}

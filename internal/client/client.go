@@ -100,6 +100,15 @@ type Stats struct {
 	Reads        int64 // successful validated reads
 	CacheHits    int64 // reads served from the local cache
 	ReadAborts   int64 // reads rejected by the read-condition
+
+	// Air-tuning counters, fed by the tuner layer (netcast selective
+	// tuner, or the simulator's timeline accounting) via AddFrameStats.
+	// Tuning time — the battery cost — is FramesListened; access time is
+	// unchanged by selective tuning, which only converts listening into
+	// dozing.
+	FramesListened int64 // frames received and decoded
+	FramesDozed    int64 // frames skipped while dozing between wakeups
+	IndexMisses    int64 // wakeups that found no decodable frame (broken delta chain, lost index)
 }
 
 // New builds a client over an existing subscription (obtain one from
@@ -202,6 +211,35 @@ func (c *Client) Current() *bcast.CycleBroadcast { return c.cur }
 
 // Stats returns a copy of the client counters.
 func (c *Client) Stats() Stats { return c.stats }
+
+// AddFrameStats accumulates air-tuning counters measured below the
+// cycle layer — the netcast selective tuner and the simulator's
+// timeline accounting report how many frames the client actually
+// listened to, dozed through, and how many wakeups missed.
+func (c *Client) AddFrameStats(listened, dozed, indexMisses int64) {
+	c.stats.FramesListened += listened
+	c.stats.FramesDozed += dozed
+	c.stats.IndexMisses += indexMisses
+}
+
+// Retune replaces the client's subscription after the previous one
+// ended — the tuner reconnected, possibly to a restarted server whose
+// cycle numbering begins again at 1. The current-cycle epoch is reset
+// (cycle numbers across a server restart are incomparable, so without
+// the reset every post-restart cycle would look like a stale replay
+// and the client would stall forever) and the cache is dropped for the
+// same reason. Any in-progress transaction should be aborted by the
+// caller: its read cycles belong to the old epoch.
+func (c *Client) Retune(sub *bcast.Subscription) {
+	c.sub = sub
+	if c.cur != nil {
+		c.stats.Gaps++
+	}
+	c.cur = nil
+	if c.cache != nil {
+		c.cache = newCache(c.cfg.CacheSize)
+	}
+}
 
 // Cancel tunes the client out.
 func (c *Client) Cancel() { c.sub.Cancel() }

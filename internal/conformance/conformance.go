@@ -69,6 +69,26 @@ type PlannedCommit struct {
 	WriteSet []int `json:"writeSet"`
 }
 
+// AirProgram configures the optional air-scheduling layer of a
+// workload: when present, the oracle rebuilds the workload's broadcast
+// as a multi-disk airsched program and additionally checks the
+// wire-level rebroadcast invariant — every encoded→decoded bucket
+// occurrence within a major cycle, delta chains included, must carry
+// exactly the cycle-start control column (Theorems 1 and 2 pushed down
+// to the frame codec).
+type AirProgram struct {
+	// Disks is the broadcast-disk count (>= 1; 1 is the flat program).
+	Disks int `json:"disks"`
+	// IndexM is the (1,m) air-index segment count; 0 broadcasts no index.
+	IndexM int `json:"indexM,omitempty"`
+	// Skew is the zipf θ of the access-frequency estimate feeding the
+	// disk partition; 0 is uniform.
+	Skew float64 `json:"skew,omitempty"`
+	// RefreshEvery is the full-column refresh period of the delta
+	// chains; 0 transmits every column in full.
+	RefreshEvery int `json:"refreshEvery,omitempty"`
+}
+
 // Workload is a fully explicit, deterministic conformance scenario:
 // running it twice produces the identical trace, verdicts and induced
 // history. Workloads come from Generate (seeded) or from corpus files
@@ -88,6 +108,9 @@ type Workload struct {
 	// Faults is the reception-fault profile applied to every client's
 	// tuner (the zero profile delivers everything).
 	Faults faultair.Profile `json:"faults,omitempty"`
+	// Air, when non-nil, layers an airsched broadcast program over the
+	// run and enables the wire-level rebroadcast-column check.
+	Air *AirProgram `json:"air,omitempty"`
 }
 
 // Size caps enforced by Validate, protecting the replay and fuzz paths
@@ -106,6 +129,10 @@ const (
 	maxSubmitLag    = 64
 	maxSetSize      = 32
 	maxFaultWindows = 64
+	maxDisks        = 8
+	maxIndexM       = 64
+	maxSkew         = 4.0
+	maxRefresh      = 64
 )
 
 func checkObjSet(n int, what string, set []int, requireDistinct bool) error {
@@ -145,6 +172,18 @@ func (w *Workload) Validate() error {
 	}
 	if err := w.Faults.Validate(); err != nil {
 		return err
+	}
+	if a := w.Air; a != nil {
+		switch {
+		case a.Disks < 1 || a.Disks > maxDisks:
+			return fmt.Errorf("conformance: Air.Disks = %d, need [1,%d]", a.Disks, maxDisks)
+		case a.IndexM < 0 || a.IndexM > maxIndexM:
+			return fmt.Errorf("conformance: Air.IndexM = %d, range [0,%d]", a.IndexM, maxIndexM)
+		case a.Skew < 0 || a.Skew > maxSkew:
+			return fmt.Errorf("conformance: Air.Skew = %g, range [0,%g]", a.Skew, maxSkew)
+		case a.RefreshEvery < 0 || a.RefreshEvery > maxRefresh:
+			return fmt.Errorf("conformance: Air.RefreshEvery = %d, range [0,%d]", a.RefreshEvery, maxRefresh)
+		}
 	}
 	for ci, c := range w.Commits {
 		if c.At < 1 || c.At > w.Cycles {
@@ -200,6 +239,10 @@ func (w *Workload) Validate() error {
 func (w *Workload) Clone() *Workload {
 	c := &Workload{Seed: w.Seed, Objects: w.Objects, Cycles: w.Cycles, Faults: w.Faults}
 	c.Faults.Windows = append([]faultair.Window(nil), w.Faults.Windows...)
+	if w.Air != nil {
+		air := *w.Air
+		c.Air = &air
+	}
 	c.Commits = make([]PlannedCommit, len(w.Commits))
 	for i, pc := range w.Commits {
 		c.Commits[i] = PlannedCommit{

@@ -33,6 +33,12 @@ type Params struct {
 	Faults bool
 	// Cache enables cached (out-of-cycle-order) reads.
 	Cache bool
+	// Air is the probability a workload carries an airsched broadcast
+	// program (multi-disk schedule, optional (1,m) index and delta
+	// chains) and so runs the wire-level rebroadcast check.
+	Air float64
+	// MaxAirSkew bounds the zipf θ drawn for air-program workloads.
+	MaxAirSkew float64
 }
 
 // DefaultParams returns the soak defaults: workloads small enough for
@@ -50,6 +56,8 @@ func DefaultParams() Params {
 		CacheProb:  0.35,
 		Faults:     true,
 		Cache:      true,
+		Air:        0.5,
+		MaxAirSkew: 0.95,
 	}
 }
 
@@ -131,6 +139,20 @@ func Generate(seed int64, p Params) *Workload {
 			}}
 		}
 		w.Faults = prof
+	}
+
+	if rng.Float64() < p.Air {
+		a := &AirProgram{
+			Disks: 1 + rng.Intn(3),
+			Skew:  rng.Float64() * p.MaxAirSkew,
+		}
+		if rng.Intn(2) == 0 {
+			a.IndexM = 1 << rng.Intn(3) // 1, 2 or 4 index segments
+		}
+		if rng.Intn(2) == 0 {
+			a.RefreshEvery = 1 + rng.Intn(4)
+		}
+		w.Air = a
 	}
 	return w
 }

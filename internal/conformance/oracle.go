@@ -100,6 +100,14 @@ func CheckWorkload(w *Workload) (*Report, error) {
 	}
 	rep := &Report{Workload: w, Log: tr.log, Violations: tr.violations}
 
+	// Air-program layer: replay the broadcast through the airsched wire
+	// path and check the frame-level rebroadcast invariant.
+	airViolations, err := checkAirProgram(w, tr.log, tr.snaps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Violations = append(rep.Violations, airViolations...)
+
 	vecAt := func(c cmatrix.Cycle) protocol.Snapshot {
 		return protocol.VectorSnapshot{V: tr.snaps[c].vec}
 	}

@@ -47,6 +47,9 @@ const (
 	KindSnapshotStale  = "snapshot-rebuild-mismatch"
 	KindCOWAliasing    = "cow-aliasing"
 	KindServerDiverged = "server-divergence"
+
+	KindAirRebroadcast = "air-rebroadcast-column"
+	KindAirIndex       = "air-index-desync"
 )
 
 // resolvedTxn is a client transaction with its reads pinned to concrete

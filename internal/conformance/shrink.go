@@ -133,6 +133,32 @@ func Shrink(w *Workload) (*Workload, *Report) {
 			}
 		}
 
+		// Drop the air program, or failing that simplify it one knob at
+		// a time (deltas off, index off, flat disk, uniform skew) so
+		// counterexamples name the layer actually at fault.
+		if cur.Air != nil {
+			c := cur.Clone()
+			c.Air = nil
+			if try(c) {
+				changed = true
+			} else {
+				simplify := []func(*AirProgram){
+					func(a *AirProgram) { a.RefreshEvery = 0 },
+					func(a *AirProgram) { a.IndexM = 0 },
+					func(a *AirProgram) { a.Disks = 1 },
+					func(a *AirProgram) { a.Skew = 0 },
+				}
+				for _, simp := range simplify {
+					before := *cur.Air
+					c := cur.Clone()
+					simp(c.Air)
+					if *c.Air != before && try(c) {
+						changed = true
+					}
+				}
+			}
+		}
+
 		// Zero the fault profile.
 		if !cur.Faults.Zero() {
 			c := cur.Clone()

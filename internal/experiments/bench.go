@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// The machine-readable benchmark schema shared by every sweep: bcbench
+// -json writes one BENCH_<id>.json per figure in this format, so
+// downstream tooling reads the paper reproductions and the airsched
+// study identically.
+
+// BenchMetrics is the JSON form of one run's measurements. Off-scale
+// runs carry null numeric fields (JSON has no +Inf).
+type BenchMetrics struct {
+	ResponseMean *float64 `json:"response_mean"`
+	RestartRatio *float64 `json:"restart_ratio"`
+	AccessMean   *float64 `json:"access_mean"`
+	TuningMean   *float64 `json:"tuning_mean"`
+	Cycles       int64    `json:"cycles"`
+	Commits      int64    `json:"commits"`
+	CacheHits    int64    `json:"cache_hits"`
+	OffScale     bool     `json:"off_scale"`
+}
+
+// BenchPoint is one x-value with every series' metrics.
+type BenchPoint struct {
+	X      float64                 `json:"x"`
+	Series map[string]BenchMetrics `json:"series"`
+}
+
+// BenchExperiment is the JSON form of a completed sweep.
+type BenchExperiment struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	Metric string       `json:"metric"`
+	Labels []string     `json:"labels"`
+	Points []BenchPoint `json:"points"`
+}
+
+// finiteOrNil maps non-finite values (off-scale runs) to JSON null.
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// Bench converts the experiment to its machine-readable form.
+func (e *Experiment) Bench() BenchExperiment {
+	out := BenchExperiment{
+		ID:     e.ID,
+		Title:  e.Title,
+		XLabel: e.XLabel,
+		Metric: e.Metric().label(),
+		Labels: e.Labels,
+	}
+	for _, pt := range e.Points {
+		bp := BenchPoint{X: pt.X, Series: map[string]BenchMetrics{}}
+		for _, lbl := range e.Labels {
+			m := pt.Runs[lbl]
+			bp.Series[lbl] = BenchMetrics{
+				ResponseMean: finiteOrNil(m.ResponseMean),
+				RestartRatio: finiteOrNil(m.RestartRatio),
+				AccessMean:   finiteOrNil(m.AccessMean),
+				TuningMean:   finiteOrNil(m.TuningMean),
+				Cycles:       m.Cycles,
+				Commits:      m.Commits,
+				CacheHits:    m.CacheHits,
+				OffScale:     m.OffScale,
+			}
+		}
+		out.Points = append(out.Points, bp)
+	}
+	return out
+}
+
+// WriteJSON emits the experiment in the benchmark schema.
+func (e *Experiment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Bench())
+}

@@ -31,6 +31,12 @@ type Metrics struct {
 	Cycles       int64
 	Commits      int64
 	CacheHits    int64
+	// AccessMean is the mean per-transaction broadcast wait in
+	// bit-units (the paper's access time).
+	AccessMean float64
+	// TuningMean is the mean per-transaction frames listened (the
+	// paper's tuning time); 0 unless an airsched program ran.
+	TuningMean float64
 	// OffScale marks a run that blew past the MaxTime guard — the
 	// paper's "outside the limits of the Y-axis" Datacycle points.
 	// ResponseMean and RestartRatio are +Inf.
@@ -123,51 +129,62 @@ func metricsOf(r *sim.Result) Metrics {
 		Cycles:       r.CyclesSimulated,
 		Commits:      r.ServerCommits,
 		CacheHits:    r.CacheHits,
+		AccessMean:   r.AccessTime.Mean(),
+		TuningMean:   r.TuningFrames.Mean(),
 	}
 }
 
-// sweepRun is one independent (x, algorithm) simulation of a sweep.
+// variant is one series of a sweep: a label and a config mutation
+// applied on top of the per-x mutation. The classic sweeps derive one
+// variant per algorithm; the airsched sweeps compare broadcast-program
+// configurations under a single algorithm.
+type variant struct {
+	label string
+	apply func(*sim.Config, float64)
+}
+
+// sweepRun is one independent (x, variant) simulation of a sweep.
 type sweepRun struct {
-	alg protocol.Algorithm
-	x   float64
+	vi int
+	x  float64
 }
 
 // runOne executes one sweep run to a Metrics value. Every run owns an
 // RNG derived purely from its configuration seed, so the result is a
 // deterministic function of (Options, id, run) regardless of which
 // worker executes it or in what order.
-func runOne(opt Options, id string, rn sweepRun, apply func(*sim.Config, float64), progress func(format string, args ...any)) (Metrics, error) {
-	cfg := opt.baseConfig(rn.alg)
-	apply(&cfg, rn.x)
+func runOne(opt Options, id string, rn sweepRun, variants []variant, progress func(format string, args ...any)) (Metrics, error) {
+	v := variants[rn.vi]
+	cfg := opt.baseConfig(opt.Algorithms[0])
+	v.apply(&cfg, rn.x)
 	r, err := sim.Run(cfg)
 	switch {
 	case errors.Is(err, sim.ErrMaxTime):
-		progress("figure %s: %s x=%g off-scale (%v)", id, rn.alg, rn.x, err)
+		progress("figure %s: %s x=%g off-scale (%v)", id, v.label, rn.x, err)
 		return Metrics{ResponseMean: math.Inf(1), RestartRatio: math.Inf(1), OffScale: true}, nil
 	case err != nil:
-		return Metrics{}, fmt.Errorf("experiment %s, %v at x=%v: %w", id, rn.alg, rn.x, err)
+		return Metrics{}, fmt.Errorf("experiment %s, %v at x=%v: %w", id, v.label, rn.x, err)
 	}
 	progress("figure %s: %s x=%g response=%.3g restarts=%.3g",
-		id, rn.alg, rn.x, r.ResponseTime.Mean(), r.RestartRatio)
+		id, v.label, rn.x, r.ResponseTime.Mean(), r.RestartRatio)
 	return metricsOf(r), nil
 }
 
-// sweep runs one experiment: for each x, mutate the base config and run
-// every algorithm. Runs fan out across a worker pool bounded by
-// Options.Parallelism; results are assembled in sweep order, so the
-// experiment table is byte-identical to a sequential sweep. On error
-// the pool stops dispatching and the earliest run's error (in sweep
-// order) is returned — the same one a sequential sweep would hit.
-func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.Config, float64)) (*Experiment, error) {
-	opt = opt.normalized()
+// variantSweep runs one experiment: for each x, run every variant. Runs
+// fan out across a worker pool bounded by Options.Parallelism; results
+// are assembled in sweep order, so the experiment table is
+// byte-identical to a sequential sweep. On error the pool stops
+// dispatching and the earliest run's error (in sweep order) is returned
+// — the same one a sequential sweep would hit.
+func variantSweep(opt Options, id, title, xlabel string, xs []float64, variants []variant) (*Experiment, error) {
 	exp := &Experiment{ID: id, Title: title, XLabel: xlabel}
-	for _, alg := range opt.Algorithms {
-		exp.Labels = append(exp.Labels, alg.String())
+	for _, v := range variants {
+		exp.Labels = append(exp.Labels, v.label)
 	}
-	runs := make([]sweepRun, 0, len(xs)*len(opt.Algorithms))
+	runs := make([]sweepRun, 0, len(xs)*len(variants))
 	for _, x := range xs {
-		for _, alg := range opt.Algorithms {
-			runs = append(runs, sweepRun{alg: alg, x: x})
+		for vi := range variants {
+			runs = append(runs, sweepRun{vi: vi, x: x})
 		}
 	}
 	results := make([]Metrics, len(runs))
@@ -175,7 +192,7 @@ func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.
 
 	if workers := min(opt.Parallelism, len(runs)); workers <= 1 {
 		for i, rn := range runs {
-			m, err := runOne(opt, id, rn, apply, opt.Progress)
+			m, err := runOne(opt, id, rn, variants, opt.Progress)
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +218,7 @@ func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.
 					if i >= len(runs) || failed.Load() {
 						return
 					}
-					m, err := runOne(opt, id, runs[i], apply, progress)
+					m, err := runOne(opt, id, runs[i], variants, progress)
 					if err != nil {
 						errs[i] = err
 						failed.Store(true)
@@ -225,12 +242,30 @@ func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.
 
 	for pi, x := range xs {
 		pt := Point{X: x, Runs: map[string]Metrics{}}
-		for ai, alg := range opt.Algorithms {
-			pt.Runs[alg.String()] = results[pi*len(opt.Algorithms)+ai]
+		for vi, v := range variants {
+			pt.Runs[v.label] = results[pi*len(variants)+vi]
 		}
 		exp.Points = append(exp.Points, pt)
 	}
 	return exp, nil
+}
+
+// sweep runs the classic per-algorithm comparison: one variant per
+// configured algorithm, each applying the per-x mutation.
+func sweep(opt Options, id, title, xlabel string, xs []float64, apply func(*sim.Config, float64)) (*Experiment, error) {
+	opt = opt.normalized()
+	variants := make([]variant, 0, len(opt.Algorithms))
+	for _, alg := range opt.Algorithms {
+		alg := alg
+		variants = append(variants, variant{
+			label: alg.String(),
+			apply: func(cfg *sim.Config, x float64) {
+				cfg.Algorithm = alg
+				apply(cfg, x)
+			},
+		})
+	}
+	return variantSweep(opt, id, title, xlabel, xs, variants)
 }
 
 // Figure2a sweeps client transaction length (2..10), reporting response
@@ -391,6 +426,70 @@ func FaultAblation(opt Options) (*Experiment, error) {
 		})
 }
 
+// airVariants are the two broadcast-program configurations the airsched
+// sweeps compare under F-Matrix: the paper's flat disk, and a 3-disk
+// program with a (1,8) air index and selective tuning.
+func airVariants(disks, indexM int, configure func(*sim.Config, float64)) []variant {
+	return []variant{
+		{label: "flat", apply: func(cfg *sim.Config, x float64) {
+			cfg.Algorithm = protocol.FMatrix
+			cfg.Disks = 1
+			configure(cfg, x)
+		}},
+		{label: "airsched", apply: func(cfg *sim.Config, x float64) {
+			cfg.Algorithm = protocol.FMatrix
+			cfg.Disks = disks
+			cfg.IndexM = indexM
+			configure(cfg, x)
+		}},
+	}
+}
+
+// AirschedSweep sweeps client access skew θ, comparing the flat disk
+// against a 3-disk, (1,8)-indexed airsched program: tuning time (frames
+// listened) should collapse while access time stays equal or better at
+// high skew. Runs under F-Matrix with a smaller, hotter database so the
+// multi-disk effects show within quick runs.
+func AirschedSweep(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	opt.Algorithms = []protocol.Algorithm{protocol.FMatrix}
+	return variantSweep(opt, "airsched",
+		"Tuning time vs access skew (flat disk vs 3-disk + (1,8) air index)",
+		"zipf skew θ",
+		[]float64{0.25, 0.5, 0.75, 0.95},
+		airVariants(3, 8, func(cfg *sim.Config, x float64) {
+			cfg.Objects = 60
+			cfg.ZipfTheta = x
+		}))
+}
+
+// AirschedDisksSweep sweeps the disk count of the broadcast program at
+// fixed high skew (θ=0.95), with and without the (1,8) air index.
+func AirschedDisksSweep(opt Options) (*Experiment, error) {
+	opt = opt.normalized()
+	opt.Algorithms = []protocol.Algorithm{protocol.FMatrix}
+	configure := func(cfg *sim.Config, x float64) {
+		cfg.Objects = 60
+		cfg.ZipfTheta = 0.95
+		cfg.Disks = int(x)
+	}
+	return variantSweep(opt, "airdisks",
+		"Tuning time vs broadcast disk count (zipf θ=0.95, F-Matrix)",
+		"broadcast disks",
+		[]float64{1, 2, 3, 4},
+		[]variant{
+			{label: "unindexed", apply: func(cfg *sim.Config, x float64) {
+				cfg.Algorithm = protocol.FMatrix
+				configure(cfg, x)
+			}},
+			{label: "indexed", apply: func(cfg *sim.Config, x float64) {
+				cfg.Algorithm = protocol.FMatrix
+				configure(cfg, x)
+				cfg.IndexM = 8
+			}},
+		})
+}
+
 // All runs every figure of the paper plus the two ablations. Figures
 // run in sequence, but each figure's sweep fans its independent
 // simulation runs out across the Options.Parallelism worker pool, so
@@ -407,6 +506,7 @@ func All(opt Options) ([]*Experiment, error) {
 		{"groups", GroupsAblation}, {"caching", CachingAblation},
 		{"disks", MultiDiskAblation}, {"updates", ClientUpdateAblation},
 		{"clients", ClientCountAblation}, {"faults", FaultAblation},
+		{"airsched", AirschedSweep}, {"airdisks", AirschedDisksSweep},
 	}
 	var out []*Experiment
 	for _, g := range gens {
@@ -446,8 +546,12 @@ func ByID(id string, opt Options) (*Experiment, error) {
 		return ClientCountAblation(opt)
 	case "faults":
 		return FaultAblation(opt)
+	case "airsched":
+		return AirschedSweep(opt)
+	case "airdisks":
+		return AirschedDisksSweep(opt)
 	default:
-		return nil, fmt.Errorf("experiments: unknown figure %q (want 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults)", id)
+		return nil, fmt.Errorf("experiments: unknown figure %q (want 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks)", id)
 	}
 }
 
@@ -460,28 +564,49 @@ const (
 	ResponseTime Metric = iota
 	// RestartRatio renders restarts per committed transaction.
 	RestartRatio
+	// AccessTime renders mean per-transaction broadcast wait
+	// (bit-units).
+	AccessTime
+	// TuningFrames renders mean per-transaction frames listened.
+	TuningFrames
 )
 
 func (m Metric) label() string {
-	if m == RestartRatio {
+	switch m {
+	case RestartRatio:
 		return "restart ratio"
+	case AccessTime:
+		return "access time (bit-units)"
+	case TuningFrames:
+		return "tuning time (frames listened)"
+	default:
+		return "response time (bit-units)"
 	}
-	return "response time (bit-units)"
 }
 
 func (m Metric) value(x Metrics) float64 {
-	if m == RestartRatio {
+	switch m {
+	case RestartRatio:
 		return x.RestartRatio
+	case AccessTime:
+		return x.AccessMean
+	case TuningFrames:
+		return x.TuningMean
+	default:
+		return x.ResponseMean
 	}
-	return x.ResponseMean
 }
 
 // Metric picks the measurement the paper plots for this figure.
 func (e *Experiment) Metric() Metric {
-	if e.ID == "2b" || e.ID == "faults" {
+	switch e.ID {
+	case "2b", "faults":
 		return RestartRatio
+	case "airsched", "airdisks":
+		return TuningFrames
+	default:
+		return ResponseTime
 	}
-	return ResponseTime
 }
 
 // Table renders the experiment as an aligned text table of the given

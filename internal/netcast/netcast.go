@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/protocol"
@@ -79,6 +80,13 @@ type Options struct {
 	// previous cycle, with a full frame every DeltaEvery cycles so late
 	// tuners and subscribers that missed a frame can resynchronize.
 	DeltaEvery int
+
+	// RefreshEvery, when positive, controls delta transmission of
+	// control columns in program mode (servers carrying an airsched
+	// program): each object's column is sent as a delta against its own
+	// previous broadcast occurrence, with a full refresh every
+	// RefreshEvery occurrences. Zero sends every column in full.
+	RefreshEvery int
 }
 
 // Server exposes a broadcast server over TCP.
@@ -88,6 +96,14 @@ type Server struct {
 
 	broadcastLn net.Listener
 	uplinkLn    net.Listener
+
+	// Program-mode transmission state (nil timeline = classic
+	// one-frame-per-cycle mode). seqs and prevCols track each object's
+	// occurrence count and last transmitted column for delta chaining;
+	// they are touched only from Step, which is not concurrent.
+	timeline *airsched.Timeline
+	seqs     []uint32
+	prevCols [][]cmatrix.Cycle
 
 	mu     sync.Mutex
 	subs   map[net.Conn]bool
@@ -118,6 +134,13 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	if opts.DeltaEvery > 0 && bsrv.Layout().Control != bcast.ControlMatrix {
 		return nil, errors.New("netcast: delta transmission requires the matrix layout")
 	}
+	prog := bsrv.Program()
+	if prog != nil && opts.DeltaEvery > 0 {
+		return nil, errors.New("netcast: cycle-level deltas (DeltaEvery) do not apply to program mode; use RefreshEvery")
+	}
+	if opts.RefreshEvery > 0 && prog == nil {
+		return nil, errors.New("netcast: RefreshEvery requires a server with a broadcast program")
+	}
 	bl, err := net.Listen("tcp", broadcastAddr)
 	if err != nil {
 		return nil, err
@@ -128,6 +151,11 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 		return nil, err
 	}
 	s := &Server{bsrv: bsrv, opts: opts, broadcastLn: bl, uplinkLn: ul, subs: map[net.Conn]bool{}}
+	if prog != nil {
+		s.timeline = airsched.NewTimeline(prog)
+		s.seqs = make([]uint32, bsrv.Layout().Objects)
+		s.prevCols = make([][]cmatrix.Cycle, bsrv.Layout().Objects)
+	}
 	s.wg.Add(2)
 	go s.acceptBroadcast()
 	go s.acceptUplink()
@@ -150,8 +178,15 @@ func (s *Server) BroadcastAddr() string { return s.broadcastLn.Addr().String() }
 func (s *Server) UplinkAddr() string { return s.uplinkLn.Addr().String() }
 
 // Step produces and transmits one broadcast cycle. It returns the
-// number of subscribers that received it.
+// number of subscribers that received it. In program mode the cycle
+// goes out as the timeline's individual index and bucket frames; every
+// occurrence of an object within the cycle carries the cycle-start
+// control column, so validation is identical wherever a client tunes
+// in.
 func (s *Server) Step() (int, error) {
+	if s.timeline != nil {
+		return s.stepProgram()
+	}
 	cb := s.bsrv.StartCycle()
 	if cb == nil {
 		return 0, server.ErrClosed
@@ -306,6 +341,7 @@ type Tuner struct {
 	medium *bcast.Medium
 	done   chan struct{}
 	err    error
+	asm    *assembler
 }
 
 // Tune connects to a broadcast address and starts receiving cycles.
@@ -314,7 +350,7 @@ func Tune(addr string) (*Tuner, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{})}
+	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{}), asm: newAssembler()}
 	go t.loop()
 	return t, nil
 }
@@ -330,6 +366,19 @@ func (t *Tuner) loop() {
 				t.err = err
 			}
 			return
+		}
+		if wire.IsIndexFrame(frame) || wire.IsBucketFrame(frame) {
+			// Program-mode stream: reassemble whole cycles from the
+			// index and bucket frames.
+			cb, err := t.asm.feed(frame)
+			if err != nil {
+				t.err = err
+				return
+			}
+			if cb != nil {
+				t.medium.Publish(cb)
+			}
+			continue
 		}
 		var cb *bcast.CycleBroadcast
 		if wire.IsDeltaFrame(frame) {

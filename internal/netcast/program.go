@@ -1,0 +1,501 @@
+package netcast
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"broadcastcc/internal/airsched"
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/server"
+	"broadcastcc/internal/wire"
+)
+
+// Program-mode transmission: when the underlying server carries an
+// airsched program, Step transmits one whole major cycle as the
+// timeline's frame sequence — (1,m) index segments interleaved with
+// per-object bucket frames — instead of one monolithic cycle frame.
+// Control columns ride as deltas against the object's previous
+// broadcast occurrence (chained by per-object sequence numbers), with
+// a full refresh every Options.RefreshEvery occurrences so late tuners
+// and clients that missed frames can resynchronize.
+
+// column extracts the control column transmitted with object obj.
+func column(cb *bcast.CycleBroadcast, obj int) []cmatrix.Cycle {
+	switch {
+	case cb.Matrix != nil:
+		return cb.Matrix.Column(obj)
+	case cb.Vector != nil:
+		return []cmatrix.Cycle{cb.Vector.At(obj)}
+	case cb.Grouped != nil:
+		col := make([]cmatrix.Cycle, cb.Layout.Groups)
+		for g := range col {
+			col[g] = cb.Grouped.At(obj, g)
+		}
+		return col
+	default:
+		return nil
+	}
+}
+
+// stepProgram produces and transmits one major cycle of the broadcast
+// program as its individual frames.
+func (s *Server) stepProgram() (int, error) {
+	cb := s.bsrv.StartCycle()
+	if cb == nil {
+		return 0, server.ErrClosed
+	}
+	tl := s.timeline
+	layout := s.bsrv.Layout()
+	frames := tl.Frames()
+	payloads := make([][]byte, 0, len(frames))
+	var fullB, deltaB int64
+	for i, f := range frames {
+		var data []byte
+		var err error
+		switch f.Kind {
+		case airsched.FrameIndex:
+			offs := make([]int, layout.Objects)
+			for obj := range offs {
+				offs[obj] = tl.NextOccurrence(i, obj)
+			}
+			data, err = wire.EncodeIndexFrame(&wire.IndexFrame{
+				Number:    cb.Number,
+				Segment:   f.Segment,
+				M:         tl.Program().IndexM(),
+				Frames:    tl.FrameCount(),
+				NextIndex: tl.NextIndexDistance(i),
+				Offsets:   offs,
+			})
+			fullB += int64(len(data))
+		case airsched.FrameData:
+			obj := f.Obj
+			s.seqs[obj]++
+			col := column(cb, obj)
+			var prev []cmatrix.Cycle
+			if s.opts.RefreshEvery > 0 && (s.seqs[obj]-1)%uint32(s.opts.RefreshEvery) != 0 {
+				prev = s.prevCols[obj]
+			}
+			data, err = wire.EncodeBucket(&wire.Bucket{
+				Number:    cb.Number,
+				Layout:    layout,
+				Obj:       obj,
+				Seq:       s.seqs[obj],
+				NextIndex: tl.NextIndexDistance(i),
+				Value:     cb.Values[obj],
+				Column:    col,
+			}, prev)
+			if prev != nil {
+				deltaB += int64(len(data))
+			} else {
+				fullB += int64(len(data))
+			}
+			s.prevCols[obj] = col
+		}
+		if err != nil {
+			return 0, err
+		}
+		payloads = append(payloads, data)
+	}
+
+	s.mu.Lock()
+	s.fullBytes += fullB
+	s.deltaBytes += deltaB
+	conns := make([]net.Conn, 0, len(s.subs))
+	for c := range s.subs {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	delivered := 0
+	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		ok := true
+		for _, data := range payloads {
+			if err := writeFrame(c, data); err != nil {
+				s.dropSub(c)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			delivered++
+		}
+	}
+	return delivered, nil
+}
+
+// assembler reconstructs whole broadcast cycles from a program-mode
+// frame stream for the flat-listening Tuner: every frame is decoded,
+// delta chains are followed per object, and a cycle is published as
+// soon as every object has been heard at least once. Incompletely
+// received cycles (mid-cycle tune-in, dropped frames) are discarded —
+// the client sees them as an ordinary gap.
+type assembler struct {
+	number    cmatrix.Cycle
+	layout    bcast.Layout
+	haveStart bool
+	values    [][]byte
+	cols      [][]cmatrix.Cycle
+	seen      []bool
+	nSeen     int
+	indexM    int
+	published bool
+
+	lastSeq map[int]uint32
+	lastCol map[int][]cmatrix.Cycle
+}
+
+func newAssembler() *assembler {
+	return &assembler{lastSeq: map[int]uint32{}, lastCol: map[int][]cmatrix.Cycle{}}
+}
+
+// begin resets per-cycle state for major cycle number.
+func (a *assembler) begin(number cmatrix.Cycle, layout bcast.Layout) {
+	a.number = number
+	a.layout = layout
+	a.haveStart = true
+	a.values = make([][]byte, layout.Objects)
+	a.cols = make([][]cmatrix.Cycle, layout.Objects)
+	a.seen = make([]bool, layout.Objects)
+	a.nSeen = 0
+	a.indexM = 0
+	a.published = false
+}
+
+// feed consumes one program-mode frame, returning a completed cycle
+// when this frame finished one.
+func (a *assembler) feed(frame []byte) (*bcast.CycleBroadcast, error) {
+	if wire.IsIndexFrame(frame) {
+		idx, err := wire.DecodeIndexFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		if a.haveStart && idx.Number == a.number {
+			a.indexM = idx.M
+		}
+		return nil, nil
+	}
+	number, obj, seq, delta, _, err := wire.BucketInfo(frame)
+	if err != nil {
+		return nil, err
+	}
+	var prev []cmatrix.Cycle
+	if delta {
+		if a.lastSeq[obj]+1 != seq || a.lastCol[obj] == nil {
+			// Broken delta chain (missed this object's previous
+			// occurrence): skip the occurrence; a full refresh will
+			// restore the chain.
+			return nil, nil
+		}
+		prev = a.lastCol[obj]
+	}
+	b, err := wire.DecodeBucket(frame, prev)
+	if err != nil {
+		return nil, err
+	}
+	a.lastSeq[obj] = seq
+	a.lastCol[obj] = b.Column
+	if !a.haveStart || number != a.number {
+		a.begin(number, b.Layout)
+	}
+	if obj >= a.layout.Objects {
+		return nil, fmt.Errorf("netcast: bucket object %d outside layout of %d objects", obj, a.layout.Objects)
+	}
+	if !a.seen[obj] {
+		a.seen[obj] = true
+		a.nSeen++
+		a.values[obj] = b.Value
+		a.cols[obj] = b.Column
+	}
+	if a.nSeen == a.layout.Objects && !a.published {
+		a.published = true
+		return a.build()
+	}
+	return nil, nil
+}
+
+// build assembles the completed cycle broadcast.
+func (a *assembler) build() (*bcast.CycleBroadcast, error) {
+	cb := &bcast.CycleBroadcast{
+		Number: a.number,
+		Layout: a.layout,
+		Values: a.values,
+		IndexM: a.indexM,
+	}
+	var err error
+	switch a.layout.Control {
+	case bcast.ControlMatrix:
+		cb.Matrix, err = cmatrix.MatrixFromColumns(a.cols)
+	case bcast.ControlVector:
+		entries := make([]cmatrix.Cycle, a.layout.Objects)
+		for j, col := range a.cols {
+			entries[j] = col[0]
+		}
+		cb.Vector, err = cmatrix.VectorFromEntries(entries)
+	case bcast.ControlGrouped:
+		cb.Grouped, err = cmatrix.GroupedFromRows(cmatrix.UniformPartition(a.layout.Objects, a.layout.Groups), a.cols)
+	default:
+		err = fmt.Errorf("netcast: cannot assemble %v control", a.layout.Control)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cb, nil
+}
+
+// SelectiveStats count the frames a selective tuner spent listening
+// (decoding — the battery cost the paper calls tuning time) versus
+// dozing (received but deliberately not decoded), and the wakeups that
+// found nothing usable.
+type SelectiveStats struct {
+	FramesListened int64
+	FramesDozed    int64
+	IndexMisses    int64
+}
+
+// SelectiveTuner is the (1,m) air-index client receiver: instead of
+// decoding every frame like Tune, it probes a single frame to find the
+// next index segment, dozes to it, reads the object's
+// offset-to-next-occurrence, dozes again, and decodes exactly the
+// frame carrying the requested object. Over TCP "dozing" means the
+// frame is consumed but never decoded — the tuning-time accounting is
+// exact while the transport stays ordinary sockets.
+//
+// A SelectiveTuner is not safe for concurrent use: one outstanding
+// ReadObject at a time, matching a single physical tuner.
+type SelectiveTuner struct {
+	conn   net.Conn
+	frames chan []byte
+	done   chan struct{}
+	err    error
+
+	mu    sync.Mutex
+	stats SelectiveStats
+
+	lastSeq map[int]uint32
+	lastCol map[int][]cmatrix.Cycle
+}
+
+// errBrokenChain marks a delta bucket whose base occurrence this tuner
+// never heard.
+var errBrokenChain = errors.New("netcast: delta chain broken")
+
+// TuneSelective connects a selective tuner to a broadcast address. The
+// stream must be in program mode (index/bucket frames).
+func TuneSelective(addr string) (*SelectiveTuner, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &SelectiveTuner{
+		conn:    conn,
+		frames:  make(chan []byte, 4096),
+		done:    make(chan struct{}),
+		lastSeq: map[int]uint32{},
+		lastCol: map[int][]cmatrix.Cycle{},
+	}
+	go t.pump()
+	return t, nil
+}
+
+// pump moves raw frames from the socket into the frame queue so the
+// server never blocks on this subscriber. The queue models the radio:
+// frames arrive whether or not anyone is listening.
+func (t *SelectiveTuner) pump() {
+	defer close(t.done)
+	defer close(t.frames)
+	for {
+		frame, err := readFrame(t.conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				t.err = err
+			}
+			return
+		}
+		select {
+		case t.frames <- frame:
+		default:
+			// Queue overflow: the tuner slept through its buffer. Drop
+			// the oldest to keep position tracking monotone.
+			select {
+			case <-t.frames:
+				t.countDozed(1)
+			default:
+			}
+			select {
+			case t.frames <- frame:
+			default:
+			}
+		}
+	}
+}
+
+func (t *SelectiveTuner) countDozed(n int64) {
+	t.mu.Lock()
+	t.stats.FramesDozed += n
+	t.mu.Unlock()
+}
+
+func (t *SelectiveTuner) countListened() {
+	t.mu.Lock()
+	t.stats.FramesListened++
+	t.mu.Unlock()
+}
+
+func (t *SelectiveTuner) countMiss() {
+	t.mu.Lock()
+	t.stats.IndexMisses++
+	t.mu.Unlock()
+}
+
+// Stats returns a copy of the tuning counters.
+func (t *SelectiveTuner) Stats() SelectiveStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// next consumes the next frame from the air.
+func (t *SelectiveTuner) next() ([]byte, error) {
+	frame, ok := <-t.frames
+	if !ok {
+		if t.err != nil {
+			return nil, t.err
+		}
+		return nil, io.EOF
+	}
+	return frame, nil
+}
+
+// doze consumes n frames without decoding them.
+func (t *SelectiveTuner) doze(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := t.next(); err != nil {
+			return err
+		}
+	}
+	t.countDozed(int64(n))
+	return nil
+}
+
+// decodeBucket decodes a bucket frame, following this tuner's
+// per-object delta chains. errBrokenChain means the frame was a delta
+// whose base this tuner never heard.
+func (t *SelectiveTuner) decodeBucket(frame []byte) (*wire.Bucket, error) {
+	_, obj, seq, delta, _, err := wire.BucketInfo(frame)
+	if err != nil {
+		return nil, err
+	}
+	var prev []cmatrix.Cycle
+	if delta {
+		if t.lastSeq[obj]+1 != seq || t.lastCol[obj] == nil {
+			return nil, errBrokenChain
+		}
+		prev = t.lastCol[obj]
+	}
+	b, err := wire.DecodeBucket(frame, prev)
+	if err != nil {
+		return nil, err
+	}
+	t.lastSeq[obj] = seq
+	t.lastCol[obj] = b.Column
+	return b, nil
+}
+
+// ReadObject waits for the next receivable broadcast of obj and
+// returns its bucket (value + reconstructed control column + major
+// cycle number). The canonical (1,m) path costs three listened frames:
+// one probe, one index segment, one data frame; a broken delta chain
+// or lost synchronization counts an IndexMiss and retries until a
+// decodable occurrence (at worst the object's next full refresh)
+// arrives.
+func (t *SelectiveTuner) ReadObject(obj int) (*wire.Bucket, error) {
+	for {
+		// Probe: decode one frame, whatever it is.
+		frame, err := t.next()
+		if err != nil {
+			return nil, err
+		}
+		t.countListened()
+		var idx *wire.IndexFrame
+		switch {
+		case wire.IsIndexFrame(frame):
+			idx, err = wire.DecodeIndexFrame(frame)
+			if err != nil {
+				return nil, err
+			}
+		case wire.IsBucketFrame(frame):
+			b, derr := t.decodeBucket(frame)
+			if derr == nil && b.Obj == obj {
+				return b, nil // lucky probe
+			}
+			_, _, _, _, nextIndex, ierr := wire.BucketInfo(frame)
+			if ierr != nil {
+				return nil, ierr
+			}
+			if nextIndex == 0 {
+				// Unindexed program: no doze schedule exists; keep
+				// listening frame by frame.
+				continue
+			}
+			if err := t.doze(nextIndex - 1); err != nil {
+				return nil, err
+			}
+			frame, err = t.next()
+			if err != nil {
+				return nil, err
+			}
+			t.countListened()
+			if !wire.IsIndexFrame(frame) {
+				t.countMiss() // lost sync with the schedule
+				continue
+			}
+			idx, err = wire.DecodeIndexFrame(frame)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("netcast: selective tuning requires a program-mode stream, got frame %q", frame[:min(4, len(frame))])
+		}
+		if obj < 0 || obj >= len(idx.Offsets) {
+			return nil, fmt.Errorf("netcast: object %d outside broadcast of %d objects", obj, len(idx.Offsets))
+		}
+		// Doze to the frame before the object's occurrence, then listen.
+		if err := t.doze(idx.Offsets[obj] - 1); err != nil {
+			return nil, err
+		}
+		frame, err = t.next()
+		if err != nil {
+			return nil, err
+		}
+		t.countListened()
+		if !wire.IsBucketFrame(frame) {
+			t.countMiss()
+			continue
+		}
+		b, err := t.decodeBucket(frame)
+		if err != nil {
+			if errors.Is(err, errBrokenChain) {
+				t.countMiss() // wait for the object's next full refresh
+				continue
+			}
+			return nil, err
+		}
+		if b.Obj != obj {
+			t.countMiss()
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Close tears the selective tuner down.
+func (t *SelectiveTuner) Close() error {
+	t.conn.Close()
+	<-t.done
+	return t.err
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/protocol"
@@ -50,6 +51,14 @@ type Config struct {
 	// transactions (read set, write set, commit cycle) so tests and
 	// tools can reconstruct and check the induced history.
 	Audit bool
+	// Program, when non-nil, replaces the flat broadcast with an
+	// airsched multi-disk program: StartCycle publishes each cycle with
+	// the program's slot order and (1,m) index configuration, and every
+	// occurrence of an object within the major cycle carries the
+	// cycle-start value and control column (so Theorem 1/2 validation of
+	// a mid-cycle re-broadcast is identical to the first copy). The
+	// program's layout must equal the server's.
+	Program *airsched.Program
 }
 
 // Stats are cumulative server counters.
@@ -91,6 +100,9 @@ func New(cfg Config) (*Server, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Program != nil && cfg.Program.Layout() != layout {
+		return nil, fmt.Errorf("server: program layout %+v does not match server layout %+v", cfg.Program.Layout(), layout)
+	}
 	s := &Server{
 		cfg:       cfg,
 		layout:    layout,
@@ -115,6 +127,9 @@ func New(cfg Config) (*Server, error) {
 
 // Layout reports the broadcast layout in force.
 func (s *Server) Layout() bcast.Layout { return s.layout }
+
+// Program reports the broadcast program in force (nil = flat).
+func (s *Server) Program() *airsched.Program { return s.cfg.Program }
 
 // CurrentCycle reports the cycle currently on the air (0 before the
 // first StartCycle).
@@ -209,6 +224,10 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 		Number: s.cycle,
 		Layout: s.layout,
 		Values: make([][]byte, len(s.committed)),
+	}
+	if p := s.cfg.Program; p != nil {
+		cb.Order = p.Slots()
+		cb.IndexM = p.IndexM()
 	}
 	for i, v := range s.committed {
 		cb.Values[i] = append([]byte(nil), v...)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 
+	"broadcastcc/internal/airsched"
+	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/protocol"
 )
@@ -383,5 +385,78 @@ func TestConcurrentLocalTxns(t *testing.T) {
 	// The audit log length matches the commit counter.
 	if int64(len(s.AuditLog())) != stats.Commits {
 		t.Errorf("audit entries %d != commits %d", len(s.AuditLog()), stats.Commits)
+	}
+}
+
+func TestProgramDrivenCycles(t *testing.T) {
+	prog, err := airsched.Build(
+		bcast.LayoutFor(protocol.FMatrix, 8, 64, 8, 0),
+		airsched.ZipfWeights(8, 0.95), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Objects: 8, ObjectBits: 64, Algorithm: protocol.FMatrix, Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cb := s.StartCycle()
+	if cb.IndexM != 2 {
+		t.Fatalf("IndexM = %d, want 2", cb.IndexM)
+	}
+	if len(cb.Order) != len(prog.Slots()) {
+		t.Fatalf("order has %d slots, program %d", len(cb.Order), len(prog.Slots()))
+	}
+	// Every object appears in the order, hot ones more than once.
+	counts := make([]int, 8)
+	for _, obj := range cb.Order {
+		counts[obj]++
+	}
+	for obj, c := range counts {
+		if c != prog.Speed(obj) {
+			t.Fatalf("object %d appears %d times, program speed %d", obj, c, prog.Speed(obj))
+		}
+	}
+
+	// Re-broadcast consistency (Theorem 1/2): commits during the cycle
+	// must not change the published cycle's control column — every
+	// occurrence of an object within the major cycle reads the same
+	// column as the cycle-start copy.
+	before := append([]cmatrix.Cycle(nil), cb.Column(0).Col...)
+	txn := s.Begin()
+	if _, err := txn.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := cb.Column(0).Col
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("published column mutated by mid-cycle commit at entry %d: %d -> %d", i, before[i], after[i])
+		}
+	}
+	// The next cycle sees the commit.
+	cb2 := s.StartCycle()
+	if cb2.Matrix.Equal(cb.Matrix) {
+		t.Fatal("next cycle did not pick up the commit")
+	}
+}
+
+func TestProgramLayoutMismatch(t *testing.T) {
+	prog, err := airsched.Build(
+		bcast.LayoutFor(protocol.FMatrix, 8, 64, 8, 0),
+		airsched.ZipfWeights(8, 0.95), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Objects: 9, ObjectBits: 64, Algorithm: protocol.FMatrix, Program: prog}); err == nil {
+		t.Fatal("mismatched program layout accepted")
+	}
+	if _, err := New(Config{Objects: 8, ObjectBits: 64, Algorithm: protocol.RMatrix, Program: prog}); err == nil {
+		t.Fatal("mismatched control kind accepted")
 	}
 }

@@ -88,6 +88,25 @@ type Config struct {
 	// with this probability (0 keeps the paper's uniform access).
 	HotAccessProb float64
 
+	// ZipfTheta, when positive, skews client object selection with a
+	// Zipf(θ) distribution over object ids (0 hottest) and supplies the
+	// access-frequency estimate an airsched broadcast program is built
+	// from. 0 keeps the paper's uniform access.
+	ZipfTheta float64
+	// Disks, when positive, replaces the flat broadcast with an airsched
+	// multi-disk program built from the Zipf weights (square-root rule):
+	// hot objects repeat every minor cycle, cold ones rotate. 1 is the
+	// degenerate flat program (useful as an identically-measured
+	// baseline). Mutually exclusive with the legacy HotDiskSpeed knob.
+	Disks int
+	// IndexM, when positive, interleaves a (1,m) air index into the
+	// broadcast program and the client tunes selectively: each read
+	// listens to one probe frame, dozes to the next index segment,
+	// listens to it, and dozes again to the object's frame — tuning time
+	// (frames listened) is measured separately from access time.
+	// Requires Disks >= 1.
+	IndexM int
+
 	// ClientUpdateProb makes a client transaction an update transaction
 	// with this probability (the paper's future-work direction): it
 	// performs its reads as usual, writes ClientTxnWrites of the objects
@@ -204,6 +223,29 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: FaultDoze = %v, need [0,1) (at 1 no read ever completes)", c.FaultDoze)
 	case c.FaultDozeLen < 0:
 		return fmt.Errorf("sim: FaultDozeLen = %d, need >= 0", c.FaultDozeLen)
+	}
+	if c.ZipfTheta < 0 {
+		return fmt.Errorf("sim: ZipfTheta = %v, need >= 0", c.ZipfTheta)
+	}
+	if c.Disks < 0 || c.Disks > c.Objects {
+		return fmt.Errorf("sim: Disks = %d, need [0,%d]", c.Disks, c.Objects)
+	}
+	if c.IndexM < 0 {
+		return fmt.Errorf("sim: IndexM = %d, need >= 0", c.IndexM)
+	}
+	if c.IndexM > 0 && c.Disks < 1 {
+		return fmt.Errorf("sim: IndexM = %d needs an airsched program (Disks >= 1)", c.IndexM)
+	}
+	if c.Disks > 0 {
+		if c.HotDiskSpeed > 1 || c.HotAccessProb > 0 {
+			return fmt.Errorf("sim: the airsched program (Disks) and the legacy hot-disk knobs are mutually exclusive")
+		}
+		if c.Clients > 1 {
+			return fmt.Errorf("sim: the airsched program is single-client only")
+		}
+	}
+	if c.ZipfTheta > 0 && c.HotAccessProb > 0 {
+		return fmt.Errorf("sim: ZipfTheta and HotAccessProb are mutually exclusive access skews")
 	}
 	if c.HotDiskSpeed > 1 {
 		if c.HotSetSize < 1 || c.HotSetSize >= c.Objects {

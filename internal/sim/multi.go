@@ -241,6 +241,7 @@ func (e *engine) nextTxnOrStop(c *mcClient, res *Result, push func(float64, *mcC
 // single-client path.
 func (e *engine) finalizeResult(res *Result) {
 	res.CyclesSimulated = int64(e.snappedThrough)
+	res.DozedFrames = e.dozed
 	res.ServerCommits = e.serverCommits
 	res.SimulatedTime = e.now
 	res.CacheHits = e.cacheHits

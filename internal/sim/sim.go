@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
@@ -30,6 +31,21 @@ type Result struct {
 	// RestartRatio is total restarts divided by measured transactions
 	// (the paper's transaction restart ratio).
 	RestartRatio float64
+
+	// AccessTime aggregates per-transaction broadcast wait (bit-units
+	// summed over the transaction's reads and restarts — the paper's
+	// access time, the latency component of ResponseTime spent waiting
+	// on the air).
+	AccessTime stats.Sample
+	// TuningFrames aggregates per-transaction frames listened to (the
+	// paper's tuning time, the battery cost). Tracked only when an
+	// airsched program drives the broadcast (Config.Disks > 0): 3 frames
+	// per read on an indexed program, every frame passing by while
+	// waiting on an unindexed one.
+	TuningFrames stats.Sample
+	// DozedFrames counts frames the selective tuner slept through in
+	// total (airsched programs with IndexM > 0 only).
+	DozedFrames int64
 
 	// CyclesSimulated counts broadcast cycles begun.
 	CyclesSimulated int64
@@ -102,6 +118,17 @@ type engine struct {
 	now       float64
 	cycleBits float64
 	schedule  *bcast.Schedule
+	// program/timeline drive multi-disk, (1,m)-indexed broadcasts
+	// (cfg.Disks > 0); nil keeps the flat schedule path bit-identical to
+	// the paper's study.
+	program  *airsched.Program
+	timeline *airsched.Timeline
+	zipf     *airsched.ZipfPicker
+
+	// Per-transaction tuning/access accumulators (reset by run).
+	curAccess   float64
+	curListened int64
+	dozed       int64
 	// faults, when non-nil, decides which whole cycles each client's
 	// tuner misses (FaultLoss/FaultDoze). Decisions are pure functions of
 	// (FaultSeed, client, cycle), so the trace is identical at any
@@ -143,8 +170,17 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 	var schedule *bcast.Schedule
+	var program *airsched.Program
+	var timeline *airsched.Timeline
 	var err error
-	if cfg.HotDiskSpeed > 1 {
+	if cfg.Disks > 0 {
+		program, err = airsched.Build(layout, airsched.ZipfWeights(cfg.Objects, cfg.ZipfTheta), cfg.Disks, cfg.IndexM)
+		if err != nil {
+			return nil, err
+		}
+		timeline = airsched.NewTimeline(program)
+		schedule = program.Schedule()
+	} else if cfg.HotDiskSpeed > 1 {
 		hot := make([]int, cfg.HotSetSize)
 		for i := range hot {
 			hot[i] = i
@@ -163,17 +199,28 @@ func newEngine(cfg Config) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	cycleBits := float64(schedule.MajorCycleBits())
+	if timeline != nil {
+		// Index segments consume airtime too: the program's major cycle
+		// is longer than the data slots alone.
+		cycleBits = float64(timeline.MajorBits())
+	}
 	e := &engine{
 		cfg:            cfg,
 		layout:         layout,
 		schedule:       schedule,
+		program:        program,
+		timeline:       timeline,
 		rng:            rand.New(rand.NewSource(cfg.Seed)),
-		cycleBits:      float64(schedule.MajorCycleBits()),
+		cycleBits:      cycleBits,
 		lastWrite:      make([]cmatrix.Cycle, cfg.Objects),
 		nextCommitTime: cfg.ServerTxnInterval,
 		snaps:          map[cmatrix.Cycle]protocol.Snapshot{},
 	}
 	e.srvRng = e.rng
+	if cfg.ZipfTheta > 0 {
+		e.zipf = airsched.NewZipfPicker(cfg.Objects, cfg.ZipfTheta)
+	}
 	if cfg.FaultLoss > 0 || cfg.FaultDoze > 0 {
 		e.faults = faultair.NewSchedule(faultair.Profile{
 			Loss:    cfg.FaultLoss,
@@ -226,6 +273,10 @@ func (e *engine) cycleOf(t float64) cmatrix.Cycle {
 // together with its control information, has been fully broadcast, and
 // the (major) cycle that broadcast belongs to.
 func (e *engine) nextReady(t float64, j int) (float64, cmatrix.Cycle) {
+	if e.timeline != nil {
+		ready, cycle := e.timeline.NextReady(t, j)
+		return ready, cmatrix.Cycle(cycle)
+	}
 	ready, cycle := e.schedule.NextReady(t, j)
 	return ready, cmatrix.Cycle(cycle)
 }
@@ -391,6 +442,7 @@ func (e *engine) run() (*Result, error) {
 		}
 		submit := e.now
 		restarts := 0
+		e.curAccess, e.curListened = 0, 0
 		for { // attempts
 			validator.Reset()
 			aborted := false
@@ -438,6 +490,10 @@ func (e *engine) run() (*Result, error) {
 				res.ResponseTime.Add(e.now - submit)
 				res.Restarts.Add(float64(restarts))
 			}
+			res.AccessTime.Add(e.curAccess)
+			if e.timeline != nil {
+				res.TuningFrames.Add(float64(e.curListened))
+			}
 		}
 		if cfg.Audit && !isUpdate {
 			// Update transactions are already in the commit log; only
@@ -457,6 +513,18 @@ func (e *engine) pickObjects() []int { return e.pickObjectsFrom(e.rng) }
 
 func (e *engine) pickObjectsFrom(rng *rand.Rand) []int {
 	cfg := e.cfg
+	if e.zipf != nil {
+		seen := make(map[int]bool, cfg.ClientTxnLength)
+		out := make([]int, 0, cfg.ClientTxnLength)
+		for len(out) < cfg.ClientTxnLength {
+			j := e.zipf.Pick(rng.Float64())
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+		return out
+	}
 	if cfg.HotAccessProb == 0 {
 		return rng.Perm(cfg.Objects)[:cfg.ClientTxnLength]
 	}
@@ -505,6 +573,53 @@ func (e *engine) submitClientUpdate(reads []protocol.ReadAt, writeSet []int) boo
 	return true
 }
 
+// airRead waits out the broadcast program for object j from the current
+// clock, modelling the tuner: with a (1,m) index the client listens to a
+// probe frame, the next index segment, and the object's frame (dozing
+// in between); without an index it listens to every frame until the
+// object arrives. A fault-dropped cycle costs the listening but carries
+// no data, so the attempt repeats from the next cycle.
+func (e *engine) airRead(j int) (float64, cmatrix.Cycle, error) {
+	at := e.now
+	for {
+		var ready float64
+		var cycle int64
+		if e.cfg.IndexM > 0 {
+			listened := int64(1)
+			probeEnd := e.timeline.NextFrameEnd(at)
+			direct, directCycle := e.timeline.NextReady(at, j)
+			if direct == probeEnd {
+				// The probe frame happened to be the object itself.
+				ready, cycle = direct, directCycle
+			} else {
+				idxEnd, ok := e.timeline.NextIndexEnd(at)
+				if !ok {
+					return 0, 0, fmt.Errorf("sim: internal error: indexed program has no index segments")
+				}
+				if idxEnd != probeEnd {
+					listened++ // a separate probe, then the index segment
+				}
+				ready, cycle = e.timeline.NextReady(idxEnd, j)
+				listened++ // the object's data frame
+			}
+			e.curListened += listened
+			e.dozed += e.timeline.FramesIn(at, ready) - listened
+		} else {
+			// No index: the tuner cannot doze, it decodes every frame
+			// until the object comes around.
+			ready, cycle = e.timeline.NextReady(at, j)
+			e.curListened += e.timeline.FramesIn(at, ready)
+		}
+		if e.faults == nil || !e.faults.Missed(0, cmatrix.Cycle(cycle)) {
+			return ready, cmatrix.Cycle(cycle), nil
+		}
+		at = float64(cycle) * e.cycleBits
+		if e.cfg.MaxTime > 0 && at > e.cfg.MaxTime {
+			return 0, 0, fmt.Errorf("%w: MaxTime=%g waiting out faults for object %d", ErrMaxTime, e.cfg.MaxTime, j)
+		}
+	}
+}
+
 // newValidator builds the per-transaction validator: the exact paper
 // validators normally, the snapshot-retaining validator when the cache
 // may serve (older) reads.
@@ -524,19 +639,30 @@ func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 		e.cacheHits++
 		return v.TryRead(entry.snap, j, entry.cycle), nil
 	}
-	readTime, cycle := e.nextReady(e.now, j)
-	// A missed cycle (doze or frame loss) carries no data for this
-	// client: the read retries from the start of the next cycle until the
-	// object comes around in a cycle the tuner actually receives.
-	for e.faults != nil && e.faults.Missed(0, cycle) {
-		readTime, cycle = e.nextReady(float64(cycle)*e.cycleBits, j)
-		if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
-			return false, fmt.Errorf("%w: MaxTime=%g waiting out faults for object %d", ErrMaxTime, e.cfg.MaxTime, j)
+	var readTime float64
+	var cycle cmatrix.Cycle
+	if e.timeline != nil {
+		var err error
+		readTime, cycle, err = e.airRead(j)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		readTime, cycle = e.nextReady(e.now, j)
+		// A missed cycle (doze or frame loss) carries no data for this
+		// client: the read retries from the start of the next cycle until the
+		// object comes around in a cycle the tuner actually receives.
+		for e.faults != nil && e.faults.Missed(0, cycle) {
+			readTime, cycle = e.nextReady(float64(cycle)*e.cycleBits, j)
+			if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
+				return false, fmt.Errorf("%w: MaxTime=%g waiting out faults for object %d", ErrMaxTime, e.cfg.MaxTime, j)
+			}
 		}
 	}
 	if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
 		return false, fmt.Errorf("%w: MaxTime=%g waiting for object %d", ErrMaxTime, e.cfg.MaxTime, j)
 	}
+	e.curAccess += readTime - e.now
 	e.now = readTime
 	e.ensureSnapshot(cycle)
 	snap := e.snaps[cycle]

@@ -85,3 +85,72 @@ func FuzzDecodeUpdateReply(f *testing.F) {
 		_, _ = DecodeUpdateReply(data) // must not panic
 	})
 }
+
+// FuzzDecodeFrames checks the program-mode frame decoders (index
+// segments and data buckets) against arbitrary bytes: no panics, and
+// accepted frames survive a decode/encode/decode loop.
+func FuzzDecodeFrames(f *testing.F) {
+	goodIdx, err := EncodeIndexFrame(&IndexFrame{
+		Number: 3, Segment: 1, M: 2, Frames: 8, NextIndex: 4,
+		Offsets: []int{1, 2, 3, 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodIdx)
+	layout := bcast.LayoutFor(protocol.FMatrix, 3, 16, 8, 0)
+	full, err := EncodeBucket(&Bucket{
+		Number: 5, Layout: layout, Obj: 1, Seq: 2,
+		Value: []byte{7}, Column: []cmatrix.Cycle{1, 0, 4},
+	}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	delta, err := EncodeBucket(&Bucket{
+		Number: 5, Layout: layout, Obj: 1, Seq: 2,
+		Value: []byte{7}, Column: []cmatrix.Cycle{1, 0, 4},
+	}, []cmatrix.Cycle{1, 3, 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(delta)
+	f.Add([]byte{})
+	f.Add([]byte("BCI1 garbage"))
+	f.Add([]byte("BCB1 garbage"))
+	prev := []cmatrix.Cycle{1, 3, 4}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if idx, err := DecodeIndexFrame(data); err == nil {
+			re, err := EncodeIndexFrame(idx)
+			if err != nil {
+				t.Fatalf("decoded index frame failed to re-encode: %v", err)
+			}
+			again, err := DecodeIndexFrame(re)
+			if err != nil {
+				t.Fatalf("re-encoded index frame failed to decode: %v", err)
+			}
+			if again.Number != idx.Number || len(again.Offsets) != len(idx.Offsets) {
+				t.Fatal("index decode/encode/decode unstable")
+			}
+		}
+		// Decode both with and without a previous column: delta frames
+		// need one, full frames must ignore it.
+		for _, pc := range [][]cmatrix.Cycle{nil, prev} {
+			b, err := DecodeBucket(data, pc)
+			if err != nil {
+				continue
+			}
+			re, err := EncodeBucket(b, nil)
+			if err != nil {
+				t.Fatalf("decoded bucket failed to re-encode: %v", err)
+			}
+			again, err := DecodeBucket(re, nil)
+			if err != nil {
+				t.Fatalf("re-encoded bucket failed to decode: %v", err)
+			}
+			if again.Number != b.Number || again.Obj != b.Obj || len(again.Column) != len(b.Column) {
+				t.Fatal("bucket decode/encode/decode unstable")
+			}
+		}
+	})
+}

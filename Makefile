@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # server/protocol state it exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/...
 
 verify: build test race
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeCycle -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrames -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceCodec -fuzztime 30s
 
 # Micro-benchmarks only (matrix apply/snapshot, wire codec, validator).
 bench:
@@ -48,3 +49,18 @@ bench-figures:
 # sweeps included); CI runs this on each push to catch harness breakage.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/experiments/...
+
+# Boot bcserver with the observability endpoint and assert /metrics
+# serves a non-empty registry snapshot; catches -obs-addr wiring rot.
+obs-smoke:
+	$(GO) build -o /tmp/bcserver-obs-smoke ./cmd/bcserver
+	/tmp/bcserver-obs-smoke -broadcast 127.0.0.1:0 -uplink 127.0.0.1:0 \
+		-obs-addr 127.0.0.1:17173 -workload 50 -interval 20ms -verify-sample 5 & \
+	pid=$$!; sleep 1; \
+	body=$$(curl -sf http://127.0.0.1:17173/metrics); status=$$?; \
+	kill $$pid 2>/dev/null; rm -f /tmp/bcserver-obs-smoke; \
+	if [ $$status -ne 0 ] || [ -z "$$body" ]; then \
+		echo "obs-smoke: /metrics unreachable or empty" >&2; exit 1; \
+	fi; \
+	echo "$$body" | grep -q '"server_cycles"' || { echo "obs-smoke: no server_cycles in /metrics" >&2; exit 1; }; \
+	echo "obs-smoke: ok"

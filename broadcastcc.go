@@ -47,6 +47,8 @@
 package broadcastcc
 
 import (
+	"net"
+
 	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/client"
@@ -56,6 +58,7 @@ import (
 	"broadcastcc/internal/faultair"
 	"broadcastcc/internal/history"
 	"broadcastcc/internal/netcast"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
 	"broadcastcc/internal/sim"
@@ -359,4 +362,39 @@ func RunFigure(id string, opt ExperimentOptions) (*Experiment, error) {
 // RunAllFigures reproduces the paper's whole evaluation.
 func RunAllFigures(opt ExperimentOptions) ([]*Experiment, error) {
 	return experiments.All(opt)
+}
+
+// ---- Observability ----
+
+// ObsRegistry is a metrics registry: named counters, gauges and
+// fixed-bucket histograms with zero-allocation hot paths. Pass one as
+// ServerConfig.Obs / ClientConfig.Obs to collect metrics, and serve it
+// with ServeObs.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time, mergeable registry snapshot (the
+// /metrics JSON document, and the per-run obs block in bench JSON).
+type ObsSnapshot = obs.Snapshot
+
+// ObsTracer is a fixed-capacity ring of cycle-clock events: trace
+// entries are stamped with (cycle, frame) positions, never wall time,
+// so deterministic runs produce byte-identical traces.
+type ObsTracer = obs.Tracer
+
+// ObsEvent is one cycle-clock trace entry.
+type ObsEvent = obs.Event
+
+// NewObsRegistry builds an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTracer builds a cycle-clock tracer keeping the last capacity
+// events.
+func NewObsTracer(capacity int) *ObsTracer { return obs.NewTracer(capacity) }
+
+// ServeObs serves /metrics (registry snapshot as JSON), /trace (the
+// tracer's events, one line each) and net/http/pprof on addr. The
+// returned listener reports the bound address (useful with ":0") and
+// stops the server when closed.
+func ServeObs(addr string, reg *ObsRegistry, tr *ObsTracer) (net.Listener, error) {
+	return obs.Serve(addr, reg, tr)
 }

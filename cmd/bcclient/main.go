@@ -43,6 +43,7 @@ func main() {
 	dozeLen := flag.Int("doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
 	selective := flag.Bool("selective", false, "tune selectively via the (1,m) air index (requires a program-mode server; read-only)")
+	obsAddr := flag.String("obs-addr", "", "serve client /metrics, /trace and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -91,11 +92,22 @@ func main() {
 	} else {
 		sub = tuner.Subscribe(64)
 	}
-	cli := broadcastcc.NewClient(broadcastcc.ClientConfig{
+	ccfg := broadcastcc.ClientConfig{
 		Algorithm:       alg,
 		CacheCurrency:   broadcastcc.Cycle(*cacheT),
 		RetainSnapshots: faulty,
-	}, sub)
+	}
+	if *obsAddr != "" {
+		ccfg.Obs = broadcastcc.NewObsRegistry()
+		ccfg.Trace = broadcastcc.NewObsTracer(4096)
+		ln, err := broadcastcc.ServeObs(*obsAddr, ccfg.Obs, ccfg.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("observability on http://%s (/metrics, /trace, /debug/pprof/)", ln.Addr())
+	}
+	cli := broadcastcc.NewClient(ccfg, sub)
 
 	var uplink *broadcastcc.NetUplink
 	if *writeSpec != "" {

@@ -46,6 +46,9 @@ func main() {
 	indexM := flag.Int("index-m", 0, "(1,m) air-index segments per major cycle (requires -disks >= 1)")
 	zipf := flag.Float64("zipf", 0, "zipf θ of the access-frequency estimate driving the disk partition")
 	refreshEvery := flag.Int("refresh-every", 0, "full control-column refresh period for program-mode deltas (0 = always full)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+	traceCap := flag.Int("trace-cap", 4096, "cycle-clock trace ring capacity (with -obs-addr)")
+	verifySample := flag.Int("verify-sample", 0, "run the control-state integrity check every Nth cycle, timing it into server_verify_ns (0 = off)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -59,6 +62,16 @@ func main() {
 		TimestampBits: *tsBits,
 		Algorithm:     alg,
 		Groups:        *groups,
+		Obs:           broadcastcc.NewObsRegistry(),
+		VerifySample:  *verifySample,
+		// VerifyControl rebuilds from the audit log, so sampling it
+		// implies auditing.
+		Audit: *verifySample > 0,
+	}
+	var trace *broadcastcc.ObsTracer
+	if *obsAddr != "" {
+		trace = broadcastcc.NewObsTracer(*traceCap)
+		cfg.Trace = trace
 	}
 	if *disks > 0 {
 		prog, err := broadcastcc.BuildProgram(cfg, broadcastcc.ZipfWeights(*objects, *zipf), *disks, *indexM)
@@ -85,6 +98,16 @@ func main() {
 		srv.Layout().CycleBits(), 100*srv.Layout().ControlOverhead())
 	if p := srv.Program(); p != nil {
 		log.Printf("air program: %s, zipf θ=%.2f, refresh every %d", p, *zipf, *refreshEvery)
+	}
+	if *obsAddr != "" {
+		// The netcast layer shares the server's registry, so /metrics
+		// covers server_* and netcast_* series in one document.
+		ln, err := broadcastcc.ServeObs(*obsAddr, srv.Obs(), trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("observability on http://%s (/metrics, /trace, /debug/pprof/)", ln.Addr())
 	}
 
 	stop := make(chan struct{})

@@ -17,6 +17,7 @@ import (
 
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 )
 
@@ -71,6 +72,19 @@ type Config struct {
 	// path for the conformance harness's live-stack audits; production
 	// clients leave it nil.
 	ObserveRead func(obj int, cycle cmatrix.Cycle, cacheHit, accepted bool)
+	// Obs receives the client's metrics (client_cycles_seen,
+	// client_gaps, client_cycles_missed, client_reads,
+	// client_cache_hits, client_read_aborts, client_restarts and the
+	// client_frames_* tuning counters). Nil uses a private registry;
+	// Stats() is a view over it either way.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives cycle-clock events for this
+	// client's reads, aborts and retunes, with Actor = ClientID.
+	Trace *obs.Tracer
+	// ClientID stamps this client's trace events (Actor field) so
+	// multi-client traces attribute events; obs.ActorServer (-1) is
+	// reserved for servers.
+	ClientID int32
 }
 
 // currencyOf resolves the effective currency bound for one object.
@@ -89,10 +103,25 @@ type Client struct {
 	sub   *bcast.Subscription
 	cur   *bcast.CycleBroadcast
 	cache *cache
-	stats Stats
+
+	// Observability: counters resolved once at New (the read path is a
+	// single atomic add per outcome), tracer nil-safe.
+	obs             *obs.Registry
+	trace           *obs.Tracer
+	cCyclesSeen     *obs.Counter
+	cGaps           *obs.Counter
+	cCyclesMissed   *obs.Counter
+	cReads          *obs.Counter
+	cCacheHits      *obs.Counter
+	cReadAborts     *obs.Counter
+	cRestarts       *obs.Counter
+	cFramesListened *obs.Counter
+	cFramesDozed    *obs.Counter
+	cIndexMisses    *obs.Counter
 }
 
-// Stats are cumulative client counters.
+// Stats are cumulative client counters — a view over the client's obs
+// registry (Config.Obs), which is the single source of truth.
 type Stats struct {
 	CyclesSeen   int64
 	Gaps         int64 // discontinuities in the received cycle sequence
@@ -118,8 +147,27 @@ func New(cfg Config, sub *bcast.Subscription) *Client {
 	if cfg.CacheCurrency > 0 {
 		c.cache = newCache(cfg.CacheSize)
 	}
+	c.obs = cfg.Obs
+	if c.obs == nil {
+		c.obs = obs.NewRegistry()
+	}
+	c.trace = cfg.Trace
+	c.cCyclesSeen = c.obs.Counter("client_cycles_seen")
+	c.cGaps = c.obs.Counter("client_gaps")
+	c.cCyclesMissed = c.obs.Counter("client_cycles_missed")
+	c.cReads = c.obs.Counter("client_reads")
+	c.cCacheHits = c.obs.Counter("client_cache_hits")
+	c.cReadAborts = c.obs.Counter("client_read_aborts")
+	c.cRestarts = c.obs.Counter("client_restarts")
+	c.cFramesListened = c.obs.Counter("client_frames_listened")
+	c.cFramesDozed = c.obs.Counter("client_frames_dozed")
+	c.cIndexMisses = c.obs.Counter("client_index_misses")
 	return c
 }
+
+// Obs returns the client's metrics registry (Config.Obs, or the
+// private registry created when none was supplied).
+func (c *Client) Obs() *obs.Registry { return c.obs }
 
 // AwaitCycle blocks until the next broadcast cycle arrives and makes it
 // current. Stale redeliveries (a lossy tuner retuning can replay the
@@ -193,12 +241,13 @@ func (c *Client) setCurrent(cb *bcast.CycleBroadcast) bool {
 			return false
 		}
 		if gap := int64(cb.Number-c.cur.Number) - 1; gap > 0 {
-			c.stats.Gaps++
-			c.stats.CyclesMissed += gap
+			c.cGaps.Inc()
+			c.cCyclesMissed.Add(gap)
+			c.trace.Emit(obs.EvRetune, c.cfg.ClientID, int64(cb.Number), 0, gap)
 		}
 	}
 	c.cur = cb
-	c.stats.CyclesSeen++
+	c.cCyclesSeen.Inc()
 	if c.cache != nil {
 		c.cache.evictStale(cb.Number, c.cfg.currencyOf)
 	}
@@ -209,17 +258,33 @@ func (c *Client) setCurrent(cb *bcast.CycleBroadcast) bool {
 // nil before the first AwaitCycle/PollCycle.
 func (c *Client) Current() *bcast.CycleBroadcast { return c.cur }
 
-// Stats returns a copy of the client counters.
-func (c *Client) Stats() Stats { return c.stats }
+// Stats returns the client counters as a struct view over the obs
+// registry.
+func (c *Client) Stats() Stats {
+	return Stats{
+		CyclesSeen:     c.cCyclesSeen.Load(),
+		Gaps:           c.cGaps.Load(),
+		CyclesMissed:   c.cCyclesMissed.Load(),
+		Reads:          c.cReads.Load(),
+		CacheHits:      c.cCacheHits.Load(),
+		ReadAborts:     c.cReadAborts.Load(),
+		FramesListened: c.cFramesListened.Load(),
+		FramesDozed:    c.cFramesDozed.Load(),
+		IndexMisses:    c.cIndexMisses.Load(),
+	}
+}
 
 // AddFrameStats accumulates air-tuning counters measured below the
 // cycle layer — the netcast selective tuner and the simulator's
 // timeline accounting report how many frames the client actually
 // listened to, dozed through, and how many wakeups missed.
 func (c *Client) AddFrameStats(listened, dozed, indexMisses int64) {
-	c.stats.FramesListened += listened
-	c.stats.FramesDozed += dozed
-	c.stats.IndexMisses += indexMisses
+	c.cFramesListened.Add(listened)
+	c.cFramesDozed.Add(dozed)
+	c.cIndexMisses.Add(indexMisses)
+	if dozed > 0 && c.cur != nil {
+		c.trace.Emit(obs.EvDoze, c.cfg.ClientID, int64(c.cur.Number), 0, dozed)
+	}
 }
 
 // Retune replaces the client's subscription after the previous one
@@ -233,7 +298,8 @@ func (c *Client) AddFrameStats(listened, dozed, indexMisses int64) {
 func (c *Client) Retune(sub *bcast.Subscription) {
 	c.sub = sub
 	if c.cur != nil {
-		c.stats.Gaps++
+		c.cGaps.Inc()
+		c.trace.Emit(obs.EvRetune, c.cfg.ClientID, int64(c.cur.Number), 0, -1)
 	}
 	c.cur = nil
 	if c.cache != nil {
@@ -286,17 +352,38 @@ func (t *ReadTxn) Read(obj int) ([]byte, error) {
 	}
 	if !t.val.TryRead(snap, obj, cycle) {
 		t.done = true
-		t.c.stats.ReadAborts++
-		t.c.observeRead(obj, cycle, hit, false)
+		t.c.readAborted(obj, cycle, hit)
 		t.c.invalidateAfterAbort(t.val, obj)
 		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
 	}
-	t.c.stats.Reads++
-	if hit {
-		t.c.stats.CacheHits++
-	}
-	t.c.observeRead(obj, cycle, hit, true)
+	t.c.readValidated(obj, cycle, hit)
 	return value, nil
+}
+
+// readValidated / readAborted record a read outcome in the registry
+// and trace. Cache hits are stamped frame -1 (the value never crossed
+// the air this cycle); off-the-air reads use frame 0, since the flat
+// client layer has no sub-cycle frame position (the selective tuner
+// accounts frames via AddFrameStats).
+func (c *Client) readValidated(obj int, cycle cmatrix.Cycle, hit bool) {
+	c.cReads.Inc()
+	frame := int32(0)
+	if hit {
+		c.cCacheHits.Inc()
+		frame = -1
+	}
+	c.trace.Emit(obs.EvReadValidate, c.cfg.ClientID, int64(cycle), frame, int64(obj))
+	c.observeRead(obj, cycle, hit, true)
+}
+
+func (c *Client) readAborted(obj int, cycle cmatrix.Cycle, hit bool) {
+	c.cReadAborts.Inc()
+	frame := int32(0)
+	if hit {
+		frame = -1
+	}
+	c.trace.Emit(obs.EvReadAbort, c.cfg.ClientID, int64(cycle), frame, int64(obj))
+	c.observeRead(obj, cycle, hit, false)
 }
 
 // observeRead notifies the instrumentation hook, when one is installed.
@@ -375,6 +462,7 @@ func (c *Client) columnSnapshot(obj int) protocol.Snapshot {
 func (c *Client) RunReadOnly(maxAttempts int, fn func(*ReadTxn) error) ([]protocol.ReadAt, error) {
 	for attempt := 0; maxAttempts == 0 || attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
+			c.cRestarts.Inc()
 			if _, ok := c.AwaitCycle(); !ok {
 				return nil, ErrTunedOut
 			}
@@ -424,13 +512,11 @@ func (t *UpdateTxn) Read(obj int) ([]byte, error) {
 	}
 	if !t.val.TryRead(snap, obj, cycle) {
 		t.done = true
-		t.c.stats.ReadAborts++
-		t.c.observeRead(obj, cycle, hit, false)
+		t.c.readAborted(obj, cycle, hit)
 		t.c.invalidateAfterAbort(t.val, obj)
 		return nil, fmt.Errorf("%w: object %d at cycle %d", ErrInconsistentRead, obj, cycle)
 	}
-	t.c.stats.Reads++
-	t.c.observeRead(obj, cycle, hit, true)
+	t.c.readValidated(obj, cycle, hit)
 	return value, nil
 }
 

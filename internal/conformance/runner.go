@@ -1,11 +1,13 @@
 package conformance
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
 )
@@ -50,6 +52,8 @@ const (
 
 	KindAirRebroadcast = "air-rebroadcast-column"
 	KindAirIndex       = "air-index-desync"
+
+	KindTraceDiverged = "cycle-trace-divergence"
 )
 
 // resolvedTxn is a client transaction with its reads pinned to concrete
@@ -81,6 +85,44 @@ type airTrace struct {
 	snaps      []cycleSnap // index by cycle number; [0] unused
 	txns       []*resolvedTxn
 	violations []Violation
+	// vecTrace and matTrace are the two servers' full cycle-clock event
+	// traces (snapshot-publish events included).
+	vecTrace, matTrace []obs.Event
+}
+
+// traceModuloControl filters snapshot-publish events out of a trace:
+// their Arg fingerprints the concrete control payload, which is
+// representation-dependent (vector vs full matrix), so the lockstep
+// comparison excludes them.
+func traceModuloControl(evs []obs.Event) []obs.Event {
+	out := make([]obs.Event, 0, len(evs))
+	for _, e := range evs {
+		if e.Kind == obs.EvSnapshotPublish {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// compareTraces checks the lockstep trace invariant over two servers'
+// full traces and, on divergence, builds the violation naming the first
+// differing event.
+func compareTraces(vec, mat []obs.Event) (Violation, bool) {
+	fv, fm := traceModuloControl(vec), traceModuloControl(mat)
+	if bytes.Equal(obs.EncodeTrace(fv), obs.EncodeTrace(fm)) {
+		return Violation{}, true
+	}
+	detail := fmt.Sprintf("vector server emitted %d events, matrix server %d (modulo snapshot publishes)", len(fv), len(fm))
+	for i := 0; i < len(fv) && i < len(fm); i++ {
+		if fv[i] != fm[i] {
+			detail = fmt.Sprintf("event %d: vector server %s c%d f%d arg=%d, matrix server %s c%d f%d arg=%d",
+				i, fv[i].Kind, fv[i].Cycle, fv[i].Frame, fv[i].Arg,
+				fm[i].Kind, fm[i].Cycle, fm[i].Frame, fm[i].Arg)
+			break
+		}
+	}
+	return Violation{Kind: KindTraceDiverged, Client: -1, Txn: -1, Detail: detail}, false
 }
 
 // resolveReads pins every planned read to the cycle it is performed in,
@@ -132,19 +174,25 @@ func resolveReads(w *Workload, sched *faultair.Schedule, client int, txn Planned
 // snapshot. Server-side invariants (Theorem 2 maintenance, snapshot
 // immutability, lockstep agreement) are checked as it goes.
 func runAir(w *Workload) (*airTrace, error) {
-	mk := func(alg protocol.Algorithm) (*server.Server, error) {
+	// Every cycle emits a start and a snapshot-publish event, and every
+	// uplink submission emits a verdict; size the rings so nothing is
+	// dropped — the trace comparison below needs complete traces.
+	traceCap := 2*int(w.Cycles) + w.TxnCount() + 16
+	vecTr, matTr := obs.NewTracer(traceCap), obs.NewTracer(traceCap)
+	mk := func(alg protocol.Algorithm, trace *obs.Tracer) (*server.Server, error) {
 		return server.New(server.Config{
 			Objects:    w.Objects,
 			ObjectBits: 64,
 			Algorithm:  alg,
 			Audit:      true,
+			Trace:      trace,
 		})
 	}
-	vecSrv, err := mk(protocol.RMatrix)
+	vecSrv, err := mk(protocol.RMatrix, vecTr)
 	if err != nil {
 		return nil, err
 	}
-	matSrv, err := mk(protocol.FMatrix)
+	matSrv, err := mk(protocol.FMatrix, matTr)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +295,18 @@ func runAir(w *Workload) (*airTrace, error) {
 			Kind: KindServerDiverged, Client: -1, Txn: -1,
 			Detail: fmt.Sprintf("audit logs diverged: vector server committed %d, matrix server %d", len(vecLog), len(tr.log)),
 		})
+	}
+
+	// Cycle-clock trace lockstep: both servers must emit the identical
+	// event sequence modulo snapshot-publish events, whose Arg
+	// fingerprints the control payload — a vector and a full matrix
+	// legitimately hash differently even when both are correct.
+	tr.vecTrace, tr.matTrace = vecTr.Events(), matTr.Events()
+	if d := vecTr.Dropped() + matTr.Dropped(); d > 0 {
+		return nil, fmt.Errorf("conformance: trace ring overflowed (%d events dropped; capacity %d)", d, traceCap)
+	}
+	if v, ok := compareTraces(tr.vecTrace, tr.matTrace); !ok {
+		tr.violations = append(tr.violations, v)
 	}
 
 	// Copy-on-write snapshots must still equal the deep clones taken at

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+
+	"broadcastcc/internal/obs"
 )
 
 // The machine-readable benchmark schema shared by every sweep: bcbench
@@ -22,6 +24,11 @@ type BenchMetrics struct {
 	Commits      int64    `json:"commits"`
 	CacheHits    int64    `json:"cache_hits"`
 	OffScale     bool     `json:"off_scale"`
+	// Obs is the run's final obs-registry snapshot; off-scale runs
+	// carry none. encoding/json sorts map keys, so the embedded
+	// snapshot keeps BENCH_<id>.json byte-identical at any sweep
+	// parallelism.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // BenchPoint is one x-value with every series' metrics.
@@ -38,6 +45,10 @@ type BenchExperiment struct {
 	Metric string       `json:"metric"`
 	Labels []string     `json:"labels"`
 	Points []BenchPoint `json:"points"`
+	// Obs merges every run's registry snapshot (obs.Snapshot.Merge:
+	// counters and gauges sum, equal-bounds histograms sum
+	// bucket-by-bucket) — the sweep's aggregate view.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // finiteOrNil maps non-finite values (off-scale runs) to JSON null.
@@ -57,11 +68,13 @@ func (e *Experiment) Bench() BenchExperiment {
 		Metric: e.Metric().label(),
 		Labels: e.Labels,
 	}
+	merged := obs.Snapshot{Counters: map[string]int64{}}
+	anyObs := false
 	for _, pt := range e.Points {
 		bp := BenchPoint{X: pt.X, Series: map[string]BenchMetrics{}}
 		for _, lbl := range e.Labels {
 			m := pt.Runs[lbl]
-			bp.Series[lbl] = BenchMetrics{
+			bm := BenchMetrics{
 				ResponseMean: finiteOrNil(m.ResponseMean),
 				RestartRatio: finiteOrNil(m.RestartRatio),
 				AccessMean:   finiteOrNil(m.AccessMean),
@@ -71,8 +84,18 @@ func (e *Experiment) Bench() BenchExperiment {
 				CacheHits:    m.CacheHits,
 				OffScale:     m.OffScale,
 			}
+			if m.Obs.Counters != nil {
+				snap := m.Obs
+				bm.Obs = &snap
+				merged = merged.Merge(snap)
+				anyObs = true
+			}
+			bp.Series[lbl] = bm
 		}
 		out.Points = append(out.Points, bp)
+	}
+	if anyObs {
+		out.Obs = &merged
 	}
 	return out
 }

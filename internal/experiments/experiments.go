@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/sim"
 	"broadcastcc/internal/stats"
@@ -41,6 +42,11 @@ type Metrics struct {
 	// paper's "outside the limits of the Y-axis" Datacycle points.
 	// ResponseMean and RestartRatio are +Inf.
 	OffScale bool
+	// Obs is the run's final metrics-registry snapshot (sim.Result.Obs):
+	// the same counter names a live server/client exposes on /metrics.
+	// Deterministic per config, so sweep tables embedding it remain
+	// byte-identical at any parallelism.
+	Obs obs.Snapshot
 }
 
 // Point is one x-value of a sweep with the metrics of every algorithm
@@ -131,6 +137,7 @@ func metricsOf(r *sim.Result) Metrics {
 		CacheHits:    r.CacheHits,
 		AccessMean:   r.AccessTime.Mean(),
 		TuningMean:   r.TuningFrames.Mean(),
+		Obs:          r.Obs,
 	}
 }
 

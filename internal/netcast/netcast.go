@@ -23,6 +23,7 @@ import (
 	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
 	"broadcastcc/internal/wire"
@@ -87,6 +88,12 @@ type Options struct {
 	// previous broadcast occurrence, with a full refresh every
 	// RefreshEvery occurrences. Zero sends every column in full.
 	RefreshEvery int
+
+	// Obs receives the transmission metrics (netcast_full_bytes,
+	// netcast_delta_bytes, netcast_frames_sent, subscriber churn and
+	// the netcast_subscribers gauge). Nil uses the broadcast server's
+	// registry, so one process naturally has one registry.
+	Obs *obs.Registry
 }
 
 // Server exposes a broadcast server over TCP.
@@ -112,9 +119,15 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	// Transmission accounting (bytes of cycle payload, framing
-	// excluded), for the delta-bandwidth analysis.
-	fullBytes  int64
-	deltaBytes int64
+	// excluded) for the delta-bandwidth analysis, plus subscriber
+	// churn. Registry-backed so TransmittedBytes and /metrics can
+	// never disagree.
+	cFullBytes   *obs.Counter
+	cDeltaBytes  *obs.Counter
+	cFramesSent  *obs.Counter
+	cSubsAdded   *obs.Counter
+	cSubsDropped *obs.Counter
+	gSubs        *obs.Gauge
 }
 
 // Serve starts listening on the two addresses (e.g. "127.0.0.1:0") and
@@ -151,6 +164,16 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 		return nil, err
 	}
 	s := &Server{bsrv: bsrv, opts: opts, broadcastLn: bl, uplinkLn: ul, subs: map[net.Conn]bool{}}
+	reg := opts.Obs
+	if reg == nil {
+		reg = bsrv.Obs()
+	}
+	s.cFullBytes = reg.Counter("netcast_full_bytes")
+	s.cDeltaBytes = reg.Counter("netcast_delta_bytes")
+	s.cFramesSent = reg.Counter("netcast_frames_sent")
+	s.cSubsAdded = reg.Counter("netcast_subs_added")
+	s.cSubsDropped = reg.Counter("netcast_subs_dropped")
+	s.gSubs = reg.Gauge("netcast_subscribers")
 	if prog != nil {
 		s.timeline = airsched.NewTimeline(prog)
 		s.seqs = make([]uint32, bsrv.Layout().Objects)
@@ -166,9 +189,7 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 // frames and as delta frames (per subscriber transmission counted once;
 // the broadcast medium reaches everyone with one transmission).
 func (s *Server) TransmittedBytes() (full, delta int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fullBytes, s.deltaBytes
+	return s.cFullBytes.Load(), s.cDeltaBytes.Load()
 }
 
 // BroadcastAddr reports the broadcast listener's address.
@@ -206,13 +227,14 @@ func (s *Server) Step() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if isDelta {
+		s.cDeltaBytes.Add(int64(len(data)))
+	} else {
+		s.cFullBytes.Add(int64(len(data)))
+	}
+	s.cFramesSent.Inc()
 	s.mu.Lock()
 	s.prev = cb
-	if isDelta {
-		s.deltaBytes += int64(len(data))
-	} else {
-		s.fullBytes += int64(len(data))
-	}
 	conns := make([]net.Conn, 0, len(s.subs))
 	for c := range s.subs {
 		conns = append(conns, c)
@@ -229,6 +251,7 @@ func (s *Server) Step() (int, error) {
 		}
 		delivered++
 	}
+	s.bsrv.Tracer().Emit(obs.EvCycleEnd, obs.ActorServer, int64(cb.Number), 1, int64(delivered))
 	return delivered, nil
 }
 
@@ -271,7 +294,9 @@ func (s *Server) Close() {
 	for c := range s.subs {
 		c.Close()
 		delete(s.subs, c)
+		s.cSubsDropped.Inc()
 	}
+	s.gSubs.Set(0)
 	s.mu.Unlock()
 	s.wg.Wait()
 }
@@ -290,6 +315,8 @@ func (s *Server) acceptBroadcast() {
 			return
 		}
 		s.subs[conn] = true
+		s.cSubsAdded.Inc()
+		s.gSubs.Set(int64(len(s.subs)))
 		s.mu.Unlock()
 	}
 }
@@ -299,6 +326,8 @@ func (s *Server) dropSub(c net.Conn) {
 	if s.subs[c] {
 		delete(s.subs, c)
 		c.Close()
+		s.cSubsDropped.Inc()
+		s.gSubs.Set(int64(len(s.subs)))
 	}
 	s.mu.Unlock()
 }

@@ -11,6 +11,7 @@ import (
 	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/server"
 	"broadcastcc/internal/wire"
 )
@@ -102,9 +103,10 @@ func (s *Server) stepProgram() (int, error) {
 		payloads = append(payloads, data)
 	}
 
+	s.cFullBytes.Add(fullB)
+	s.cDeltaBytes.Add(deltaB)
+	s.cFramesSent.Add(int64(len(payloads)))
 	s.mu.Lock()
-	s.fullBytes += fullB
-	s.deltaBytes += deltaB
 	conns := make([]net.Conn, 0, len(s.subs))
 	for c := range s.subs {
 		conns = append(conns, c)
@@ -125,6 +127,7 @@ func (s *Server) stepProgram() (int, error) {
 			delivered++
 		}
 	}
+	s.bsrv.Tracer().Emit(obs.EvCycleEnd, obs.ActorServer, int64(cb.Number), int32(len(payloads)), int64(delivered))
 	return delivered, nil
 }
 

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceCodec checks the trace codec's round-trip invariant: any
+// byte string DecodeTrace accepts must re-encode to exactly the same
+// bytes, and decoding never panics on arbitrary input.
+func FuzzTraceCodec(f *testing.F) {
+	f.Add(EncodeTrace([]Event{
+		{EvCycleStart, ActorServer, 0, 0, 2},
+		{EvSnapshotPublish, ActorServer, 0, 0, 77},
+		{EvReadValidate, 1, 3, 9, 4},
+		{EvUplinkVerdict, 2, 4, 0, 1},
+	}))
+	f.Add(EncodeTrace([]Event{{EvDoze, 5, 1 << 40, -3, -1}}))
+	f.Add([]byte{})
+	f.Add(make([]byte, traceRecordSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeTrace(data)
+		if err != nil {
+			return
+		}
+		re := EncodeTrace(evs)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs:\n in %x\nout %x", data, re)
+		}
+		evs2, err := DecodeTrace(re)
+		if err != nil {
+			t.Fatalf("decode of re-encoded trace failed: %v", err)
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("second decode has %d events, first %d", len(evs2), len(evs))
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry and tracer over HTTP:
+//
+//	/metrics        expvar-style JSON snapshot of the registry
+//	/trace          recent trace ring as text, oldest first
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//
+// reg and tr may be nil; the endpoints then serve empty documents.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		} else {
+			snap.Counters = map[string]int64{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteTrace(w, tr.Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(reg, tr) on addr and returns
+// the bound listener (so addr ":0" works and callers can report the
+// real port). The server runs until the listener is closed; serve
+// errors after that are discarded.
+func Serve(addr string, reg *Registry, tr *Tracer) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,21 @@
+package server
+
+// Test hooks, following the protocol.SetLooseReadCondition idiom:
+// package-global toggles flipped by differential tests to prove the
+// harness catches the defect class, never set in production paths.
+
+// traceSkewVector, when true, corrupts the uplink-verdict trace Arg on
+// servers using vector control (R-Matrix/Datacycle) while leaving the
+// verdicts themselves — and therefore all data-plane behavior —
+// untouched. The result is a pure trace divergence between the two
+// lockstep conformance servers, which must be caught by the
+// cycle-clock trace comparison and preserved by the shrinker.
+var traceSkewVector bool
+
+// SetTraceSkewVector toggles the trace-skew fault and returns a
+// restore function. Tests must call restore (typically via defer).
+func SetTraceSkewVector(on bool) (restore func()) {
+	prev := traceSkewVector
+	traceSkewVector = on
+	return func() { traceSkewVector = prev }
+}

@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 )
 
@@ -59,9 +61,27 @@ type Config struct {
 	// a mid-cycle re-broadcast is identical to the first copy). The
 	// program's layout must equal the server's.
 	Program *airsched.Program
+	// Obs receives the server's metrics (server_cycles, server_commits,
+	// server_conflict_aborts, server_uplink_requests,
+	// server_control_cols_rewritten, server_commits_per_cycle,
+	// server_verify_ns). Nil uses a private registry; Stats() works
+	// either way as a view over it.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives cycle-clock events (cycle start,
+	// snapshot publish, uplink verdicts) stamped with the broadcast
+	// cycle, never wall time.
+	Trace *obs.Tracer
+	// VerifySample, when > 0, runs VerifyControl every VerifySample-th
+	// StartCycle and records its wall-clock cost in the
+	// server_verify_ns histogram (requires Audit). Wall time stays in
+	// the registry only — it never enters the cycle-clock trace, which
+	// must remain deterministic.
+	VerifySample int
 }
 
-// Stats are cumulative server counters.
+// Stats are cumulative server counters. They are a view over the
+// server's obs registry (the registry is the single source of truth;
+// see Config.Obs), kept for callers that want a plain struct.
 type Stats struct {
 	Cycles         int64 // broadcast cycles published
 	Commits        int64 // update transactions committed
@@ -86,8 +106,22 @@ type Server struct {
 
 	cycle  cmatrix.Cycle // cycle currently on the air; 0 before the first broadcast
 	closed bool
-	stats  Stats
 	audit  []cmatrix.Commit
+
+	// Observability. Counters are resolved once at New so the commit
+	// and cycle hot paths are single atomic adds; trace may be nil
+	// (obs.Tracer.Emit is nil-safe).
+	obs            *obs.Registry
+	trace          *obs.Tracer
+	cCycles        *obs.Counter
+	cCommits       *obs.Counter
+	cAborts        *obs.Counter
+	cUplink        *obs.Counter
+	cColsRewritten *obs.Counter
+	hCommitsCycle  *obs.Histogram
+	hVerifyNs      *obs.Histogram
+	cVerifyFail    *obs.Counter
+	cycleCommits   int64 // commits since the last StartCycle
 }
 
 // New builds a server. The configuration must describe a valid broadcast
@@ -116,6 +150,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Algorithm == protocol.Grouped {
 		s.partition = cmatrix.UniformPartition(cfg.Objects, cfg.Groups)
 	}
+	s.obs = cfg.Obs
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	s.trace = cfg.Trace
+	s.cCycles = s.obs.Counter("server_cycles")
+	s.cCommits = s.obs.Counter("server_commits")
+	s.cAborts = s.obs.Counter("server_conflict_aborts")
+	s.cUplink = s.obs.Counter("server_uplink_requests")
+	s.cColsRewritten = s.obs.Counter("server_control_cols_rewritten")
+	s.cVerifyFail = s.obs.Counter("server_verify_failures")
+	s.hCommitsCycle = s.obs.Histogram("server_commits_per_cycle", obs.LinearBuckets(0, 1, 16))
+	s.hVerifyNs = s.obs.Histogram("server_verify_ns", obs.Pow2Buckets(10, 20))
 	for i, v := range cfg.InitialValues {
 		if i >= cfg.Objects {
 			break
@@ -139,12 +186,23 @@ func (s *Server) CurrentCycle() cmatrix.Cycle {
 	return s.cycle
 }
 
-// Stats returns a copy of the cumulative counters.
+// Stats returns the cumulative counters as a struct view over the obs
+// registry.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Cycles:         s.cCycles.Load(),
+		Commits:        s.cCommits.Load(),
+		ConflictAborts: s.cAborts.Load(),
+		UplinkRequests: s.cUplink.Load(),
+	}
 }
+
+// Obs returns the server's metrics registry (Config.Obs, or the
+// private registry created when none was supplied).
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer returns the server's cycle-clock tracer (nil when untraced).
+func (s *Server) Tracer() *obs.Tracer { return s.trace }
 
 // AuditLog returns the in-order committed update log (empty unless
 // Config.Audit).
@@ -219,7 +277,10 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 		return nil
 	}
 	s.cycle++
-	s.stats.Cycles++
+	s.cCycles.Inc()
+	s.hCommitsCycle.Observe(s.cycleCommits)
+	s.trace.Emit(obs.EvCycleStart, obs.ActorServer, int64(s.cycle), 0, s.cycleCommits)
+	s.cycleCommits = 0
 	cb := &bcast.CycleBroadcast{
 		Number: s.cycle,
 		Layout: s.layout,
@@ -243,9 +304,60 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 	case bcast.ControlGrouped:
 		cb.Grouped = cmatrix.GroupedOf(s.matrix, s.partition)
 	}
+	s.trace.Emit(obs.EvSnapshotPublish, obs.ActorServer, int64(s.cycle), 0, controlFingerprint(cb))
+	verify := s.cfg.VerifySample > 0 && s.cfg.Audit && int64(s.cycle)%int64(s.cfg.VerifySample) == 0
 	s.mu.Unlock()
+	if verify {
+		// Sampled integrity check: wall-clock cost lands in the
+		// registry (server_verify_ns) but never in the trace.
+		t0 := time.Now()
+		err := s.VerifyControl()
+		s.hVerifyNs.Observe(time.Since(t0).Nanoseconds())
+		if err != nil {
+			s.cVerifyFail.Inc()
+		}
+	}
 	s.medium.Publish(cb)
 	return cb
+}
+
+// controlFingerprint hashes the control payload of a cycle broadcast
+// (FNV-1a over the entries). It stamps the snapshot-publish trace
+// event so divergent control state shows up as divergent traces; two
+// correct servers using *different* control representations (vector vs
+// full matrix) legitimately differ here, which is why the conformance
+// harness compares traces modulo snapshot-publish events.
+func controlFingerprint(cb *bcast.CycleBroadcast) int64 {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	switch {
+	case cb.Matrix != nil:
+		n := cb.Matrix.N()
+		mix(1)
+		for j := 0; j < n; j++ {
+			for _, c := range cb.Matrix.Column(j) {
+				mix(uint64(c))
+			}
+		}
+	case cb.Vector != nil:
+		mix(2)
+		for j := 0; j < cb.Vector.N(); j++ {
+			mix(uint64(cb.Vector.At(j)))
+		}
+	case cb.Grouped != nil:
+		mix(3)
+		n, g := cb.Grouped.N(), cb.Grouped.Groups()
+		for i := 0; i < n; i++ {
+			for s := 0; s < g; s++ {
+				mix(uint64(cb.Grouped.At(i, s)))
+			}
+		}
+	}
+	return int64(h)
 }
 
 // commitLocked installs a validated update transaction. Callers hold mu.
@@ -258,7 +370,12 @@ func (s *Server) commitLocked(readSet []int, writeSet []int, values map[int][]by
 	}
 	s.matrix.Apply(readSet, writeSet, commitCycle)
 	s.vector.Apply(writeSet, commitCycle)
-	s.stats.Commits++
+	s.cCommits.Inc()
+	s.cycleCommits++
+	// Matrix churn: Apply replaces one column per distinct written
+	// object (copy-on-write), so the write-set size is the number of
+	// shared columns unshared by this commit.
+	s.cColsRewritten.Add(int64(len(writeSet)))
 	if s.cfg.Audit {
 		s.audit = append(s.audit, cmatrix.Commit{
 			ReadSet:  append([]int(nil), readSet...),
@@ -298,13 +415,14 @@ func (s *Server) SubmitUpdate(req protocol.UpdateRequest) error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.stats.UplinkRequests++
+	s.cUplink.Inc()
 	for _, r := range req.Reads {
 		if err := s.checkObj(r.Obj); err != nil {
 			return err
 		}
 		if s.lastCycle[r.Obj] >= r.Cycle {
-			s.stats.ConflictAborts++
+			s.cAborts.Inc()
+			s.emitVerdict(0)
 			return fmt.Errorf("%w: object %d written during cycle %d, read at cycle %d",
 				ErrConflict, r.Obj, s.lastCycle[r.Obj], r.Cycle)
 		}
@@ -332,7 +450,19 @@ func (s *Server) SubmitUpdate(req protocol.UpdateRequest) error {
 		}
 	}
 	s.commitLocked(readSet, writeSet, values)
+	s.emitVerdict(1)
 	return nil
+}
+
+// emitVerdict traces an uplink decision (1 accept, 0 reject) at the
+// current cycle. Callers hold mu. The traceSkewVector test hook (see
+// hooks.go) deliberately corrupts the Arg on vector-control servers so
+// the conformance trace comparison and shrinker can be exercised.
+func (s *Server) emitVerdict(verdict int64) {
+	if traceSkewVector && s.layout.Control == bcast.ControlVector {
+		verdict ^= 1
+	}
+	s.trace.Emit(obs.EvUplinkVerdict, obs.ActorServer, int64(s.cycle), 0, verdict)
 }
 
 // Txn is a server-local update transaction: it reads the latest
@@ -412,7 +542,7 @@ func (t *Txn) Commit() error {
 	}
 	for obj, ver := range t.reads {
 		if t.s.version[obj] != ver {
-			t.s.stats.ConflictAborts++
+			t.s.cAborts.Inc()
 			return fmt.Errorf("%w: object %d changed since it was read", ErrConflict, obj)
 		}
 	}

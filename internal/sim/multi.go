@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/stats"
 )
@@ -113,9 +114,12 @@ func (e *engine) runMulti() (*Result, error) {
 			if snap == nil {
 				return nil, fmt.Errorf("sim: internal error: no snapshot for cycle %d", c.readCycle)
 			}
-			if !c.validator.TryRead(snap, obj, c.readCycle) {
+			ok := c.validator.TryRead(snap, obj, c.readCycle)
+			e.recordRead(int32(c.id), c.readCycle, 0, obj, ok)
+			if !ok {
 				// Abort: restart the same transaction program.
 				c.restarts++
+				e.cRestarts.Inc()
 				c.validator.Reset()
 				c.idx = 0
 				push(e.scheduleReadAt(c, e.now+cfg.RestartDelay), c)
@@ -137,8 +141,8 @@ func (e *engine) runMulti() (*Result, error) {
 
 		case actCommit:
 			if !e.submitClientUpdate(c.validator.ReadSet(), c.objs[:c.writes]) {
-				e.uplinkRejects++
 				c.restarts++
+				e.cRestarts.Inc()
 				c.validator.Reset()
 				c.idx = 0
 				c.action = actRead
@@ -200,6 +204,7 @@ func (e *engine) scheduleReadAt(c *mcClient, base float64) float64 {
 	// read completes at the object's next transmission in a received
 	// cycle. The MaxTime guard fires in runMulti when the event pops.
 	for e.faults != nil && e.faults.Missed(c.id, cycle) {
+		e.trace.Emit(obs.EvDoze, int32(c.id), int64(cycle), 0, 1)
 		ready, cycle = e.nextReady(float64(cycle)*e.cycleBits, c.objs[c.idx])
 	}
 	c.readCycle = cycle
@@ -212,6 +217,7 @@ func (e *engine) scheduleReadAt(c *mcClient, base float64) float64 {
 // that the client finished its workload.
 func (e *engine) nextTxnOrStop(c *mcClient, res *Result, push func(float64, *mcClient)) (stopped bool) {
 	cfg := e.cfg
+	e.hRestartsTxn.Observe(int64(c.restarts))
 	if c.done >= cfg.MeasureFrom {
 		if c.isUpdate {
 			res.UpdateResponseTime.Add(e.now - c.submit)
@@ -242,13 +248,18 @@ func (e *engine) nextTxnOrStop(c *mcClient, res *Result, push func(float64, *mcC
 func (e *engine) finalizeResult(res *Result) {
 	res.CyclesSimulated = int64(e.snappedThrough)
 	res.DozedFrames = e.dozed
-	res.ServerCommits = e.serverCommits
 	res.SimulatedTime = e.now
-	res.CacheHits = e.cacheHits
-	res.ClientCommits = e.clientCommits
-	res.UplinkRejects = e.uplinkRejects
 	res.AuditLog = e.auditLog
 	res.CommittedReadSets = e.auditReadSets
+	// Counter fields are views over the registry — the same numbers a
+	// live run would expose on /metrics under the same names.
+	res.ServerCommits = e.cServerCommits.Load()
+	res.CacheHits = e.cCacheHits.Load()
+	res.ClientCommits = e.cClientCommits.Load()
+	res.UplinkRejects = e.cUplinkRejects.Load()
+	e.obsReg.Gauge("sim_dozed_frames").Set(e.dozed)
+	res.Obs = e.obsReg.Snapshot()
+	res.Trace = e.trace.Events()
 	if res.ResponseTime.N() >= 2 {
 		if ci, err := res.ResponseTime.ConfidenceInterval(0.95); err == nil {
 			res.ResponseCI = ci

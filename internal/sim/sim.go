@@ -10,6 +10,7 @@ import (
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
+	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/stats"
 )
@@ -78,7 +79,25 @@ type Result struct {
 	// CommittedReadSets holds every committed client transaction's
 	// read-set (Config.Audit only).
 	CommittedReadSets [][]protocol.ReadAt
+
+	// Obs is the run's final metrics-registry snapshot. The counter
+	// fields above (ServerCommits, ClientCommits, UplinkRejects,
+	// CacheHits) are views over it, using the same metric names as the
+	// live server and client, so a CLI run and a bench run can never
+	// disagree about what a counter means.
+	Obs obs.Snapshot
+	// Trace is the run's cycle-clock event trace (most recent
+	// traceCapacity events). Every event is stamped with (cycle, frame)
+	// — logical broadcast time — and the engines are single-goroutine,
+	// so the trace is a pure function of Config: byte-identical at any
+	// sweep parallelism and under the race detector.
+	Trace []obs.Event
 }
+
+// traceCapacity bounds the per-run event ring. Overflow drops the
+// oldest events deterministically, so a truncated trace is still
+// reproducible.
+const traceCapacity = 8192
 
 // ErrMaxTime reports that the simulated clock passed Config.MaxTime —
 // the configuration is pathological for the protocol under test (the
@@ -141,9 +160,23 @@ type engine struct {
 	partition      *cmatrix.Partition
 	lastWrite      []cmatrix.Cycle // per-object last committed-write cycle
 	nextCommitTime float64
-	serverCommits  int64
-	clientCommits  int64
-	uplinkRejects  int64
+
+	// Observability: the registry is the single store for the run's
+	// counters (Result's counter fields are filled from it), the tracer
+	// records cycle-clock events. Counter pointers are resolved once so
+	// the simulation loop pays one atomic add per count.
+	obsReg         *obs.Registry
+	trace          *obs.Tracer
+	cServerCommits *obs.Counter
+	cClientCommits *obs.Counter
+	cUplinkRejects *obs.Counter
+	cCacheHits     *obs.Counter
+	cCycles        *obs.Counter
+	cReads         *obs.Counter
+	cReadAborts    *obs.Counter
+	cRestarts      *obs.Counter
+	hRestartsTxn   *obs.Histogram
+	cycleCommits   int64 // commits folded in since the last snapshot
 
 	// Per-cycle control snapshots, pruned as the clock advances.
 	snaps          map[cmatrix.Cycle]protocol.Snapshot
@@ -152,7 +185,6 @@ type engine struct {
 	// Client cache (Section 3.3), enabled by cfg.CacheCurrency > 0.
 	cache     map[int]cacheEntry
 	cacheFIFO []int
-	cacheHits int64
 
 	// Audit trail (cfg.Audit only).
 	auditLog      []cmatrix.Commit
@@ -217,6 +249,17 @@ func newEngine(cfg Config) (*engine, error) {
 		nextCommitTime: cfg.ServerTxnInterval,
 		snaps:          map[cmatrix.Cycle]protocol.Snapshot{},
 	}
+	e.obsReg = obs.NewRegistry()
+	e.trace = obs.NewTracer(traceCapacity)
+	e.cServerCommits = e.obsReg.Counter("server_commits")
+	e.cClientCommits = e.obsReg.Counter("client_commits")
+	e.cUplinkRejects = e.obsReg.Counter("server_conflict_aborts")
+	e.cCacheHits = e.obsReg.Counter("client_cache_hits")
+	e.cCycles = e.obsReg.Counter("server_cycles")
+	e.cReads = e.obsReg.Counter("client_reads")
+	e.cReadAborts = e.obsReg.Counter("client_read_aborts")
+	e.cRestarts = e.obsReg.Counter("client_restarts")
+	e.hRestartsTxn = e.obsReg.Histogram("client_restarts_per_txn", obs.LinearBuckets(0, 1, 8))
 	e.srvRng = e.rng
 	if cfg.ZipfTheta > 0 {
 		e.zipf = airsched.NewZipfPicker(cfg.Objects, cfg.ZipfTheta)
@@ -304,7 +347,8 @@ func (e *engine) applyNextCommit() {
 		}
 	}
 	e.install(readSet, writeSet, commitCycle)
-	e.serverCommits++
+	e.cServerCommits.Inc()
+	e.cycleCommits++
 	if e.cfg.Audit {
 		e.auditLog = append(e.auditLog, cmatrix.Commit{
 			ReadSet: readSet, WriteSet: writeSet, Cycle: commitCycle,
@@ -351,7 +395,11 @@ func (e *engine) ensureSnapshot(c cmatrix.Cycle) {
 		for e.nextCommitTime < start {
 			e.applyNextCommit()
 		}
+		e.cCycles.Inc()
+		e.trace.Emit(obs.EvCycleStart, obs.ActorServer, int64(next), 0, e.cycleCommits)
+		e.cycleCommits = 0
 		e.snaps[next] = e.snapshot()
+		e.trace.Emit(obs.EvSnapshotPublish, obs.ActorServer, int64(next), 0, 0)
 		e.snappedThrough = next
 		delete(e.snaps, next-8) // keep a short window of recent cycles
 	}
@@ -462,13 +510,13 @@ func (e *engine) run() (*Result, error) {
 				e.now += cfg.UplinkLatency
 				if !e.submitClientUpdate(validator.ReadSet(), objs[:writes]) {
 					aborted = true
-					e.uplinkRejects++
 				}
 			}
 			if !aborted {
 				break
 			}
 			restarts++
+			e.cRestarts.Inc()
 			// Drop the transaction's objects from the cache: an aborted
 			// attempt must not be replayed against the same stale
 			// entries, or a long currency bound could starve it.
@@ -482,6 +530,7 @@ func (e *engine) run() (*Result, error) {
 				return nil, fmt.Errorf("%w: MaxTime=%g during transaction %d (restart %d)", ErrMaxTime, cfg.MaxTime, txn, restarts)
 			}
 		}
+		e.hRestartsTxn.Observe(int64(restarts))
 		if txn >= cfg.MeasureFrom {
 			if isUpdate {
 				res.UpdateResponseTime.Add(e.now - submit)
@@ -555,6 +604,8 @@ func (e *engine) submitClientUpdate(reads []protocol.ReadAt, writeSet []int) boo
 	e.advanceCommitsTo(e.now)
 	for _, r := range reads {
 		if e.lastWrite[r.Obj] >= r.Cycle {
+			e.cUplinkRejects.Inc()
+			e.trace.Emit(obs.EvUplinkVerdict, obs.ActorServer, int64(e.cycleOf(e.now)), 0, 0)
 			return false
 		}
 	}
@@ -564,7 +615,9 @@ func (e *engine) submitClientUpdate(reads []protocol.ReadAt, writeSet []int) boo
 	}
 	commitCycle := e.cycleOf(e.now)
 	e.install(readSet, writeSet, commitCycle)
-	e.clientCommits++
+	e.cClientCommits.Inc()
+	e.cycleCommits++
+	e.trace.Emit(obs.EvUplinkVerdict, obs.ActorServer, int64(commitCycle), 0, 1)
 	if e.cfg.Audit {
 		e.auditLog = append(e.auditLog, cmatrix.Commit{
 			ReadSet: readSet, WriteSet: append([]int(nil), writeSet...), Cycle: commitCycle,
@@ -636,8 +689,12 @@ func (e *engine) newValidator() protocol.Validator {
 // validation.
 func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 	if entry, ok := e.cacheGet(j, e.now); ok {
-		e.cacheHits++
-		return v.TryRead(entry.snap, j, entry.cycle), nil
+		e.cCacheHits.Inc()
+		ok := v.TryRead(entry.snap, j, entry.cycle)
+		// Cache hits are stamped frame -1: the value never crossed the
+		// air during this transaction.
+		e.recordRead(0, entry.cycle, -1, j, ok)
+		return ok, nil
 	}
 	var readTime float64
 	var cycle cmatrix.Cycle
@@ -653,6 +710,7 @@ func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 		// client: the read retries from the start of the next cycle until the
 		// object comes around in a cycle the tuner actually receives.
 		for e.faults != nil && e.faults.Missed(0, cycle) {
+			e.trace.Emit(obs.EvDoze, 0, int64(cycle), 0, 1)
 			readTime, cycle = e.nextReady(float64(cycle)*e.cycleBits, j)
 			if e.cfg.MaxTime > 0 && readTime > e.cfg.MaxTime {
 				return false, fmt.Errorf("%w: MaxTime=%g waiting out faults for object %d", ErrMaxTime, e.cfg.MaxTime, j)
@@ -671,11 +729,27 @@ func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 	}
 	if e.cache != nil {
 		col := columnOf(snap, j, e.cfg.Objects)
-		if !v.TryRead(col, j, cycle) {
+		ok := v.TryRead(col, j, cycle)
+		e.recordRead(0, cycle, 0, j, ok)
+		if !ok {
 			return false, nil
 		}
 		e.cachePut(j, cacheEntry{cycle: cycle, snap: col})
 		return true, nil
 	}
-	return v.TryRead(snap, j, cycle), nil
+	ok := v.TryRead(snap, j, cycle)
+	e.recordRead(0, cycle, 0, j, ok)
+	return ok, nil
+}
+
+// recordRead counts and traces one read validation outcome for the
+// given client (actor 0 in the single-client engine).
+func (e *engine) recordRead(actor int32, cycle cmatrix.Cycle, frame int32, obj int, ok bool) {
+	if ok {
+		e.cReads.Inc()
+		e.trace.Emit(obs.EvReadValidate, actor, int64(cycle), frame, int64(obj))
+	} else {
+		e.cReadAborts.Inc()
+		e.trace.Emit(obs.EvReadAbort, actor, int64(cycle), frame, int64(obj))
+	}
 }

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+)
+
+// traceConfig is a multi-client workload exercising every event source:
+// cycle starts, snapshot publishes, read validations and aborts, uplink
+// verdicts (updates), and doze windows (faults).
+func traceConfig() Config {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 4
+	cfg.ClientTxns = 40
+	cfg.MeasureFrom = 5
+	cfg.ClientUpdateProb = 0.3
+	cfg.ClientTxnWrites = 2
+	cfg.FaultLoss = 0.1
+	cfg.FaultSeed = 11
+	return cfg
+}
+
+// runTraced runs the config and returns the serialized trace and
+// registry snapshot.
+func runTraced(t *testing.T, cfg Config) (trace, snap []byte) {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("run produced no trace events")
+	}
+	snapJSON, err := json.Marshal(r.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.EncodeTrace(r.Trace), snapJSON
+}
+
+// TestGoldenTraceDeterminism is the golden-trace satellite: the
+// multi-client sim's serialized obs trace and registry snapshot must be
+// byte-identical run-to-run and across GOMAXPROCS settings. The
+// Makefile race list includes this package, so `make verify` also runs
+// it under -race, where any wall-clock or scheduling dependence in the
+// cycle-clock trace would show up as a byte diff.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	cfg := traceConfig()
+
+	trace1, snap1 := runTraced(t, cfg)
+	trace2, snap2 := runTraced(t, cfg)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("trace differs between two identical runs")
+	}
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("registry snapshot differs between two identical runs")
+	}
+
+	// Parallelism 1: the whole run pinned to one CPU.
+	prev := runtime.GOMAXPROCS(1)
+	trace3, snap3 := runTraced(t, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	if !bytes.Equal(trace1, trace3) {
+		t.Errorf("trace differs between GOMAXPROCS=%d and GOMAXPROCS=1", prev)
+	}
+	if !bytes.Equal(snap1, snap3) {
+		t.Errorf("registry snapshot differs between GOMAXPROCS=%d and GOMAXPROCS=1", prev)
+	}
+
+	// The trace must round-trip through the codec.
+	evs, err := obs.DecodeTrace(trace1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(obs.EncodeTrace(evs), trace1) {
+		t.Fatal("trace does not round-trip through the codec")
+	}
+}
+
+// TestTraceEventContent sanity-checks the event mix: a faulty
+// multi-client update workload must produce cycle starts, snapshot
+// publishes, validated reads and uplink verdicts, all stamped with
+// plausible cycle positions.
+func TestTraceEventContent(t *testing.T) {
+	cfg := traceConfig()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, e := range r.Trace {
+		kinds[e.Kind]++
+		if e.Cycle < 0 || e.Cycle > int64(r.CyclesSimulated)+1 {
+			t.Fatalf("event %v stamped outside the simulated cycle range [0,%d]", e, r.CyclesSimulated)
+		}
+		if e.Kind == obs.EvCycleStart || e.Kind == obs.EvSnapshotPublish || e.Kind == obs.EvUplinkVerdict {
+			if e.Actor != obs.ActorServer {
+				t.Fatalf("server event %v has actor %d", e, e.Actor)
+			}
+		}
+	}
+	for _, k := range []obs.EventKind{obs.EvCycleStart, obs.EvSnapshotPublish, obs.EvReadValidate, obs.EvUplinkVerdict} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events in trace (mix: %v)", k, kinds)
+		}
+	}
+
+	// Counter views and registry must agree: unified stats surfaces.
+	if got := r.Obs.Counters["server_commits"]; got != r.ServerCommits {
+		t.Errorf("server_commits counter %d != Result.ServerCommits %d", got, r.ServerCommits)
+	}
+	if got := r.Obs.Counters["client_commits"]; got != r.ClientCommits {
+		t.Errorf("client_commits counter %d != Result.ClientCommits %d", got, r.ClientCommits)
+	}
+	if got := r.Obs.Counters["server_conflict_aborts"]; got != r.UplinkRejects {
+		t.Errorf("server_conflict_aborts counter %d != Result.UplinkRejects %d", got, r.UplinkRejects)
+	}
+	if r.Obs.Histograms["client_restarts_per_txn"].Total() == 0 {
+		t.Error("client_restarts_per_txn histogram is empty")
+	}
+}
+
+// TestSingleClientObsDeterminism covers the single-client engine (with
+// cache, so the cache-hit read path is exercised too).
+func TestSingleClientObsDeterminism(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.CacheCurrency = 10
+	cfg.FaultLoss = 0.05
+	cfg.FaultSeed = 3
+
+	trace1, snap1 := runTraced(t, cfg)
+	trace2, snap2 := runTraced(t, cfg)
+	if !bytes.Equal(trace1, trace2) || !bytes.Equal(snap1, snap2) {
+		t.Fatal("single-client run is not deterministic")
+	}
+
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHits == 0 {
+		t.Fatal("config produced no cache hits; test needs the cache path")
+	}
+	if got := r.Obs.Counters["client_cache_hits"]; got != r.CacheHits {
+		t.Errorf("client_cache_hits counter %d != Result.CacheHits %d", got, r.CacheHits)
+	}
+	hit := false
+	for _, e := range r.Trace {
+		if (e.Kind == obs.EvReadValidate || e.Kind == obs.EvReadAbort) && e.Frame == -1 {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Error("no frame=-1 (cache hit) read events in trace")
+	}
+}

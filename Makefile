@@ -14,11 +14,12 @@ test:
 # The worker-pool sweep harness and the copy-on-write column sharing in
 # cmatrix are concurrency/aliasing surface: run those packages (plus the
 # TCP broadcast runtime, the fault layer's listener/proxy goroutines, the
-# client recovery path, the dual-server conformance harness, and the
+# client recovery path, the triple-server conformance harness, the wire
+# codecs the broadcast loop encodes concurrently, and the
 # server/protocol state it exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/...
 
 verify: build test race
 
@@ -34,6 +35,7 @@ fuzz-smoke:
 	$(GO) test ./internal/history/ -run '^$$' -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeCycle -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrames -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzGroupedColumnCodec -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceCodec -fuzztime 30s
 

@@ -13,6 +13,14 @@
 // delta-transmitted control columns:
 //
 //	bcserver -disks 3 -index-m 8 -zipf 0.95 -refresh-every 4
+//
+// With -alg grouped the control plane is the n×g grouped matrix
+// MC(i,s) = max over j in s of C(i,j); -sparse-grouped broadcasts it as
+// sparse BCG1 frames, and -regroup-every makes the partition follow the
+// uplink write heat with deterministic regroup epochs:
+//
+//	bcserver -alg grouped -groups 16 -sparse-grouped
+//	bcserver -alg grouped -groups 16 -regroup-every 50
 package main
 
 import (
@@ -38,6 +46,9 @@ func main() {
 	objectBits := flag.Int64("object-bits", 8192, "object slot size in bits")
 	tsBits := flag.Int("ts-bits", 8, "control timestamp size in bits")
 	groups := flag.Int("groups", 8, "groups for -alg grouped")
+	sparseGrouped := flag.Bool("sparse-grouped", false, "broadcast grouped control as sparse BCG1 frames (requires -alg grouped)")
+	regroupEvery := flag.Int("regroup-every", 0, "re-derive the grouped partition from write heat every N cycles (implies -sparse-grouped; 0 = fixed uniform partition)")
+	heatAlpha := flag.Float64("heat-alpha", 0, "EWMA decay of the regrouping heat estimator (0 = server default)")
 	interval := flag.Duration("interval", 100*time.Millisecond, "broadcast cycle interval")
 	workload := flag.Float64("workload", 0, "synthetic update transactions per second (0 = none)")
 	workloadLen := flag.Int("workload-len", 8, "operations per synthetic transaction")
@@ -62,6 +73,8 @@ func main() {
 		TimestampBits: *tsBits,
 		Algorithm:     alg,
 		Groups:        *groups,
+		RegroupEvery:  *regroupEvery,
+		HeatAlpha:     *heatAlpha,
 		Obs:           broadcastcc.NewObsRegistry(),
 		VerifySample:  *verifySample,
 		// VerifyControl rebuilds from the audit log, so sampling it
@@ -88,7 +101,12 @@ func main() {
 	}
 	defer srv.Close()
 
-	ns, err := netcast.ServeOptions(srv, *broadcastAddr, *uplinkAddr, netcast.Options{RefreshEvery: *refreshEvery})
+	ns, err := netcast.ServeOptions(srv, *broadcastAddr, *uplinkAddr, netcast.Options{
+		RefreshEvery: *refreshEvery,
+		// A regrouping server must ship BCG1 frames: only they carry
+		// the partition and its epoch to the tuners.
+		SparseGrouped: *sparseGrouped || *regroupEvery > 0,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -174,6 +174,9 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	}
 	for j, col := range m.cols {
 		ocol := o.cols[j]
+		if sameColumn(col, ocol) {
+			continue
+		}
 		for i, v := range col {
 			if v != ocol[i] {
 				return false
@@ -193,6 +196,9 @@ func (m *Matrix) Diff(o *Matrix) (i, j int, ok bool) {
 	}
 	for j, col := range m.cols {
 		ocol := o.cols[j]
+		if sameColumn(col, ocol) {
+			continue
+		}
 		for i, v := range col {
 			if v != ocol[i] {
 				return i, j, true

@@ -1,0 +1,341 @@
+package cmatrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCommit draws a random commit over n objects: distinct read and
+// write sets, write set non-empty.
+func randomCommit(rng *rand.Rand, n int, cycle Cycle) Commit {
+	pick := func(k int) []int {
+		if k > n {
+			k = n
+		}
+		perm := rng.Perm(n)
+		return append([]int(nil), perm[:k]...)
+	}
+	c := Commit{Cycle: cycle, WriteSet: pick(1 + rng.Intn(3))}
+	if rng.Float64() < 0.8 {
+		c.ReadSet = pick(rng.Intn(4))
+	}
+	return c
+}
+
+func randomPartition(rng *rand.Rand, n int) *Partition {
+	g := 1 + rng.Intn(n)
+	switch rng.Intn(3) {
+	case 0:
+		return UniformPartition(n, g)
+	case 1:
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		return HeatPartition(w, g)
+	default:
+		of := make([]int, n)
+		for j := range of {
+			of[j] = rng.Intn(g)
+		}
+		// Group ids need not be dense for the invariant; NewPartition
+		// only requires them in range.
+		return NewPartition(g, of)
+	}
+}
+
+// TestSparseControlMatchesDense drives the class-shared sparse C and
+// the dense Theorem 2 matrix with identical random commit streams and
+// requires every entry to agree after every commit.
+func TestSparseControlMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		dense := NewMatrix(n)
+		sparse := NewSparseControl(n)
+		for c := Cycle(1); c <= 30; c++ {
+			cm := randomCommit(rng, n, c)
+			dense.Apply(cm.ReadSet, cm.WriteSet, c)
+			sparse.Apply(cm.ReadSet, cm.WriteSet, c)
+			if !sparse.Dense().Equal(dense) {
+				t.Fatalf("trial %d cycle %d: sparse C diverged from dense\nsparse:\n%swant:\n%s",
+					trial, c, sparse.Dense(), dense)
+			}
+		}
+		// Snapshots must be stable under later applies.
+		snap := sparse.Snapshot().(*SparseSnapshot)
+		ref := sparse.Dense()
+		extra := randomCommit(rng, n, 31)
+		sparse.Apply(extra.ReadSet, extra.WriteSet, 31)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if snap.Bound(i, j) != ref.At(i, j) {
+					t.Fatalf("trial %d: snapshot entry (%d,%d) mutated by a later apply: %d, want %d",
+						trial, i, j, snap.Bound(i, j), ref.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGroupedControlMatchesProjection is the satellite property test:
+// for random partitions and commit streams (regroups included),
+// MC(i,s) == max_{j∈s} C(i,j) after every commit.
+func TestGroupedControlMatchesProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		part := randomPartition(rng, n)
+		dense := NewMatrix(n)
+		gc := NewGroupedControl(part)
+		for c := Cycle(1); c <= 25; c++ {
+			if rng.Intn(8) == 0 {
+				np := randomPartition(rng, n)
+				gc.Regroup(np)
+				part = np
+			}
+			cm := randomCommit(rng, n, c)
+			dense.Apply(cm.ReadSet, cm.WriteSet, c)
+			gc.Apply(cm.ReadSet, cm.WriteSet, c)
+			want := GroupedOf(dense, part)
+			got := gc.Grouped()
+			if !got.Equal(want) {
+				for i := 0; i < n; i++ {
+					for s := 0; s < part.Groups(); s++ {
+						if got.At(i, s) != want.At(i, s) {
+							t.Fatalf("trial %d cycle %d: MC(%d,%d) = %d, projection says %d",
+								trial, c, i, s, got.At(i, s), want.At(i, s))
+						}
+					}
+				}
+				t.Fatalf("trial %d cycle %d: grouped Equal disagrees with entrywise comparison", trial, c)
+			}
+		}
+		// A published snapshot survives later applies and regroups.
+		snap := gc.Grouped()
+		ref := GroupedOf(dense, part)
+		gc.Apply(nil, []int{rng.Intn(n)}, 26)
+		gc.Regroup(UniformPartition(n, 1))
+		if !snap.Equal(ref) {
+			t.Fatalf("trial %d: grouped snapshot mutated by later apply/regroup", trial)
+		}
+	}
+}
+
+// TestGroupedStaleMCHookDiverges proves the induced-bug hook produces a
+// state the projection check distinguishes — the defect class the
+// conformance harness must catch end to end.
+func TestGroupedStaleMCHookDiverges(t *testing.T) {
+	defer SetGroupedStaleMC(true)()
+	rng := rand.New(rand.NewSource(3))
+	diverged := false
+	for trial := 0; trial < 40 && !diverged; trial++ {
+		n := 3 + rng.Intn(8)
+		part := UniformPartition(n, 1+rng.Intn(n))
+		dense := NewMatrix(n)
+		gc := NewGroupedControl(part)
+		for c := Cycle(1); c <= 30; c++ {
+			cm := randomCommit(rng, n, c)
+			dense.Apply(cm.ReadSet, cm.WriteSet, c)
+			gc.Apply(cm.ReadSet, cm.WriteSet, c)
+			want := GroupedOf(dense, part)
+			got := gc.Grouped()
+			if !got.Equal(want) {
+				diverged = true
+				// Stale maintenance must only ever over-estimate.
+				for i := 0; i < n; i++ {
+					for s := 0; s < part.Groups(); s++ {
+						if got.At(i, s) < want.At(i, s) {
+							t.Fatalf("stale MC(%d,%d) = %d below exact %d: hook is not the monotone bug",
+								i, s, got.At(i, s), want.At(i, s))
+						}
+					}
+				}
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("stale-MC hook never diverged from the exact projection over 40 random streams")
+	}
+}
+
+func TestHeatPartitionShape(t *testing.T) {
+	w := []float64{0.1, 5, 0.2, 5, 3, 0.1, 0.1, 0.05}
+	p := HeatPartition(w, 4)
+	if p.Groups() != 4 || p.N() != len(w) {
+		t.Fatalf("partition shape %d groups over %d objects", p.Groups(), p.N())
+	}
+	// Hottest two objects (ids 1 and 3 — ties break by id) get the two
+	// singleton groups in rank order.
+	if p.GroupOf(1) != 0 || p.GroupOf(3) != 1 {
+		t.Fatalf("hot objects grouped as %d, %d; want singletons 0, 1", p.GroupOf(1), p.GroupOf(3))
+	}
+	seen := map[int]int{}
+	for j := 0; j < p.N(); j++ {
+		seen[p.GroupOf(j)]++
+	}
+	if seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("hot groups not singletons: %v", seen)
+	}
+	// Deterministic: same weights, same partition.
+	if !p.Equal(HeatPartition(w, 4)) {
+		t.Fatal("HeatPartition is not deterministic")
+	}
+	// Degenerate ends of the spectrum.
+	if g1 := HeatPartition(w, 1); g1.Groups() != 1 {
+		t.Fatal("g=1 partition broken")
+	}
+	gn := HeatPartition(w, len(w))
+	cnt := map[int]bool{}
+	for j := 0; j < gn.N(); j++ {
+		if cnt[gn.GroupOf(j)] {
+			t.Fatal("g=n partition has a non-singleton group")
+		}
+		cnt[gn.GroupOf(j)] = true
+	}
+}
+
+// TestLogRebuilderMatchesFromLog extends a rebuilder in random chunks
+// and requires its matrix to equal the from-scratch FromLog at every
+// step, and the changed-column sets to cover exactly the new writes.
+func TestLogRebuilderMatchesFromLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		rb := NewLogRebuilder(n)
+		var log []Commit
+		for len(log) < 40 {
+			chunk := 1 + rng.Intn(4)
+			var newc []Commit
+			for k := 0; k < chunk; k++ {
+				newc = append(newc, randomCommit(rng, n, Cycle(len(log)+k+1)))
+			}
+			log = append(log, newc...)
+			changed := rb.Extend(newc)
+			want := FromLog(n, log)
+			if !rb.Matrix().Equal(want) {
+				i, j, _ := rb.Matrix().Diff(want)
+				t.Fatalf("trial %d after %d commits: incremental C(%d,%d) = %d, FromLog says %d",
+					trial, len(log), i, j, rb.Matrix().At(i, j), want.At(i, j))
+			}
+			wantChanged := map[int]bool{}
+			for _, c := range newc {
+				for _, j := range c.WriteSet {
+					wantChanged[j] = true
+				}
+			}
+			if len(changed) != len(wantChanged) {
+				t.Fatalf("trial %d: changed set %v, want keys of %v", trial, changed, wantChanged)
+			}
+			for _, j := range changed {
+				if !wantChanged[j] {
+					t.Fatalf("trial %d: column %d reported changed but not written", trial, j)
+				}
+			}
+			for j := 0; j < n; j++ {
+				var wl Cycle
+				for _, c := range log {
+					for _, wj := range c.WriteSet {
+						if wj == j && c.Cycle > wl {
+							wl = c.Cycle
+						}
+					}
+				}
+				if rb.LastWrite(j) != wl {
+					t.Fatalf("trial %d: LastWrite(%d) = %d, want %d", trial, j, rb.LastWrite(j), wl)
+				}
+			}
+		}
+	}
+}
+
+func TestDiffCols(t *testing.T) {
+	a := NewMatrix(4)
+	b := NewMatrix(4)
+	a.Apply(nil, []int{1}, 5)
+	b.Apply(nil, []int{1}, 5)
+	if _, _, bad := a.DiffCols(b, []int{0, 1, 2, 3}); bad {
+		t.Fatal("equal matrices reported different")
+	}
+	b.Apply(nil, []int{2}, 7)
+	if _, _, bad := a.DiffCols(b, []int{0, 1, 3}); bad {
+		t.Fatal("difference outside the compared columns reported")
+	}
+	i, j, bad := a.DiffCols(b, []int{2})
+	if !bad || j != 2 || i != 2 {
+		t.Fatalf("DiffCols found (%d,%d,%v), want (2,2,true)", i, j, bad)
+	}
+}
+
+// BenchmarkGroupedApply pins the grouped hot path: one commit folded
+// into a 100k-object control under heavy skew must stay microseconds
+// and allocation-light (the per-apply allocations are the freshly
+// published MC columns and the new class column).
+func BenchmarkGroupedApply(b *testing.B) {
+	const n, g = 100000, 1024
+	gc := NewGroupedControl(UniformPartition(n, g))
+	rng := rand.New(rand.NewSource(1))
+	// Pre-heat with a skewed commit stream.
+	for c := Cycle(1); c <= 2000; c++ {
+		obj := int(float64(n) * rng.Float64() * rng.Float64() * rng.Float64())
+		gc.Apply([]int{(obj + 1) % n}, []int{obj}, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := int(float64(n) * rng.Float64() * rng.Float64() * rng.Float64())
+		gc.Apply([]int{(obj + 1) % n}, []int{obj}, Cycle(2000+i))
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(100, func() {
+		gc.Apply([]int{1}, []int{0}, 5000)
+	})
+	// One class column, one or two MC columns, map bookkeeping: the hot
+	// path must not regress to per-entry or per-object allocation.
+	if allocs > 8 {
+		b.Fatalf("GroupedControl.Apply allocates %.0f objects per run, pin is 8", allocs)
+	}
+}
+
+// BenchmarkGroupedSnapshot pins the per-cycle publish cost: O(g) column
+// headers, exactly one slice allocation plus the Grouped itself.
+func BenchmarkGroupedSnapshot(b *testing.B) {
+	const n, g = 100000, 1024
+	gc := NewGroupedControl(UniformPartition(n, g))
+	rng := rand.New(rand.NewSource(1))
+	for c := Cycle(1); c <= 2000; c++ {
+		obj := rng.Intn(n)
+		gc.Apply([]int{(obj + 1) % n}, []int{obj}, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gc.Grouped() == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+	b.StopTimer()
+	allocs := testing.AllocsPerRun(100, func() { gc.Grouped() })
+	if allocs > 2 {
+		b.Fatalf("GroupedControl.Grouped allocates %.0f objects per run, pin is 2", allocs)
+	}
+}
+
+// BenchmarkSparseApply tracks the exact class-shared C at the same
+// scale, for comparison against the dense Matrix.Apply benchmarks.
+func BenchmarkSparseApply(b *testing.B) {
+	const n = 100000
+	sc := NewSparseControl(n)
+	rng := rand.New(rand.NewSource(1))
+	for c := Cycle(1); c <= 2000; c++ {
+		obj := rng.Intn(n)
+		sc.Apply([]int{(obj + 1) % n}, []int{obj}, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := rng.Intn(n)
+		sc.Apply([]int{(obj + 1) % n}, []int{obj}, Cycle(2000+i))
+	}
+}

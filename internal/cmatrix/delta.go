@@ -10,14 +10,23 @@ type DeltaEntry struct {
 
 // Diff lists the entries of new that differ from old, in row-major
 // order — the payload of the paper's proposed incremental control-
-// information transmission (Section 3.2.1, future work).
+// information transmission (Section 3.2.1, future work). Columns the
+// two matrices share through the copy-on-write snapshot mechanism are
+// skipped without an entry scan, so diffing two successive cycle
+// snapshots costs O(n + changed-columns · n) rather than O(n²).
 func Diff(old, new *Matrix) ([]DeltaEntry, error) {
 	if old.n != new.n {
 		return nil, fmt.Errorf("cmatrix: diff of %d-object and %d-object matrices", old.n, new.n)
 	}
+	changed := make([]int, 0, old.n)
+	for j := 0; j < old.n; j++ {
+		if !sameColumn(old.cols[j], new.cols[j]) {
+			changed = append(changed, j)
+		}
+	}
 	var out []DeltaEntry
 	for i := 0; i < old.n; i++ {
-		for j := 0; j < old.n; j++ {
+		for _, j := range changed {
 			if v := new.cols[j][i]; v != old.cols[j][i] {
 				out = append(out, DeltaEntry{I: i, J: j, Value: v})
 			}

@@ -1,0 +1,264 @@
+package cmatrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseEntry is one nonzero entry of a sparse control column: row Idx
+// holds Val. Sparse columns are sorted by Idx and carry only strictly
+// positive values — under workload skew most C entries stay at the
+// virtual cycle 0, which sparse representations never store.
+type SparseEntry struct {
+	Idx int
+	Val Cycle
+}
+
+// lookupSparse returns the value at row i of a sorted sparse column
+// (0 when absent).
+func lookupSparse(col []SparseEntry, i int) Cycle {
+	k := sort.Search(len(col), func(k int) bool { return col[k].Idx >= i })
+	if k < len(col) && col[k].Idx == i {
+		return col[k].Val
+	}
+	return 0
+}
+
+// mergeMaxInto appends the pointwise maximum of two sorted sparse
+// columns to dst (usually dst[:0] of a reusable scratch buffer).
+func mergeMaxInto(dst, a, b []SparseEntry) []SparseEntry {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Idx < b[j].Idx:
+			dst = append(dst, a[i])
+			i++
+		case a[i].Idx > b[j].Idx:
+			dst = append(dst, b[j])
+			j++
+		default:
+			e := a[i]
+			if b[j].Val > e.Val {
+				e.Val = b[j].Val
+			}
+			dst = append(dst, e)
+			i, j = i+1, j+1
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// colClass is one equivalence class of identical C-matrix columns.
+// Theorem 2 rewrites every column of a committing transaction's write
+// set to the same values, so all columns last written by the same
+// commit share one immutable sparse column; the class is never mutated
+// after apply builds it, which makes snapshots of class pointers stable.
+type colClass struct {
+	col []SparseEntry
+}
+
+// classMatrix is the exact C matrix stored as class-shared sparse
+// columns: class[j] is the column of object j's last writer (nil for
+// the all-zero t0 column). Memory is O(n + Σ nnz over live classes)
+// instead of O(n²), and Apply costs O(|RS ∪ WS| column merges) instead
+// of O(|WS|·n) — the representation that makes F-Matrix semantics
+// feasible at n ≥ 10⁵.
+type classMatrix struct {
+	n     int
+	class []*colClass
+	// Scratch buffers reused across applies; owned exclusively by this
+	// matrix.
+	mergeA, mergeB []SparseEntry
+	clsScratch     []*colClass
+	wsScratch      []int
+}
+
+func newClassMatrix(n int) *classMatrix {
+	if n <= 0 {
+		panic(fmt.Sprintf("cmatrix: class matrix needs n > 0, got %d", n))
+	}
+	return &classMatrix{n: n, class: make([]*colClass, n)}
+}
+
+func (cm *classMatrix) check(i int) {
+	if i < 0 || i >= cm.n {
+		panic(fmt.Sprintf("cmatrix: object %d out of range [0,%d)", i, cm.n))
+	}
+}
+
+// at returns C(i, j).
+func (cm *classMatrix) at(i, j int) Cycle {
+	cm.check(i)
+	cm.check(j)
+	if c := cm.class[j]; c != nil {
+		return lookupSparse(c.col, i)
+	}
+	return 0
+}
+
+// distinctSorted writes the distinct members of set, ascending, into
+// the scratch write-set buffer (valid until the next call).
+func (cm *classMatrix) distinctSorted(set []int) []int {
+	ws := cm.wsScratch[:0]
+	for _, j := range set {
+		cm.check(j)
+		ws = append(ws, j)
+	}
+	sort.Ints(ws)
+	out := ws[:0]
+	for k, j := range ws {
+		if k == 0 || ws[k-1] != j {
+			out = append(out, j)
+		}
+	}
+	cm.wsScratch = ws[:len(out)]
+	return out
+}
+
+// depColumn computes dep[i] = max_{k∈RS} Cold(i,k) as a sparse column
+// over the distinct classes of the read columns. The result aliases a
+// scratch buffer (valid until the next apply).
+func (cm *classMatrix) depColumn(readSet []int) []SparseEntry {
+	classes := cm.clsScratch[:0]
+	for _, k := range readSet {
+		cm.check(k)
+		c := cm.class[k]
+		if c == nil {
+			continue
+		}
+		seen := false
+		for _, have := range classes {
+			if have == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			classes = append(classes, c)
+		}
+	}
+	cm.clsScratch = classes
+	dep := cm.mergeA[:0]
+	for idx, c := range classes {
+		if idx == 0 {
+			dep = append(dep, c.col...)
+			continue
+		}
+		merged := mergeMaxInto(cm.mergeB[:0], dep, c.col)
+		cm.mergeA, cm.mergeB = merged, dep[:0]
+		dep = merged
+	}
+	cm.mergeA = dep
+	return dep
+}
+
+// applyDistinct folds one committed transaction per Theorem 2, given
+// the write set pre-deduplicated and sorted (see distinctSorted), and
+// returns the freshly built class all write-set columns now share.
+func (cm *classMatrix) applyDistinct(readSet, wsSorted []int, commitCycle Cycle) *colClass {
+	if len(wsSorted) == 0 {
+		return nil
+	}
+	dep := cm.depColumn(readSet)
+	// New column: commitCycle at every write-set row, dep elsewhere.
+	col := make([]SparseEntry, 0, len(wsSorted)+len(dep))
+	wi, di := 0, 0
+	for wi < len(wsSorted) || di < len(dep) {
+		switch {
+		case di == len(dep) || (wi < len(wsSorted) && wsSorted[wi] <= dep[di].Idx):
+			if wi < len(wsSorted) {
+				if di < len(dep) && dep[di].Idx == wsSorted[wi] {
+					di++ // the write-set value supersedes dep at this row
+				}
+				if commitCycle > 0 {
+					col = append(col, SparseEntry{Idx: wsSorted[wi], Val: commitCycle})
+				}
+				wi++
+			}
+		default:
+			col = append(col, dep[di])
+			di++
+		}
+	}
+	nc := &colClass{col: col}
+	for _, j := range wsSorted {
+		cm.class[j] = nc
+	}
+	return nc
+}
+
+// SparseControl is the exact F-Matrix control state in the class-shared
+// sparse representation: read-condition semantics identical to *Matrix,
+// memory and maintenance cost proportional to the live nonzero
+// structure. It implements Control.
+type SparseControl struct {
+	cm *classMatrix
+}
+
+// NewSparseControl returns the cycle-0 sparse C matrix over n objects.
+func NewSparseControl(n int) *SparseControl {
+	return &SparseControl{cm: newClassMatrix(n)}
+}
+
+// N implements Control.
+func (s *SparseControl) N() int { return s.cm.n }
+
+// At returns C(i, j).
+func (s *SparseControl) At(i, j int) Cycle { return s.cm.at(i, j) }
+
+// Bound implements ControlSnapshot semantics on the live state (tests
+// and single-threaded replay use it directly).
+func (s *SparseControl) Bound(i, j int) Cycle { return s.cm.at(i, j) }
+
+// Apply implements Control per Theorem 2's incremental rule.
+func (s *SparseControl) Apply(readSet, writeSet []int, commitCycle Cycle) {
+	if len(writeSet) == 0 {
+		return
+	}
+	s.cm.applyDistinct(readSet, s.cm.distinctSorted(writeSet), commitCycle)
+}
+
+// Snapshot implements Control: an O(n) copy of the class pointers.
+// Classes are immutable after construction, so the snapshot is stable
+// under later applies.
+func (s *SparseControl) Snapshot() ControlSnapshot {
+	classes := make([]*colClass, s.cm.n)
+	copy(classes, s.cm.class)
+	return &SparseSnapshot{n: s.cm.n, class: classes}
+}
+
+// Dense materializes the full matrix (small-n tests only).
+func (s *SparseControl) Dense() *Matrix {
+	m := NewMatrix(s.cm.n)
+	for j, c := range s.cm.class {
+		if c == nil {
+			continue
+		}
+		for _, e := range c.col {
+			m.cols[j][e.Idx] = e.Val
+		}
+	}
+	return m
+}
+
+// SparseSnapshot is an immutable point-in-time view of a SparseControl.
+type SparseSnapshot struct {
+	n     int
+	class []*colClass
+}
+
+// N implements ControlSnapshot.
+func (s *SparseSnapshot) N() int { return s.n }
+
+// Bound implements ControlSnapshot with the exact entry C(i, j).
+func (s *SparseSnapshot) Bound(i, j int) Cycle {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(fmt.Sprintf("cmatrix: entry (%d,%d) out of range for n=%d", i, j, s.n))
+	}
+	if c := s.class[j]; c != nil {
+		return lookupSparse(c.col, i)
+	}
+	return 0
+}

@@ -109,55 +109,19 @@ func (p *Partition) N() int { return len(p.of) }
 // GroupOf reports the group that object j belongs to.
 func (p *Partition) GroupOf(j int) int { return p.of[j] }
 
-// Grouped is the n×g matrix MC of Section 3.2.2:
-// MC(i, s) = max_{j∈s} C(i, j).
-type Grouped struct {
-	part *Partition
-	mc   []Cycle // row-major: mc[i*groups+s]
-}
+// Assignments returns a copy of the per-object group assignment —
+// what a partition-carrying wire frame transmits.
+func (p *Partition) Assignments() []int { return append([]int(nil), p.of...) }
 
-// GroupedOf projects a full C matrix through a partition.
-func GroupedOf(m *Matrix, p *Partition) *Grouped {
-	if p.N() != m.N() {
-		panic(fmt.Sprintf("cmatrix: partition over %d objects but matrix has %d", p.N(), m.N()))
+// Equal reports whether two partitions assign every object identically.
+func (p *Partition) Equal(o *Partition) bool {
+	if p.groups != o.groups || len(p.of) != len(o.of) {
+		return false
 	}
-	g := &Grouped{part: p, mc: make([]Cycle, m.N()*p.Groups())}
-	for i := 0; i < m.N(); i++ {
-		for j := 0; j < m.N(); j++ {
-			s := p.GroupOf(j)
-			if x := m.At(i, j); x > g.mc[i*p.Groups()+s] {
-				g.mc[i*p.Groups()+s] = x
-			}
+	for j, g := range p.of {
+		if o.of[j] != g {
+			return false
 		}
 	}
-	return g
+	return true
 }
-
-// GroupedFromRows reconstructs a grouped matrix from per-object rows,
-// rows[i][s] = MC(i, s), under the given partition.
-func GroupedFromRows(p *Partition, rows [][]Cycle) (*Grouped, error) {
-	if len(rows) != p.N() {
-		return nil, fmt.Errorf("cmatrix: %d rows for %d objects", len(rows), p.N())
-	}
-	g := &Grouped{part: p, mc: make([]Cycle, p.N()*p.Groups())}
-	for i, row := range rows {
-		if len(row) != p.Groups() {
-			return nil, fmt.Errorf("cmatrix: row %d has %d entries, want %d", i, len(row), p.Groups())
-		}
-		copy(g.mc[i*p.Groups():], row)
-	}
-	return g, nil
-}
-
-// N reports the number of objects.
-func (g *Grouped) N() int { return g.part.N() }
-
-// Groups reports the number of groups.
-func (g *Grouped) Groups() int { return g.part.Groups() }
-
-// At returns MC(i, s).
-func (g *Grouped) At(i, s int) Cycle { return g.mc[i*g.part.Groups()+s] }
-
-// Bound returns the value compared against a prior read of object i
-// when reading object j: MC(i, group(j)).
-func (g *Grouped) Bound(i, j int) Cycle { return g.At(i, g.part.GroupOf(j)) }

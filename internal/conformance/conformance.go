@@ -105,6 +105,14 @@ type Workload struct {
 	Commits []PlannedCommit `json:"commits,omitempty"`
 	// Clients holds each client's transaction programs.
 	Clients [][]PlannedTxn `json:"clients,omitempty"`
+	// Groups is the group count g of the grouped lockstep server's
+	// partition; 0 picks the default max(1, Objects/2), so corpus entries
+	// recorded before the grouped participant existed replay unchanged.
+	Groups int `json:"groups,omitempty"`
+	// RegroupEvery, when > 0, lets the grouped server re-derive its
+	// partition from the write heat every RegroupEvery cycles
+	// (deterministic regroup epochs).
+	RegroupEvery int `json:"regroupEvery,omitempty"`
 	// Faults is the reception-fault profile applied to every client's
 	// tuner (the zero profile delivers everything).
 	Faults faultair.Profile `json:"faults,omitempty"`
@@ -133,7 +141,18 @@ const (
 	maxIndexM       = 64
 	maxSkew         = 4.0
 	maxRefresh      = 64
+	maxRegroupEvery = 64
 )
+
+// GroupsOrDefault resolves the grouped participant's group count: the
+// explicit Groups when set, otherwise max(1, Objects/2) — mid-spectrum
+// between the vector (g = 1) and the full matrix (g = n).
+func (w *Workload) GroupsOrDefault() int {
+	if w.Groups > 0 {
+		return w.Groups
+	}
+	return max(1, w.Objects/2)
+}
 
 func checkObjSet(n int, what string, set []int, requireDistinct bool) error {
 	if len(set) > maxSetSize {
@@ -169,6 +188,10 @@ func (w *Workload) Validate() error {
 		return fmt.Errorf("conformance: %d fault windows, cap %d", len(w.Faults.Windows), maxFaultWindows)
 	case w.Faults.Loss >= 1 || w.Faults.Doze >= 1:
 		return fmt.Errorf("conformance: fault rates must stay below 1 (no cycle is ever received otherwise)")
+	case w.Groups < 0 || w.Groups > w.Objects:
+		return fmt.Errorf("conformance: Groups = %d, range [0,%d]", w.Groups, w.Objects)
+	case w.RegroupEvery < 0 || w.RegroupEvery > maxRegroupEvery:
+		return fmt.Errorf("conformance: RegroupEvery = %d, range [0,%d]", w.RegroupEvery, maxRegroupEvery)
 	}
 	if err := w.Faults.Validate(); err != nil {
 		return err
@@ -237,7 +260,10 @@ func (w *Workload) Validate() error {
 
 // Clone returns a deep copy sharing no mutable state with w.
 func (w *Workload) Clone() *Workload {
-	c := &Workload{Seed: w.Seed, Objects: w.Objects, Cycles: w.Cycles, Faults: w.Faults}
+	c := &Workload{
+		Seed: w.Seed, Objects: w.Objects, Cycles: w.Cycles,
+		Groups: w.Groups, RegroupEvery: w.RegroupEvery, Faults: w.Faults,
+	}
 	c.Faults.Windows = append([]faultair.Window(nil), w.Faults.Windows...)
 	if w.Air != nil {
 		air := *w.Air

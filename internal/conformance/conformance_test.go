@@ -174,6 +174,105 @@ func TestBrokenReadConditionCaught(t *testing.T) {
 	}
 }
 
+// Satellite property: on a large batch of random histories, the grouped
+// protocol's acceptance must sit strictly inside the lattice —
+// everything Datacycle accepts, grouped accepts; everything grouped
+// accepts, F-Matrix accepts — across the whole g-spectrum and under
+// regrouping. (CheckWorkload already files violations for breaks; this
+// test additionally asserts the verdict ordering directly.)
+func TestGroupedAcceptanceSandwiched(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	for seed := int64(50_000); seed < 50_000+int64(n); seed++ {
+		rep, err := CheckWorkload(Generate(seed, DefaultParams()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d violates conformance: %v", seed, rep.Violations[0])
+		}
+		for _, tv := range rep.Txns {
+			if tv.Update || tv.Truncated {
+				continue
+			}
+			if tv.Datacycle && !tv.Grouped {
+				t.Fatalf("seed %d client %d txn %d: Datacycle accepts but grouped rejects", seed, tv.Client, tv.Txn)
+			}
+			if tv.Grouped && !tv.FMatrix {
+				t.Fatalf("seed %d client %d txn %d: grouped accepts but F-Matrix rejects", seed, tv.Client, tv.Txn)
+			}
+		}
+	}
+}
+
+// The grouped acceptance-criterion test: the naive monotone MC
+// maintenance (mc[s] = max(old, fresh), behind the cmatrix test hook)
+// is wrong because Theorem 2's column rewrites can decrease a group
+// maximum. The stale MC is still an upper bound — it can never violate
+// the acceptance lattice — so the harness must catch it through the
+// grouped server's control verification, shrink it, and round-trip it
+// through the corpus encoding.
+func TestGroupedStaleMCCaught(t *testing.T) {
+	restore := cmatrix.SetGroupedStaleMC(true)
+	defer restore()
+
+	seed, rep, _, found, err := Soak(1, 500, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("stale grouped MC maintenance not caught within 500 seeds")
+	}
+
+	shrunk, srep := Shrink(rep.Workload)
+	if srep == nil || len(srep.Violations) == 0 {
+		t.Fatal("shrinking lost the violation")
+	}
+	if got := shrunk.TxnCount(); got > 4 {
+		t.Fatalf("shrunk counterexample has %d transactions, want <= 4", got)
+	}
+	if srep.Violations[0].Kind != KindTheorem2 && srep.Violations[0].Kind != KindSnapshotStale {
+		t.Fatalf("stale MC surfaced as %s, want a Theorem-2/snapshot violation (the lattice cannot catch an over-estimate)", srep.Violations[0].Kind)
+	}
+
+	dir := t.TempDir()
+	ce := &Counterexample{
+		Seed:      seed,
+		Note:      "naive monotone grouped-MC maintenance (max(old,new) misses decreasing column rewrites)",
+		Violation: srep.Violations[0].Kind,
+		Detail:    srep.Violations[0].Detail,
+		History:   srep.History,
+		Workload:  shrunk,
+	}
+	if _, err := WriteCounterexample(dir, ce); err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loaded := range corpus {
+		rrep, err := CheckWorkload(loaded.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rrep.Violations) == 0 {
+			t.Fatal("replayed counterexample no longer violates under the stale maintenance")
+		}
+		// With the exact maintenance back, the same workload is clean.
+		restore()
+		fixed, err := CheckWorkload(loaded.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fixed.Violations) != 0 {
+			t.Fatalf("counterexample still violates with exact maintenance: %v", fixed.Violations[0])
+		}
+	}
+}
+
 // TestCorpusReplay replays every committed counterexample in corpus/ and
 // expects zero violations — each entry pins a scenario that once (or
 // nearly) broke, so a regression flips this test. Clean pins also carry

@@ -141,6 +141,16 @@ func Generate(seed int64, p Params) *Workload {
 		w.Faults = prof
 	}
 
+	// Grouped lockstep participant: sometimes pin an explicit group
+	// count anywhere on the g-spectrum (1 = vector-shaped, n =
+	// matrix-shaped), sometimes let it regroup on the write heat.
+	if rng.Intn(2) == 0 {
+		w.Groups = 1 + rng.Intn(n)
+	}
+	if rng.Intn(3) == 0 {
+		w.RegroupEvery = 1 + rng.Intn(4)
+	}
+
 	if rng.Float64() < p.Air {
 		a := &AirProgram{
 			Disks: 1 + rng.Intn(3),

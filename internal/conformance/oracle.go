@@ -20,11 +20,11 @@ type TxnVerdict struct {
 	Update, Cached, Truncated bool
 	// Reads is the resolved read-set the verdicts are about.
 	Reads []protocol.ReadAt
-	// Datacycle, RMatrix and FMatrix are the protocol validators'
-	// decisions. For cached transactions Datacycle and FMatrix use the
-	// out-of-order SnapshotValidator over the corresponding control
-	// layout and RMatrix is not run (false).
-	Datacycle, RMatrix, FMatrix bool
+	// Datacycle, RMatrix, Grouped and FMatrix are the protocol
+	// validators' decisions. For cached transactions Datacycle, Grouped
+	// and FMatrix use the out-of-order SnapshotValidator over the
+	// corresponding control layout and RMatrix is not run (false).
+	Datacycle, RMatrix, Grouped, FMatrix bool
 	// Approx and UpdateConsistent are the oracle decisions over the
 	// induced history. UpdateConsistent is only computed when Approx
 	// rejects (Theorem 6 makes it redundant otherwise) or for update
@@ -114,6 +114,9 @@ func CheckWorkload(w *Workload) (*Report, error) {
 	matAt := func(c cmatrix.Cycle) protocol.Snapshot {
 		return protocol.MatrixSnapshot{C: tr.snaps[c].mat}
 	}
+	grpAt := func(c cmatrix.Cycle) protocol.Snapshot {
+		return protocol.GroupedSnapshot{MC: tr.snaps[c].grp}
+	}
 	// Cached reads carry per-cycle control columns instead of whole
 	// snapshots: column j of the C matrix under F-Matrix, and the
 	// vector read as a (j-independent) column under Datacycle.
@@ -131,6 +134,15 @@ func CheckWorkload(w *Workload) (*Report, error) {
 			col := make([]cmatrix.Cycle, w.Objects)
 			for i := range col {
 				col[i] = tr.snaps[c].mat.At(i, obj)
+			}
+			return protocol.ColumnSnapshot{Obj: obj, Col: col}
+		}
+	}
+	grpColAt := func(obj int) func(cmatrix.Cycle) protocol.Snapshot {
+		return func(c cmatrix.Cycle) protocol.Snapshot {
+			col := make([]cmatrix.Cycle, w.Objects)
+			for i := range col {
+				col[i] = tr.snaps[c].grp.Bound(i, obj)
 			}
 			return protocol.ColumnSnapshot{Obj: obj, Col: col}
 		}
@@ -168,14 +180,24 @@ func CheckWorkload(w *Workload) (*Report, error) {
 			// unsound here), so the lattice narrows to Datacycle-over-
 			// columns ⊆ F-Matrix-over-columns ⊆ APPROX.
 			tv.Datacycle = runCached(rt.reads, vecColAt)
+			tv.Grouped = runCached(rt.reads, grpColAt)
 			tv.FMatrix = runCached(rt.reads, matColAt)
 			if tv.Datacycle && !tv.FMatrix {
 				addViolation(rt, KindCachedDCBeyondFMatrix,
 					fmt.Sprintf("cached reads %v: Datacycle columns accept but F-Matrix columns reject", rt.reads), "")
 			}
+			if tv.Datacycle && !tv.Grouped {
+				addViolation(rt, KindDatacycleBeyondGrouped,
+					fmt.Sprintf("cached reads %v: Datacycle columns accept but grouped MC columns reject", rt.reads), "")
+			}
+			if tv.Grouped && !tv.FMatrix {
+				addViolation(rt, KindGroupedBeyondFMatrix,
+					fmt.Sprintf("cached reads %v: grouped MC columns accept but F-Matrix columns reject", rt.reads), "")
+			}
 		} else {
 			tv.Datacycle = runValidator(&protocol.ConjunctiveValidator{}, rt.reads, vecAt)
 			tv.RMatrix = runValidator(&protocol.RMatrixValidator{}, rt.reads, vecAt)
+			tv.Grouped = runValidator(&protocol.ConjunctiveValidator{}, rt.reads, grpAt)
 			tv.FMatrix = runValidator(&protocol.ConjunctiveValidator{}, rt.reads, matAt)
 			fmSnap := runValidator(&protocol.SnapshotValidator{}, rt.reads, matAt)
 			if fmSnap != tv.FMatrix {
@@ -189,6 +211,17 @@ func CheckWorkload(w *Workload) (*Report, error) {
 			if tv.RMatrix && !tv.FMatrix {
 				addViolation(rt, KindRMatrixBeyondFMatrix,
 					fmt.Sprintf("reads %v: R-Matrix accepts but F-Matrix rejects", rt.reads), "")
+			}
+			// The grouped protocol sits strictly inside the lattice:
+			// V(i) >= MC(i,s) >= C(i,j) for j in s, so its acceptance is
+			// sandwiched between Datacycle and F-Matrix.
+			if tv.Datacycle && !tv.Grouped {
+				addViolation(rt, KindDatacycleBeyondGrouped,
+					fmt.Sprintf("reads %v: Datacycle accepts but grouped MC rejects", rt.reads), "")
+			}
+			if tv.Grouped && !tv.FMatrix {
+				addViolation(rt, KindGroupedBeyondFMatrix,
+					fmt.Sprintf("reads %v: grouped MC accepts but F-Matrix rejects", rt.reads), "")
 			}
 		}
 

@@ -10,6 +10,7 @@ import (
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
+	"broadcastcc/internal/wire"
 )
 
 // Violation is one failed conformance invariant.
@@ -39,6 +40,8 @@ func (v Violation) String() string {
 const (
 	KindDatacycleBeyondRMatrix = "datacycle-beyond-rmatrix"
 	KindRMatrixBeyondFMatrix   = "rmatrix-beyond-fmatrix"
+	KindDatacycleBeyondGrouped = "datacycle-beyond-grouped"
+	KindGroupedBeyondFMatrix   = "grouped-beyond-fmatrix"
 	KindFMatrixBeyondApprox    = "fmatrix-beyond-approx"
 	KindApproxBeyondUC         = "approx-beyond-update-consistent"
 	KindCacheValidatorDiverged = "cache-validator-divergence"
@@ -52,6 +55,7 @@ const (
 
 	KindAirRebroadcast = "air-rebroadcast-column"
 	KindAirIndex       = "air-index-desync"
+	KindGroupedWire    = "grouped-wire-roundtrip"
 
 	KindTraceDiverged = "cycle-trace-divergence"
 )
@@ -71,12 +75,14 @@ type resolvedTxn struct {
 }
 
 // cycleSnap retains one cycle's published control information: the
-// vector server's vector, the matrix server's copy-on-write snapshot,
-// and a deep clone taken at publish time for the aliasing check.
+// vector server's vector, the matrix server's copy-on-write snapshot
+// (plus a deep clone taken at publish time for the aliasing check), and
+// the grouped server's MC matrix.
 type cycleSnap struct {
 	vec    *cmatrix.Vector
 	mat    *cmatrix.Matrix
 	matRef *cmatrix.Matrix
+	grp    *cmatrix.Grouped
 }
 
 // airTrace is the deterministic record of one workload run.
@@ -85,19 +91,24 @@ type airTrace struct {
 	snaps      []cycleSnap // index by cycle number; [0] unused
 	txns       []*resolvedTxn
 	violations []Violation
-	// vecTrace and matTrace are the two servers' full cycle-clock event
-	// traces (snapshot-publish events included).
-	vecTrace, matTrace []obs.Event
+	// vecTrace, matTrace and grpTrace are the three servers' full
+	// cycle-clock event traces (snapshot-publish events included).
+	vecTrace, matTrace, grpTrace []obs.Event
 }
 
-// traceModuloControl filters snapshot-publish events out of a trace:
-// their Arg fingerprints the concrete control payload, which is
-// representation-dependent (vector vs full matrix), so the lockstep
-// comparison excludes them.
+// traceModuloControl filters representation-dependent events out of a
+// trace: snapshot publishes (their Arg fingerprints the concrete
+// control payload — vector, full matrix and grouped MC legitimately
+// hash differently) and the grouped server's regroup markers
+// (EvCycleStart with Frame 1), which only a regrouping representation
+// emits.
 func traceModuloControl(evs []obs.Event) []obs.Event {
 	out := make([]obs.Event, 0, len(evs))
 	for _, e := range evs {
 		if e.Kind == obs.EvSnapshotPublish {
+			continue
+		}
+		if e.Kind == obs.EvCycleStart && e.Frame == 1 {
 			continue
 		}
 		out = append(out, e)
@@ -108,17 +119,17 @@ func traceModuloControl(evs []obs.Event) []obs.Event {
 // compareTraces checks the lockstep trace invariant over two servers'
 // full traces and, on divergence, builds the violation naming the first
 // differing event.
-func compareTraces(vec, mat []obs.Event) (Violation, bool) {
-	fv, fm := traceModuloControl(vec), traceModuloControl(mat)
-	if bytes.Equal(obs.EncodeTrace(fv), obs.EncodeTrace(fm)) {
+func compareTraces(nameA string, a []obs.Event, nameB string, b []obs.Event) (Violation, bool) {
+	fa, fb := traceModuloControl(a), traceModuloControl(b)
+	if bytes.Equal(obs.EncodeTrace(fa), obs.EncodeTrace(fb)) {
 		return Violation{}, true
 	}
-	detail := fmt.Sprintf("vector server emitted %d events, matrix server %d (modulo snapshot publishes)", len(fv), len(fm))
-	for i := 0; i < len(fv) && i < len(fm); i++ {
-		if fv[i] != fm[i] {
-			detail = fmt.Sprintf("event %d: vector server %s c%d f%d arg=%d, matrix server %s c%d f%d arg=%d",
-				i, fv[i].Kind, fv[i].Cycle, fv[i].Frame, fv[i].Arg,
-				fm[i].Kind, fm[i].Cycle, fm[i].Frame, fm[i].Arg)
+	detail := fmt.Sprintf("%s server emitted %d events, %s server %d (modulo snapshot publishes)", nameA, len(fa), nameB, len(fb))
+	for i := 0; i < len(fa) && i < len(fb); i++ {
+		if fa[i] != fb[i] {
+			detail = fmt.Sprintf("event %d: %s server %s c%d f%d arg=%d, %s server %s c%d f%d arg=%d",
+				i, nameA, fa[i].Kind, fa[i].Cycle, fa[i].Frame, fa[i].Arg,
+				nameB, fb[i].Kind, fb[i].Cycle, fb[i].Frame, fb[i].Arg)
 			break
 		}
 	}
@@ -168,17 +179,19 @@ func resolveReads(w *Workload, sched *faultair.Schedule, client int, txn Planned
 	return reads, false
 }
 
-// runAir executes the workload against two real servers in lockstep —
-// one broadcasting the control vector, one the full C matrix — fed the
-// identical commit stream, and retains every cycle's published control
-// snapshot. Server-side invariants (Theorem 2 maintenance, snapshot
-// immutability, lockstep agreement) are checked as it goes.
+// runAir executes the workload against three real servers in lockstep —
+// one broadcasting the control vector, one the full C matrix, one the
+// grouped MC matrix — fed the identical commit stream, and retains
+// every cycle's published control snapshot. Server-side invariants
+// (Theorem 2 maintenance, snapshot immutability, lockstep agreement)
+// are checked as it goes.
 func runAir(w *Workload) (*airTrace, error) {
-	// Every cycle emits a start and a snapshot-publish event, and every
-	// uplink submission emits a verdict; size the rings so nothing is
-	// dropped — the trace comparison below needs complete traces.
-	traceCap := 2*int(w.Cycles) + w.TxnCount() + 16
-	vecTr, matTr := obs.NewTracer(traceCap), obs.NewTracer(traceCap)
+	// Every cycle emits a start and a snapshot-publish event, every
+	// uplink submission a verdict, and the grouped server may add one
+	// regroup marker per cycle; size the rings so nothing is dropped —
+	// the trace comparison below needs complete traces.
+	traceCap := 3*int(w.Cycles) + w.TxnCount() + 16
+	vecTr, matTr, grpTr := obs.NewTracer(traceCap), obs.NewTracer(traceCap), obs.NewTracer(traceCap)
 	mk := func(alg protocol.Algorithm, trace *obs.Tracer) (*server.Server, error) {
 		return server.New(server.Config{
 			Objects:    w.Objects,
@@ -196,8 +209,25 @@ func runAir(w *Workload) (*airTrace, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The grouped server uses 32-bit control timestamps so the BCG1
+	// round-trip check below is exact (workload cycles can exceed the
+	// default 8-bit wrap window).
+	grpSrv, err := server.New(server.Config{
+		Objects:       w.Objects,
+		ObjectBits:    64,
+		TimestampBits: 32,
+		Algorithm:     protocol.Grouped,
+		Groups:        w.GroupsOrDefault(),
+		RegroupEvery:  w.RegroupEvery,
+		Audit:         true,
+		Trace:         grpTr,
+	})
+	if err != nil {
+		return nil, err
+	}
 	defer vecSrv.Close()
 	defer matSrv.Close()
+	defer grpSrv.Close()
 
 	var sched *faultair.Schedule
 	if !w.Faults.Zero() {
@@ -239,21 +269,39 @@ func runAir(w *Workload) (*airTrace, error) {
 	}
 
 	for c := cmatrix.Cycle(1); c <= w.Cycles; c++ {
-		cbV, cbM := vecSrv.StartCycle(), matSrv.StartCycle()
-		if cbV == nil || cbM == nil || cbV.Number != c || cbM.Number != c {
+		cbV, cbM, cbG := vecSrv.StartCycle(), matSrv.StartCycle(), grpSrv.StartCycle()
+		if cbV == nil || cbM == nil || cbG == nil || cbV.Number != c || cbM.Number != c || cbG.Number != c {
 			return nil, fmt.Errorf("conformance: servers fell out of lockstep at cycle %d", c)
 		}
-		tr.snaps[c] = cycleSnap{vec: cbV.Vector, mat: cbM.Matrix, matRef: cbM.Matrix.Clone()}
+		tr.snaps[c] = cycleSnap{vec: cbV.Vector, mat: cbM.Matrix, matRef: cbM.Matrix.Clone(), grp: cbG.Grouped}
+
+		// The grouped control column must survive the sparse BCG1 wire
+		// format bit-exactly, partition included.
+		frame, err := wire.EncodeGroupedCycle(cbG, grpSrv.RegroupEpoch(), true)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: encoding grouped cycle %d: %v", c, err)
+		}
+		if dec, _, err := wire.DecodeGroupedCycle(frame, nil, 0); err != nil {
+			tr.violations = append(tr.violations, Violation{
+				Kind: KindGroupedWire, Client: -1, Txn: -1,
+				Detail: fmt.Sprintf("cycle %d: grouped frame does not decode: %v", c, err),
+			})
+		} else if dec.Number != c || !dec.Grouped.Equal(cbG.Grouped) {
+			tr.violations = append(tr.violations, Violation{
+				Kind: KindGroupedWire, Client: -1, Txn: -1,
+				Detail: fmt.Sprintf("cycle %d: grouped MC drifted through the wire round-trip", c),
+			})
+		}
 
 		for ci, pc := range w.Commits {
 			if pc.At != c {
 				continue
 			}
-			errV, errM := serverTxn(vecSrv, pc), serverTxn(matSrv, pc)
-			if (errV == nil) != (errM == nil) {
+			errV, errM, errG := serverTxn(vecSrv, pc), serverTxn(matSrv, pc), serverTxn(grpSrv, pc)
+			if (errV == nil) != (errM == nil) || (errG == nil) != (errM == nil) {
 				tr.violations = append(tr.violations, Violation{
 					Kind: KindServerDiverged, Client: -1, Txn: -1,
-					Detail: fmt.Sprintf("commit %d at cycle %d: vector server err=%v, matrix server err=%v", ci, c, errV, errM),
+					Detail: fmt.Sprintf("commit %d at cycle %d: vector server err=%v, matrix server err=%v, grouped server err=%v", ci, c, errV, errM, errG),
 				})
 			} else if errV != nil {
 				return nil, fmt.Errorf("conformance: background commit %d failed: %v", ci, errV)
@@ -267,11 +315,11 @@ func runAir(w *Workload) (*airTrace, error) {
 			for _, obj := range rt.writes {
 				req.Writes = append(req.Writes, protocol.ObjectWrite{Obj: obj, Value: []byte{byte(obj)}})
 			}
-			errV, errM := vecSrv.SubmitUpdate(req), matSrv.SubmitUpdate(req)
-			if (errV == nil) != (errM == nil) {
+			errV, errM, errG := vecSrv.SubmitUpdate(req), matSrv.SubmitUpdate(req), grpSrv.SubmitUpdate(req)
+			if (errV == nil) != (errM == nil) || (errG == nil) != (errM == nil) {
 				tr.violations = append(tr.violations, Violation{
 					Kind: KindServerDiverged, Client: rt.client, Txn: rt.index,
-					Detail: fmt.Sprintf("uplink at cycle %d: vector server err=%v, matrix server err=%v", c, errV, errM),
+					Detail: fmt.Sprintf("uplink at cycle %d: vector server err=%v, matrix server err=%v, grouped server err=%v", c, errV, errM, errG),
 				})
 			}
 			rt.uplinkOK = errM == nil
@@ -279,11 +327,14 @@ func runAir(w *Workload) (*airTrace, error) {
 
 		// Theorem 2: the incrementally maintained control state must
 		// match a from-scratch rebuild after every cycle's commits.
-		for name, s := range map[string]*server.Server{"vector": vecSrv, "matrix": matSrv} {
-			if err := s.VerifyControl(); err != nil {
+		for _, srv := range []struct {
+			name string
+			s    *server.Server
+		}{{"vector", vecSrv}, {"matrix", matSrv}, {"grouped", grpSrv}} {
+			if err := srv.s.VerifyControl(); err != nil {
 				tr.violations = append(tr.violations, Violation{
 					Kind: KindTheorem2, Client: -1, Txn: -1,
-					Detail: fmt.Sprintf("%s server after cycle %d: %v", name, c, err),
+					Detail: fmt.Sprintf("%s server after cycle %d: %v", srv.name, c, err),
 				})
 			}
 		}
@@ -296,22 +347,33 @@ func runAir(w *Workload) (*airTrace, error) {
 			Detail: fmt.Sprintf("audit logs diverged: vector server committed %d, matrix server %d", len(vecLog), len(tr.log)),
 		})
 	}
+	if grpLog := grpSrv.AuditLog(); !reflect.DeepEqual(grpLog, tr.log) {
+		tr.violations = append(tr.violations, Violation{
+			Kind: KindServerDiverged, Client: -1, Txn: -1,
+			Detail: fmt.Sprintf("audit logs diverged: grouped server committed %d, matrix server %d", len(grpLog), len(tr.log)),
+		})
+	}
 
-	// Cycle-clock trace lockstep: both servers must emit the identical
-	// event sequence modulo snapshot-publish events, whose Arg
-	// fingerprints the control payload — a vector and a full matrix
-	// legitimately hash differently even when both are correct.
-	tr.vecTrace, tr.matTrace = vecTr.Events(), matTr.Events()
-	if d := vecTr.Dropped() + matTr.Dropped(); d > 0 {
+	// Cycle-clock trace lockstep: all three servers must emit the
+	// identical event sequence modulo snapshot-publish events (whose Arg
+	// fingerprints the control payload — vector, matrix and grouped MC
+	// legitimately hash differently) and regroup markers.
+	tr.vecTrace, tr.matTrace, tr.grpTrace = vecTr.Events(), matTr.Events(), grpTr.Events()
+	if d := vecTr.Dropped() + matTr.Dropped() + grpTr.Dropped(); d > 0 {
 		return nil, fmt.Errorf("conformance: trace ring overflowed (%d events dropped; capacity %d)", d, traceCap)
 	}
-	if v, ok := compareTraces(tr.vecTrace, tr.matTrace); !ok {
+	if v, ok := compareTraces("vector", tr.vecTrace, "matrix", tr.matTrace); !ok {
+		tr.violations = append(tr.violations, v)
+	}
+	if v, ok := compareTraces("grouped", tr.grpTrace, "matrix", tr.matTrace); !ok {
 		tr.violations = append(tr.violations, v)
 	}
 
 	// Copy-on-write snapshots must still equal the deep clones taken at
-	// publish time, and both must equal a from-definition rebuild of
-	// the control state as of the beginning of their cycle.
+	// publish time, and every published representation must equal a
+	// from-definition rebuild of the control state as of the beginning
+	// of its cycle — the grouped MC against the projection
+	// MC(i,s) = max_{j∈s} C(i,j) of the rebuilt matrix.
 	prefix := 0
 	for c := cmatrix.Cycle(1); c <= w.Cycles; c++ {
 		snap := tr.snaps[c]
@@ -333,6 +395,12 @@ func runAir(w *Workload) (*airTrace, error) {
 				Kind: KindSnapshotStale, Client: -1, Txn: -1,
 				Detail: fmt.Sprintf("cycle %d snapshot C(%d,%d) = %d, rebuild over %d commits says %d",
 					c, i, j, snap.mat.At(i, j), prefix, want.At(i, j)),
+			})
+		}
+		if wantG := cmatrix.GroupedOf(want, snap.grp.Part()); !snap.grp.Equal(wantG) {
+			tr.violations = append(tr.violations, Violation{
+				Kind: KindSnapshotStale, Client: -1, Txn: -1,
+				Detail: fmt.Sprintf("cycle %d grouped snapshot differs from the projection of a rebuild over %d commits", c, prefix),
 			})
 		}
 	}

@@ -159,6 +159,25 @@ func Shrink(w *Workload) (*Workload, *Report) {
 			}
 		}
 
+		// Simplify the grouped layer: first freeze the partition
+		// (regrouping off), then collapse to a single group, so
+		// counterexamples say whether regrouping or grouping itself is at
+		// fault.
+		if cur.RegroupEvery != 0 {
+			c := cur.Clone()
+			c.RegroupEvery = 0
+			if try(c) {
+				changed = true
+			}
+		}
+		if cur.Groups != 1 {
+			c := cur.Clone()
+			c.Groups = 1
+			if try(c) {
+				changed = true
+			}
+		}
+
 		// Zero the fault profile.
 		if !cur.Faults.Zero() {
 			c := cur.Clone()

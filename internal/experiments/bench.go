@@ -102,7 +102,13 @@ func (e *Experiment) Bench() BenchExperiment {
 
 // WriteJSON emits the experiment in the benchmark schema.
 func (e *Experiment) WriteJSON(w io.Writer) error {
+	return e.Bench().WriteJSON(w)
+}
+
+// WriteJSON emits an already-projected benchmark — the shared path for
+// sweeps and for standalone analyses like the grouped-bandwidth study.
+func (b BenchExperiment) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(e.Bench())
+	return enc.Encode(b)
 }

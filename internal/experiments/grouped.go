@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"broadcastcc/internal/airsched"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/wire"
+)
+
+// The grouped-bandwidth study: at database sizes where the full n×n
+// F-Matrix is unbroadcastable (n ≥ 10⁵ means n²·TS ≈ 20 Gbit of
+// control per cycle at TS=16), how much concurrency does the n×g
+// grouped matrix of Section 3.2.2 give back per control bit? The
+// analysis replays one committed update stream through the real
+// GroupedControl maintenance (Theorem 2 incremental rule), prices every
+// cycle's control with the exact BCG1 frame size, and measures client
+// restart ratios with the same conjunctive validators the runtime uses.
+// Three series:
+//
+//   - fmatrix-dense: validation against the exact C(i,j) — the restart
+//     floor — priced at the analytic n²·TS dense broadcast;
+//   - grouped-static: a fixed uniform partition into g groups;
+//   - grouped-adaptive: the same g, but the partition follows the write
+//     heat (EWMA estimator + HeatPartition) with deterministic regroup
+//     epochs, so hot objects get near-F-Matrix precision.
+
+// GroupedConfig shapes a GroupedBandwidth run. The zero value means the
+// paper-scale defaults (n = 10⁵, 400 cycles, zipf θ = 0.95); tests
+// shrink it.
+type GroupedConfig struct {
+	// Objects is the database size n.
+	Objects int
+	// Cycles is the broadcast run length.
+	Cycles int
+	// CommitsPerCycle is the server update rate.
+	CommitsPerCycle int
+	// Clients is the number of independent read-only clients per series.
+	Clients int
+	// TxnReads is the reads per client transaction (one per cycle).
+	TxnReads int
+	// Theta is the zipf skew of both the update and the read access law.
+	Theta float64
+	// GroupCounts are the x-values g to sweep.
+	GroupCounts []int
+	// RegroupEvery is the adaptive series' regroup period in cycles.
+	RegroupEvery int
+	// MeasureFromCycle discards warmup: commits, restarts and control
+	// bits count only from this cycle on, once the adaptive partition
+	// has seen real heat (mirrors Options.MeasureFrom in the sim).
+	MeasureFromCycle int
+	// HeatAlpha is the EWMA smoothing factor of the heat estimator.
+	HeatAlpha float64
+	// TimestampBits prices each control entry on the wire.
+	TimestampBits int
+}
+
+func (c GroupedConfig) normalized() GroupedConfig {
+	if c.Objects == 0 {
+		c.Objects = 100_000
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 400
+	}
+	if c.CommitsPerCycle == 0 {
+		c.CommitsPerCycle = 8
+	}
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if c.TxnReads == 0 {
+		c.TxnReads = 4
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.95
+	}
+	if len(c.GroupCounts) == 0 {
+		c.GroupCounts = []int{256, 1024, 4096, 16384, 65536}
+	}
+	if c.RegroupEvery == 0 {
+		c.RegroupEvery = 25
+	}
+	if c.MeasureFromCycle == 0 {
+		c.MeasureFromCycle = c.Cycles / 4
+	}
+	if c.HeatAlpha == 0 {
+		c.HeatAlpha = 0.1
+	}
+	if c.TimestampBits == 0 {
+		c.TimestampBits = 16
+	}
+	return c
+}
+
+// Series labels of the grouped-bandwidth figure.
+const (
+	GroupedSeriesStatic   = "grouped-static"
+	GroupedSeriesAdaptive = "grouped-adaptive"
+	GroupedSeriesDense    = "fmatrix-dense"
+)
+
+// GroupedMetrics is one series' measurements at one group count.
+type GroupedMetrics struct {
+	// ControlBitsPerCycle is the mean broadcast control cost, priced
+	// with the exact BCG1 frame size (partition amortized over the
+	// epochs that actually ship it) — or n²·TS for the dense series.
+	ControlBitsPerCycle float64
+	// BandwidthRatio is ControlBitsPerCycle over the dense series'.
+	BandwidthRatio float64
+	// RestartRatio is restarts per committed transaction.
+	RestartRatio float64
+	// Commits and Restarts are the raw client counts behind the ratio.
+	Commits  int64
+	Restarts int64
+	// Regroups and RegroupChurn count adaptive repartition epochs and
+	// how many objects they moved (zero for the other series).
+	Regroups     int64
+	RegroupChurn int64
+	// Obs is the pass's registry snapshot (exp_grouped_* counters).
+	Obs obs.Snapshot
+}
+
+// GroupedPoint is one group count with all three series.
+type GroupedPoint struct {
+	Groups int
+	Series map[string]GroupedMetrics
+}
+
+// groupedStream is the pre-generated workload shared by every pass of
+// one analysis: the committed update stream and each client's planned
+// transaction object-sets. Identical across series and group counts, so
+// the only varying factor is the control representation.
+type groupedStream struct {
+	commits [][]plannedGroupedCommit // per cycle
+	txns    [][][]int                // txns[client][k] = k-th txn's objects
+}
+
+type plannedGroupedCommit struct {
+	readSet  []int
+	writeSet []int
+}
+
+func generateGroupedStream(cfg GroupedConfig, seed int64) *groupedStream {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := airsched.NewZipfPicker(cfg.Objects, cfg.Theta)
+	pick := func() int { return zipf.Pick(rng.Float64()) }
+	pickDistinct := func(k int) []int {
+		out := make([]int, 0, k)
+		for len(out) < k {
+			obj := pick()
+			dup := false
+			for _, o := range out {
+				dup = dup || o == obj
+			}
+			if !dup {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+
+	s := &groupedStream{}
+	for c := 0; c < cfg.Cycles; c++ {
+		var cyc []plannedGroupedCommit
+		for i := 0; i < cfg.CommitsPerCycle; i++ {
+			cyc = append(cyc, plannedGroupedCommit{
+				writeSet: pickDistinct(2),
+				readSet:  pickDistinct(2),
+			})
+		}
+		s.commits = append(s.commits, cyc)
+	}
+	// One planned transaction per cycle is a strict upper bound on how
+	// many any client can start (each takes >= 1 cycle), so every pass
+	// consumes the same k-th object-set for its k-th transaction no
+	// matter how often it restarts.
+	s.txns = make([][][]int, cfg.Clients)
+	for cli := range s.txns {
+		for t := 0; t < cfg.Cycles; t++ {
+			s.txns[cli] = append(s.txns[cli], pickDistinct(cfg.TxnReads))
+		}
+	}
+	return s
+}
+
+// groupedClient is one read-only client replaying its planned
+// transactions: one read per cycle, restart-until-success keeping the
+// same object set, a fresh set after each commit.
+type groupedClient struct {
+	v    protocol.ConjunctiveValidator
+	txns [][]int
+	txn  int
+	pos  int
+}
+
+func (c *groupedClient) step(snap protocol.Snapshot, cur cmatrix.Cycle) (committed, restarted bool) {
+	if c.txn >= len(c.txns) {
+		return false, false
+	}
+	objs := c.txns[c.txn]
+	if !c.v.TryRead(snap, objs[c.pos], cur) {
+		c.v.Reset()
+		c.pos = 0
+		return false, true
+	}
+	c.pos++
+	if c.pos == len(objs) {
+		c.v.Reset()
+		c.pos = 0
+		c.txn++
+		return true, false
+	}
+	return false, false
+}
+
+// runGroupedPass replays the shared stream against one control
+// representation and returns the pass's measurements.
+func runGroupedPass(cfg GroupedConfig, stream *groupedStream, series string, groups int) GroupedMetrics {
+	n := cfg.Objects
+	reg := obs.NewRegistry()
+	cBits := reg.Counter("exp_grouped_control_bits")
+	cChurn := reg.Counter("exp_grouped_regroup_churn")
+	cRegroups := reg.Counter("exp_grouped_regroups")
+	cCommits := reg.Counter("exp_grouped_commits")
+	cRestarts := reg.Counter("exp_grouped_restarts")
+
+	// The dense series validates against the exact C (the class-shared
+	// sparse representation, so n = 10⁵ never materializes n² entries);
+	// the grouped series maintain the n×g MC incrementally.
+	var gc *cmatrix.GroupedControl
+	var sc *cmatrix.SparseControl
+	if series == GroupedSeriesDense {
+		sc = cmatrix.NewSparseControl(n)
+	} else {
+		gc = cmatrix.NewGroupedControl(cmatrix.UniformPartition(n, groups))
+	}
+	var heat *airsched.EWMA
+	if series == GroupedSeriesAdaptive {
+		var err error
+		heat, err = airsched.NewEWMA(n, cfg.HeatAlpha)
+		if err != nil {
+			panic(err) // static config, cannot fail for normalized cfg
+		}
+	}
+
+	clients := make([]*groupedClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &groupedClient{txns: stream.txns[i]}
+	}
+
+	denseCycleBits := int64(n) * int64(n) * int64(cfg.TimestampBits)
+	measuredCycles := 0
+	for c := 1; c <= cfg.Cycles; c++ {
+		cyc := cmatrix.Cycle(c)
+		measured := c >= cfg.MeasureFromCycle
+		if measured {
+			measuredCycles++
+		}
+		withPartition := c == 1
+		if heat != nil && c > 1 && (c-1)%cfg.RegroupEvery == 0 {
+			np := cmatrix.HeatPartition(heat.Weights(), groups)
+			if !np.Equal(gc.Part()) {
+				churn := gc.Regroup(np)
+				if measured {
+					cChurn.Add(int64(churn))
+					cRegroups.Inc()
+				}
+				withPartition = true
+			}
+		}
+
+		// Publish the cycle-start control and price it on the wire.
+		var snap protocol.Snapshot
+		if series == GroupedSeriesDense {
+			if measured {
+				cBits.Add(denseCycleBits)
+			}
+			snap = sc
+		} else {
+			mc := gc.Grouped()
+			if measured {
+				cBits.Add(wire.GroupedCycleBits(mc, 0, cfg.TimestampBits, withPartition))
+			}
+			snap = protocol.GroupedSnapshot{MC: mc}
+		}
+
+		// Clients read against the published control, then the cycle's
+		// commits take effect for the next cycle.
+		for _, cl := range clients {
+			committed, restarted := cl.step(snap, cyc)
+			if committed && measured {
+				cCommits.Inc()
+			}
+			if restarted && measured {
+				cRestarts.Inc()
+			}
+		}
+		for _, cm := range stream.commits[c-1] {
+			if sc != nil {
+				sc.Apply(cm.readSet, cm.writeSet, cyc)
+			} else {
+				gc.Apply(cm.readSet, cm.writeSet, cyc)
+			}
+			if heat != nil {
+				heat.Observe(cm.writeSet)
+			}
+		}
+	}
+
+	m := GroupedMetrics{
+		ControlBitsPerCycle: float64(cBits.Load()) / float64(max(measuredCycles, 1)),
+		Commits:             cCommits.Load(),
+		Restarts:            cRestarts.Load(),
+		Regroups:            cRegroups.Load(),
+		RegroupChurn:        cChurn.Load(),
+		Obs:                 reg.Snapshot(),
+	}
+	if m.Commits > 0 {
+		m.RestartRatio = float64(m.Restarts) / float64(m.Commits)
+	}
+	return m
+}
+
+// GroupedBandwidth runs the restart-ratio-vs-control-bandwidth
+// analysis. The dense series is group-count independent, so it runs
+// once (over a single-group control, whose exact C is identical) and is
+// repeated into every point for side-by-side reading.
+func GroupedBandwidth(opt Options, cfg GroupedConfig) ([]*GroupedPoint, error) {
+	opt = opt.normalized()
+	cfg = cfg.normalized()
+	if cfg.Objects < 2 || cfg.TxnReads < 1 || cfg.Clients < 1 || cfg.TxnReads > cfg.Objects {
+		return nil, fmt.Errorf("experiments: degenerate grouped config %+v", cfg)
+	}
+	for _, g := range cfg.GroupCounts {
+		if g < 1 || g > cfg.Objects {
+			return nil, fmt.Errorf("experiments: group count %d out of range [1, %d]", g, cfg.Objects)
+		}
+	}
+
+	stream := generateGroupedStream(cfg, opt.Seed)
+	dense := runGroupedPass(cfg, stream, GroupedSeriesDense, 1)
+	dense.BandwidthRatio = 1
+	opt.Progress("grouped: n=%d dense floor restart=%.4f at %.3g bits/cycle",
+		cfg.Objects, dense.RestartRatio, dense.ControlBitsPerCycle)
+
+	var out []*GroupedPoint
+	for _, g := range cfg.GroupCounts {
+		static := runGroupedPass(cfg, stream, GroupedSeriesStatic, g)
+		adaptive := runGroupedPass(cfg, stream, GroupedSeriesAdaptive, g)
+		if dense.ControlBitsPerCycle > 0 {
+			static.BandwidthRatio = static.ControlBitsPerCycle / dense.ControlBitsPerCycle
+			adaptive.BandwidthRatio = adaptive.ControlBitsPerCycle / dense.ControlBitsPerCycle
+		}
+		out = append(out, &GroupedPoint{
+			Groups: g,
+			Series: map[string]GroupedMetrics{
+				GroupedSeriesStatic:   static,
+				GroupedSeriesAdaptive: adaptive,
+				GroupedSeriesDense:    dense,
+			},
+		})
+		opt.Progress("grouped: g=%d static restart=%.4f (%.2e of dense bits) adaptive restart=%.4f (%.2e, %d regroups, churn %d)",
+			g, static.RestartRatio, static.BandwidthRatio,
+			adaptive.RestartRatio, adaptive.BandwidthRatio,
+			adaptive.Regroups, adaptive.RegroupChurn)
+	}
+	return out, nil
+}
+
+// GroupedTable renders the analysis as an aligned table.
+func GroupedTable(points []*GroupedPoint) string {
+	var b strings.Builder
+	b.WriteString("Grouped control bandwidth vs restart ratio (Section 3.2.2 at scale)\n")
+	fmt.Fprintf(&b, "%-9s%-19s%-21s%-13s%-11s%s\n",
+		"groups", "series", "ctrl bits/cycle", "of dense", "restart", "regroups(churn)")
+	for _, p := range points {
+		for _, lbl := range []string{GroupedSeriesDense, GroupedSeriesStatic, GroupedSeriesAdaptive} {
+			m := p.Series[lbl]
+			fmt.Fprintf(&b, "%-9d%-19s%-21.4g%-13s%-11.4f%s\n",
+				p.Groups, lbl, m.ControlBitsPerCycle,
+				fmt.Sprintf("%.3g", m.BandwidthRatio), m.RestartRatio,
+				fmt.Sprintf("%d(%d)", m.Regroups, m.RegroupChurn))
+		}
+	}
+	return b.String()
+}
+
+// GroupedBench converts the analysis to the shared BENCH_<id>.json
+// schema: x is the group count, restart_ratio carries over, and the
+// byte/churn accounting rides in each series' obs snapshot.
+func GroupedBench(points []*GroupedPoint) BenchExperiment {
+	out := BenchExperiment{
+		ID:     "grouped",
+		Title:  "Grouped control bandwidth vs restart ratio",
+		XLabel: "groups g",
+		Metric: "restart ratio",
+		Labels: []string{GroupedSeriesDense, GroupedSeriesStatic, GroupedSeriesAdaptive},
+	}
+	merged := obs.Snapshot{Counters: map[string]int64{}}
+	for _, p := range points {
+		bp := BenchPoint{X: float64(p.Groups), Series: map[string]BenchMetrics{}}
+		for _, lbl := range out.Labels {
+			m := p.Series[lbl]
+			snap := m.Obs
+			bp.Series[lbl] = BenchMetrics{
+				RestartRatio: finiteOrNil(m.RestartRatio),
+				Commits:      m.Commits,
+				Obs:          &snap,
+			}
+			merged = merged.Merge(snap)
+		}
+		out.Points = append(out.Points, bp)
+	}
+	out.Obs = &merged
+	return out
+}

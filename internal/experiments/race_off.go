@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled lets scale-sensitive tests shrink under `go test
+// -race`, where the full n = 10⁵ grouped replay is ~15× slower.
+const raceDetectorEnabled = false

@@ -89,10 +89,26 @@ type Options struct {
 	// RefreshEvery occurrences. Zero sends every column in full.
 	RefreshEvery int
 
+	// SparseGrouped switches grouped-layout servers to the sparse BCG1
+	// frame format: each object's MC row is encoded sparsely (or densely
+	// when that is smaller), and the partition travels only in
+	// partition-bearing frames — the first frame, every frame after a
+	// regroup epoch change, and every PartitionEvery cycles. Required
+	// when the server regroups (RegroupEvery > 0): only BCG1 can carry
+	// the resulting non-uniform partitions.
+	SparseGrouped bool
+
+	// PartitionEvery, when positive with SparseGrouped, re-embeds the
+	// partition every PartitionEvery cycles so late tuners can decode
+	// without waiting for a regroup. Zero embeds it only on the first
+	// frame and at epoch changes.
+	PartitionEvery int
+
 	// Obs receives the transmission metrics (netcast_full_bytes,
-	// netcast_delta_bytes, netcast_frames_sent, subscriber churn and
-	// the netcast_subscribers gauge). Nil uses the broadcast server's
-	// registry, so one process naturally has one registry.
+	// netcast_delta_bytes, netcast_grouped_bytes, netcast_frames_sent,
+	// subscriber churn and the netcast_subscribers gauge). Nil uses the
+	// broadcast server's registry, so one process naturally has one
+	// registry.
 	Obs *obs.Registry
 }
 
@@ -118,16 +134,23 @@ type Server struct {
 	prev   *bcast.CycleBroadcast
 	wg     sync.WaitGroup
 
+	// Sparse-grouped transmission state (Step only, not concurrent):
+	// which regroup epoch the last frame named, and whether any
+	// partition-bearing frame has gone out yet.
+	groupedEpoch uint64
+	sentPart     bool
+
 	// Transmission accounting (bytes of cycle payload, framing
 	// excluded) for the delta-bandwidth analysis, plus subscriber
 	// churn. Registry-backed so TransmittedBytes and /metrics can
 	// never disagree.
-	cFullBytes   *obs.Counter
-	cDeltaBytes  *obs.Counter
-	cFramesSent  *obs.Counter
-	cSubsAdded   *obs.Counter
-	cSubsDropped *obs.Counter
-	gSubs        *obs.Gauge
+	cFullBytes    *obs.Counter
+	cDeltaBytes   *obs.Counter
+	cGroupedBytes *obs.Counter
+	cFramesSent   *obs.Counter
+	cSubsAdded    *obs.Counter
+	cSubsDropped  *obs.Counter
+	gSubs         *obs.Gauge
 }
 
 // Serve starts listening on the two addresses (e.g. "127.0.0.1:0") and
@@ -151,6 +174,17 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	if prog != nil && opts.DeltaEvery > 0 {
 		return nil, errors.New("netcast: cycle-level deltas (DeltaEvery) do not apply to program mode; use RefreshEvery")
 	}
+	if opts.SparseGrouped {
+		if bsrv.Layout().Control != bcast.ControlGrouped {
+			return nil, errors.New("netcast: sparse grouped transmission requires the grouped layout")
+		}
+		if prog != nil {
+			return nil, errors.New("netcast: sparse grouped transmission does not apply to program mode")
+		}
+	}
+	if bsrv.RegroupEvery() > 0 && !opts.SparseGrouped {
+		return nil, errors.New("netcast: a regrouping server needs SparseGrouped (the dense grouped format assumes the uniform partition)")
+	}
 	if opts.RefreshEvery > 0 && prog == nil {
 		return nil, errors.New("netcast: RefreshEvery requires a server with a broadcast program")
 	}
@@ -170,6 +204,7 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	}
 	s.cFullBytes = reg.Counter("netcast_full_bytes")
 	s.cDeltaBytes = reg.Counter("netcast_delta_bytes")
+	s.cGroupedBytes = reg.Counter("netcast_grouped_bytes")
 	s.cFramesSent = reg.Counter("netcast_frames_sent")
 	s.cSubsAdded = reg.Counter("netcast_subs_added")
 	s.cSubsDropped = reg.Counter("netcast_subs_dropped")
@@ -214,22 +249,37 @@ func (s *Server) Step() (int, error) {
 	}
 	var data []byte
 	var err error
-	var isDelta bool
+	var isDelta, isGrouped bool
 	s.mu.Lock()
 	prev := s.prev
 	s.mu.Unlock()
-	if s.opts.DeltaEvery > 0 && prev != nil && cb.Number%cmatrix.Cycle(s.opts.DeltaEvery) != 0 {
+	switch {
+	case s.opts.SparseGrouped:
+		// The epoch is stable between StartCycle calls, so reading it
+		// after StartCycle pairs it with cb's partition.
+		epoch := s.bsrv.RegroupEpoch()
+		withPart := !s.sentPart || epoch != s.groupedEpoch ||
+			(s.opts.PartitionEvery > 0 && cb.Number%cmatrix.Cycle(s.opts.PartitionEvery) == 0)
+		data, err = wire.EncodeGroupedCycle(cb, epoch, withPart)
+		if err == nil {
+			s.groupedEpoch, s.sentPart = epoch, true
+		}
+		isGrouped = true
+	case s.opts.DeltaEvery > 0 && prev != nil && cb.Number%cmatrix.Cycle(s.opts.DeltaEvery) != 0:
 		data, err = wire.EncodeCycleDelta(prev, cb)
 		isDelta = true
-	} else {
+	default:
 		data, err = wire.EncodeCycle(cb)
 	}
 	if err != nil {
 		return 0, err
 	}
-	if isDelta {
+	switch {
+	case isGrouped:
+		s.cGroupedBytes.Add(int64(len(data)))
+	case isDelta:
 		s.cDeltaBytes.Add(int64(len(data)))
-	} else {
+	default:
 		s.cFullBytes.Add(int64(len(data)))
 	}
 	s.cFramesSent.Inc()
@@ -388,6 +438,8 @@ func (t *Tuner) loop() {
 	defer close(t.done)
 	defer t.medium.Close()
 	var last *bcast.CycleBroadcast
+	var lastPart *cmatrix.Partition // partition held for partition-less grouped frames
+	var lastEpoch uint64
 	for {
 		frame, err := readFrame(t.conn)
 		if err != nil {
@@ -407,6 +459,18 @@ func (t *Tuner) loop() {
 			if cb != nil {
 				t.medium.Publish(cb)
 			}
+			continue
+		}
+		if wire.IsGroupedFrame(frame) {
+			cb, epoch, err := wire.DecodeGroupedCycle(frame, lastPart, lastEpoch)
+			if err != nil {
+				// Tuned in mid-stream, or the partition moved while a frame
+				// was lost: wait for the next partition-bearing frame.
+				lastPart = nil
+				continue
+			}
+			lastPart, lastEpoch = cb.Grouped.Part(), epoch
+			t.medium.Publish(cb)
 			continue
 		}
 		var cb *bcast.CycleBroadcast

@@ -273,6 +273,121 @@ func TestDeltaModeOverTCP(t *testing.T) {
 	}
 }
 
+// TestSparseGroupedOverTCP runs a heat-regrouping grouped server over
+// the sparse BCG1 stream: a from-the-start tuner must decode every
+// cycle across regroup epochs, and a late tuner must resynchronize on
+// the next partition-bearing frame.
+func TestSparseGroupedOverTCP(t *testing.T) {
+	bsrv, err := server.New(server.Config{
+		Objects: 8, ObjectBits: 64, Algorithm: protocol.Grouped, Groups: 4,
+		RegroupEvery: 3, Audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	ns, err := ServeOptions(bsrv, "127.0.0.1:0", "127.0.0.1:0", Options{SparseGrouped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	tuner, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	sub := tuner.Subscribe(64)
+	awaitSubscribers(t, ns, 1)
+
+	// Skewed commits so regrouping actually moves the partition.
+	for c := 1; c <= 9; c++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+		up := bsrv.Begin()
+		up.Read(7)
+		if err := up.Write(c%2, []byte{byte(c)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := up.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for c := 1; c <= 9; c++ {
+		select {
+		case cb := <-sub.C:
+			if int(cb.Number) != c {
+				t.Fatalf("cycle %d, want %d", cb.Number, c)
+			}
+			if cb.Grouped == nil {
+				t.Fatalf("cycle %d arrived without a grouped matrix", c)
+			}
+		case <-deadline:
+			t.Fatalf("cycle %d never arrived", c)
+		}
+	}
+	if bsrv.RegroupEpoch() == 0 {
+		t.Fatal("server never regrouped under a skewed commit stream")
+	}
+	if bsrv.Obs().Counter("server_regroup_churn").Load() == 0 {
+		t.Fatal("regroup churn counter never moved")
+	}
+	if ns.cGroupedBytes.Load() == 0 || ns.cFullBytes.Load() != 0 {
+		t.Fatalf("grouped stream miscounted: grouped=%d full=%d",
+			ns.cGroupedBytes.Load(), ns.cFullBytes.Load())
+	}
+
+	// A late tuner's first frames are partition-less (the partition went
+	// out before it connected); it must stay silent until the next
+	// regroup epoch ships the partition, then decode.
+	late, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	lateSub := late.Subscribe(64)
+	awaitSubscribers(t, ns, 2)
+	for c := 10; c <= 18; c++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+		up := bsrv.Begin()
+		up.Read(c % 8)
+		if err := up.Write(7-c%2, []byte{byte(c)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := up.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case cb := <-lateSub.C:
+		if cb.Grouped == nil || cb.Number < 10 {
+			t.Fatalf("late tuner decoded cycle %d", cb.Number)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late tuner never resynchronized on a partition-bearing frame")
+	}
+}
+
+func TestServeRejectsRegroupWithoutSparse(t *testing.T) {
+	bsrv, err := server.New(server.Config{
+		Objects: 4, ObjectBits: 64, Algorithm: protocol.Grouped, Groups: 2, RegroupEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	if _, err := Serve(bsrv, "127.0.0.1:0", "127.0.0.1:0"); err == nil {
+		t.Fatal("a regrouping server must require SparseGrouped")
+	}
+	if _, err := ServeOptions(bsrv, "127.0.0.1:0", "127.0.0.1:0", Options{SparseGrouped: true, DeltaEvery: 2}); err == nil {
+		t.Fatal("DeltaEvery on a grouped layout should fail")
+	}
+}
+
 func TestServeOptionsRejectsDeltaOnVector(t *testing.T) {
 	bsrv, err := server.New(server.Config{Objects: 2, ObjectBits: 64, Algorithm: protocol.RMatrix})
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/wire"
 )
 
 // Errors returned by transaction processing.
@@ -61,11 +62,24 @@ type Config struct {
 	// a mid-cycle re-broadcast is identical to the first copy). The
 	// program's layout must equal the server's.
 	Program *airsched.Program
+	// RegroupEvery, when > 0 under protocol.Grouped, re-derives the
+	// partition from the write-heat EWMA every RegroupEvery cycles (a
+	// deterministic regroup epoch at the start of cycles 1+k·RegroupEvery):
+	// hot objects get fine groups, cold objects coarse ones (see
+	// cmatrix.HeatPartition). Regrouping produces non-uniform partitions,
+	// which only the sparse BCG1 wire format can carry, so it is
+	// incompatible with Program (program-mode buckets assume the uniform
+	// partition).
+	RegroupEvery int
+	// HeatAlpha is the EWMA decay for the regrouping heat estimator
+	// (default 0.1; only used when RegroupEvery > 0).
+	HeatAlpha float64
 	// Obs receives the server's metrics (server_cycles, server_commits,
 	// server_conflict_aborts, server_uplink_requests,
 	// server_control_cols_rewritten, server_commits_per_cycle,
-	// server_verify_ns). Nil uses a private registry; Stats() works
-	// either way as a view over it.
+	// server_control_bytes, server_regroup_churn, server_verify_ns).
+	// Nil uses a private registry; Stats() works either way as a view
+	// over it.
 	Obs *obs.Registry
 	// Trace, when non-nil, receives cycle-clock events (cycle start,
 	// snapshot publish, uplink verdicts) stamped with the broadcast
@@ -101,12 +115,23 @@ type Server struct {
 	committed [][]byte        // latest committed value per object
 	version   []int64         // per-object commit sequence number
 	lastCycle []cmatrix.Cycle // per-object cycle of last committed write (the exact V)
-	matrix    *cmatrix.Matrix
-	vector    *cmatrix.Vector
+	// control is the representation the configured protocol maintains:
+	// *cmatrix.DenseControl (F-Matrix, F-Matrix-No), *cmatrix.VectorControl
+	// (R-Matrix, Datacycle), or *cmatrix.GroupedControl (Grouped).
+	control cmatrix.Control
+	heat    *airsched.EWMA // write-heat estimate driving regrouping (nil unless RegroupEvery > 0)
 
-	cycle  cmatrix.Cycle // cycle currently on the air; 0 before the first broadcast
-	closed bool
-	audit  []cmatrix.Commit
+	cycle         cmatrix.Cycle // cycle currently on the air; 0 before the first broadcast
+	regroupEpoch  uint64        // bumped on every partition change
+	shipPartition bool          // next grouped frame should embed the partition
+	closed        bool
+	audit         []cmatrix.Commit
+	// Incremental verification state (Audit only): rb tracks the
+	// definition-based rebuild of the audited prefix; verifyAllGroups
+	// forces the next grouped verification to recheck every MC column
+	// (set at start and after regroups).
+	rb              *cmatrix.LogRebuilder
+	verifyAllGroups bool
 
 	// Observability. Counters are resolved once at New so the commit
 	// and cycle hot paths are single atomic adds; trace may be nil
@@ -118,6 +143,8 @@ type Server struct {
 	cAborts        *obs.Counter
 	cUplink        *obs.Counter
 	cColsRewritten *obs.Counter
+	cControlBytes  *obs.Counter
+	cRegroupChurn  *obs.Counter
 	hCommitsCycle  *obs.Histogram
 	hVerifyNs      *obs.Histogram
 	cVerifyFail    *obs.Counter
@@ -137,18 +164,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Program != nil && cfg.Program.Layout() != layout {
 		return nil, fmt.Errorf("server: program layout %+v does not match server layout %+v", cfg.Program.Layout(), layout)
 	}
-	s := &Server{
-		cfg:       cfg,
-		layout:    layout,
-		medium:    bcast.NewMedium(),
-		committed: make([][]byte, cfg.Objects),
-		version:   make([]int64, cfg.Objects),
-		lastCycle: make([]cmatrix.Cycle, cfg.Objects),
-		matrix:    cmatrix.NewMatrix(cfg.Objects),
-		vector:    cmatrix.NewVector(cfg.Objects),
+	if cfg.RegroupEvery > 0 {
+		if cfg.Algorithm != protocol.Grouped {
+			return nil, fmt.Errorf("server: RegroupEvery requires the grouped protocol, got %v", cfg.Algorithm)
+		}
+		if cfg.Program != nil {
+			return nil, errors.New("server: RegroupEvery is incompatible with Program (buckets assume the uniform partition)")
+		}
 	}
-	if cfg.Algorithm == protocol.Grouped {
+	if cfg.HeatAlpha == 0 {
+		cfg.HeatAlpha = 0.1
+	}
+	s := &Server{
+		cfg:             cfg,
+		layout:          layout,
+		medium:          bcast.NewMedium(),
+		committed:       make([][]byte, cfg.Objects),
+		version:         make([]int64, cfg.Objects),
+		lastCycle:       make([]cmatrix.Cycle, cfg.Objects),
+		verifyAllGroups: true,
+	}
+	switch layout.Control {
+	case bcast.ControlGrouped:
 		s.partition = cmatrix.UniformPartition(cfg.Objects, cfg.Groups)
+		s.control = cmatrix.NewGroupedControl(s.partition)
+		if cfg.RegroupEvery > 0 {
+			heat, err := airsched.NewEWMA(cfg.Objects, cfg.HeatAlpha)
+			if err != nil {
+				return nil, err
+			}
+			s.heat = heat
+		}
+	case bcast.ControlVector:
+		s.control = cmatrix.NewVectorControl(cfg.Objects)
+	default: // ControlMatrix and ControlNone both serve the full matrix
+		s.control = cmatrix.NewDenseControl(cfg.Objects)
 	}
 	s.obs = cfg.Obs
 	if s.obs == nil {
@@ -160,6 +210,8 @@ func New(cfg Config) (*Server, error) {
 	s.cAborts = s.obs.Counter("server_conflict_aborts")
 	s.cUplink = s.obs.Counter("server_uplink_requests")
 	s.cColsRewritten = s.obs.Counter("server_control_cols_rewritten")
+	s.cControlBytes = s.obs.Counter("server_control_bytes")
+	s.cRegroupChurn = s.obs.Counter("server_regroup_churn")
 	s.cVerifyFail = s.obs.Counter("server_verify_failures")
 	s.hCommitsCycle = s.obs.Histogram("server_commits_per_cycle", obs.LinearBuckets(0, 1, 16))
 	s.hVerifyNs = s.obs.Histogram("server_verify_ns", obs.Pow2Buckets(10, 20))
@@ -215,41 +267,112 @@ func (s *Server) AuditLog() []cmatrix.Commit {
 }
 
 // VerifyControl cross-checks the incrementally maintained control
-// information against a from-scratch rebuild out of the audit log: the
-// C matrix must equal cmatrix.FromLog over the committed update log
-// (Theorem 2), and each vector entry must equal the last committed
-// write cycle of its object. It requires Config.Audit and exists for
-// the conformance harness and differential tests; cost is O(|log| × n)
-// per call.
+// information against a definition-based rebuild out of the audit log:
+// the C matrix (or exact C behind the grouped MC) must equal the
+// cmatrix.FromLog reconstruction (Theorem 2), grouped MC columns must
+// equal the projection max_{j∈s} C(i,j), and vector entries and
+// lastCycle must equal the last committed write cycle per object. It
+// requires Config.Audit.
+//
+// Verification is incremental: a LogRebuilder folds in only the audit
+// suffix committed since the previous call and reports which columns it
+// recomputed, so each call costs O(changed-columns × n) instead of
+// re-deriving the whole O(|log| × n) history — earlier calls vouch for
+// the unchanged columns. Grouped MC is rechecked for the groups those
+// columns fall in (all groups on the first call and after a regroup).
 func (s *Server) VerifyControl() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.cfg.Audit {
 		return errors.New("server: VerifyControl requires Config.Audit")
 	}
-	rebuilt := cmatrix.FromLog(s.cfg.Objects, s.audit)
-	if !s.matrix.Equal(rebuilt) {
-		i, j, _ := s.matrix.Diff(rebuilt)
-		return fmt.Errorf("server: incremental C(%d,%d) = %d but from-scratch rebuild says %d after %d commits (Theorem 2 violated)",
-			i, j, s.matrix.At(i, j), rebuilt.At(i, j), len(s.audit))
+	if s.rb == nil {
+		s.rb = cmatrix.NewLogRebuilder(s.cfg.Objects)
 	}
-	lastWrite := make([]cmatrix.Cycle, s.cfg.Objects)
-	for _, c := range s.audit {
-		for _, j := range c.WriteSet {
-			if c.Cycle > lastWrite[j] {
-				lastWrite[j] = c.Cycle
+	changed := s.rb.Extend(s.audit[s.rb.Len():])
+	want := s.rb.Matrix()
+	switch c := s.control.(type) {
+	case *cmatrix.DenseControl:
+		if i, j, bad := c.Matrix().DiffCols(want, changed); bad {
+			return fmt.Errorf("server: incremental C(%d,%d) = %d but from-scratch rebuild says %d after %d commits (Theorem 2 violated)",
+				i, j, c.Matrix().At(i, j), want.At(i, j), len(s.audit))
+		}
+	case *cmatrix.VectorControl:
+		for _, j := range changed {
+			if got := c.Vector().At(j); got != s.rb.LastWrite(j) {
+				return fmt.Errorf("server: incremental V(%d) = %d but from-scratch rebuild says %d after %d commits",
+					j, got, s.rb.LastWrite(j), len(s.audit))
+			}
+		}
+	case *cmatrix.GroupedControl:
+		if err := s.verifyGroupedLocked(c, changed); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("server: no verification for control representation %T", c)
+	}
+	for _, j := range changed {
+		if s.lastCycle[j] != s.rb.LastWrite(j) {
+			return fmt.Errorf("server: lastCycle[%d] = %d but audit log says %d", j, s.lastCycle[j], s.rb.LastWrite(j))
+		}
+	}
+	return nil
+}
+
+// verifyGroupedLocked checks the grouped control state against the
+// rebuilder: the exact C over the changed columns, then the MC columns
+// of every group a changed column falls in (or all groups when the
+// partition moved) against the projection of the rebuilt matrix.
+func (s *Server) verifyGroupedLocked(c *cmatrix.GroupedControl, changed []int) error {
+	want := s.rb.Matrix()
+	for _, j := range changed {
+		for i := 0; i < s.cfg.Objects; i++ {
+			if got := c.At(i, j); got != want.At(i, j) {
+				return fmt.Errorf("server: grouped exact C(%d,%d) = %d but from-scratch rebuild says %d after %d commits (Theorem 2 violated)",
+					i, j, got, want.At(i, j), len(s.audit))
 			}
 		}
 	}
-	for j := 0; j < s.cfg.Objects; j++ {
-		if got := s.vector.At(j); got != lastWrite[j] {
-			return fmt.Errorf("server: incremental V(%d) = %d but from-scratch rebuild says %d after %d commits",
-				j, got, lastWrite[j], len(s.audit))
+	part := c.Part()
+	recheck := make(map[int]bool)
+	if s.verifyAllGroups {
+		for g := 0; g < part.Groups(); g++ {
+			recheck[g] = true
 		}
-		if s.lastCycle[j] != lastWrite[j] {
-			return fmt.Errorf("server: lastCycle[%d] = %d but audit log says %d", j, s.lastCycle[j], lastWrite[j])
+	} else {
+		for _, j := range changed {
+			recheck[part.GroupOf(j)] = true
 		}
 	}
+	if len(recheck) > 0 {
+		// Project the rebuilt matrix through the partition, group by
+		// group: mc[i] = max over the group's members of C(i, j).
+		members := make(map[int][]int)
+		for j := 0; j < s.cfg.Objects; j++ {
+			if g := part.GroupOf(j); recheck[g] {
+				members[g] = append(members[g], j)
+			}
+		}
+		mc := make([]cmatrix.Cycle, s.cfg.Objects)
+		for g := range recheck { // empty groups must still read all-zero
+			objs := members[g]
+			clear(mc)
+			for _, j := range objs {
+				for i := range mc {
+					if v := want.At(i, j); v > mc[i] {
+						mc[i] = v
+					}
+				}
+			}
+			for i, v := range mc {
+				if got := c.MC(i, g); got != v {
+					return fmt.Errorf("server: grouped MC(%d,%d) = %d but the projection of the rebuilt C says %d after %d commits",
+						i, g, got, v, len(s.audit))
+				}
+			}
+		}
+	}
+	s.verifyAllGroups = false
 	return nil
 }
 
@@ -281,6 +404,9 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 	s.hCommitsCycle.Observe(s.cycleCommits)
 	s.trace.Emit(obs.EvCycleStart, obs.ActorServer, int64(s.cycle), 0, s.cycleCommits)
 	s.cycleCommits = 0
+	if s.heat != nil && s.cycle > 1 && (int(s.cycle)-1)%s.cfg.RegroupEvery == 0 {
+		s.regroupLocked()
+	}
 	cb := &bcast.CycleBroadcast{
 		Number: s.cycle,
 		Layout: s.layout,
@@ -293,17 +419,18 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 	for i, v := range s.committed {
 		cb.Values[i] = append([]byte(nil), v...)
 	}
-	switch s.layout.Control {
-	case bcast.ControlMatrix, bcast.ControlNone:
+	switch c := s.control.(type) {
+	case *cmatrix.DenseControl:
 		// Copy-on-write: the published snapshot shares columns with the
 		// live matrix; commitLocked's Apply replaces (never mutates)
 		// shared columns, so subscribers read a stable cycle image.
-		cb.Matrix = s.matrix.Snapshot()
-	case bcast.ControlVector:
-		cb.Vector = s.vector.Clone()
-	case bcast.ControlGrouped:
-		cb.Grouped = cmatrix.GroupedOf(s.matrix, s.partition)
+		cb.Matrix = c.Matrix().Snapshot()
+	case *cmatrix.VectorControl:
+		cb.Vector = c.Vector().Clone()
+	case *cmatrix.GroupedControl:
+		cb.Grouped = c.Grouped()
 	}
+	s.cControlBytes.Add(s.controlBytesLocked(cb))
 	s.trace.Emit(obs.EvSnapshotPublish, obs.ActorServer, int64(s.cycle), 0, controlFingerprint(cb))
 	verify := s.cfg.VerifySample > 0 && s.cfg.Audit && int64(s.cycle)%int64(s.cfg.VerifySample) == 0
 	s.mu.Unlock()
@@ -360,6 +487,58 @@ func controlFingerprint(cb *bcast.CycleBroadcast) int64 {
 	return int64(h)
 }
 
+// regroupLocked re-derives the partition from the write-heat estimate
+// at a deterministic regroup epoch. Callers hold mu; the server must be
+// running the grouped protocol with RegroupEvery > 0.
+func (s *Server) regroupLocked() {
+	c := s.control.(*cmatrix.GroupedControl)
+	np := cmatrix.HeatPartition(s.heat.Weights(), s.cfg.Groups)
+	if np.Equal(s.partition) {
+		return // identical grouping: keep the epoch, spare clients a resync
+	}
+	churn := c.Regroup(np)
+	s.partition = np
+	s.regroupEpoch++
+	s.shipPartition = true
+	s.verifyAllGroups = true
+	s.cRegroupChurn.Add(int64(churn))
+	s.trace.Emit(obs.EvCycleStart, obs.ActorServer, int64(s.cycle), 1, int64(churn))
+}
+
+// controlBytesLocked accounts the control-plane bytes this cycle puts
+// on the air: the analytic layout cost for the dense and vector
+// formats, and the exact BCG1 frame size (value slots excluded) for the
+// grouped format — partition included only on the first cycle and after
+// regroups, mirroring the netcast policy. Callers hold mu.
+func (s *Server) controlBytesLocked(cb *bcast.CycleBroadcast) int64 {
+	if cb.Grouped != nil {
+		withPart := s.shipPartition || s.cycle == 1
+		s.shipPartition = false
+		return (wire.GroupedCycleBits(cb.Grouped, 0, s.layout.TimestampBits, withPart) + 7) / 8
+	}
+	return (s.layout.ControlBitsPerObject()*int64(s.layout.Objects) + 7) / 8
+}
+
+// Partition reports the grouping in force (nil unless grouped).
+func (s *Server) Partition() *cmatrix.Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partition
+}
+
+// RegroupEvery reports the configured regroup interval (0 = static
+// partition).
+func (s *Server) RegroupEvery() int { return s.cfg.RegroupEvery }
+
+// RegroupEpoch reports the current regroup epoch: 0 at start, bumped
+// whenever the partition changes. Epochs only move inside StartCycle,
+// so the value read after a StartCycle matches the cycle it returned.
+func (s *Server) RegroupEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regroupEpoch
+}
+
 // commitLocked installs a validated update transaction. Callers hold mu.
 func (s *Server) commitLocked(readSet []int, writeSet []int, values map[int][]byte) {
 	commitCycle := s.cycle
@@ -368,8 +547,10 @@ func (s *Server) commitLocked(readSet []int, writeSet []int, values map[int][]by
 		s.version[obj]++
 		s.lastCycle[obj] = commitCycle
 	}
-	s.matrix.Apply(readSet, writeSet, commitCycle)
-	s.vector.Apply(writeSet, commitCycle)
+	s.control.Apply(readSet, writeSet, commitCycle)
+	if s.heat != nil {
+		s.heat.Observe(writeSet)
+	}
 	s.cCommits.Inc()
 	s.cycleCommits++
 	// Matrix churn: Apply replaces one column per distinct written

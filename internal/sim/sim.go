@@ -155,8 +155,9 @@ type engine struct {
 	faults *faultair.Schedule
 
 	// Server state.
-	matrix         *cmatrix.Matrix // F-Matrix, F-Matrix-No, Grouped
-	vector         *cmatrix.Vector // R-Matrix, Datacycle
+	matrix         *cmatrix.Matrix         // F-Matrix, F-Matrix-No
+	vector         *cmatrix.Vector         // R-Matrix, Datacycle
+	grouped        *cmatrix.GroupedControl // Grouped: incremental MC, O(g) snapshots
 	partition      *cmatrix.Partition
 	lastWrite      []cmatrix.Cycle // per-object last committed-write cycle
 	nextCommitTime float64
@@ -279,8 +280,8 @@ func newEngine(cfg Config) (*engine, error) {
 	case protocol.FMatrix, protocol.FMatrixNo:
 		e.matrix = cmatrix.NewMatrix(cfg.Objects)
 	case protocol.Grouped:
-		e.matrix = cmatrix.NewMatrix(cfg.Objects)
 		e.partition = cmatrix.UniformPartition(cfg.Objects, cfg.Groups)
+		e.grouped = cmatrix.NewGroupedControl(e.partition)
 	default:
 		e.vector = cmatrix.NewVector(cfg.Objects)
 	}
@@ -367,6 +368,9 @@ func (e *engine) install(readSet, writeSet []int, commitCycle cmatrix.Cycle) {
 	if e.matrix != nil {
 		e.matrix.Apply(readSet, writeSet, commitCycle)
 	}
+	if e.grouped != nil {
+		e.grouped.Apply(readSet, writeSet, commitCycle)
+	}
 	if e.vector != nil {
 		e.vector.Apply(writeSet, commitCycle)
 	}
@@ -414,7 +418,7 @@ func (e *engine) snapshot() protocol.Snapshot {
 	case protocol.FMatrix, protocol.FMatrixNo:
 		return protocol.MatrixSnapshot{C: e.matrix.Snapshot()}
 	case protocol.Grouped:
-		return protocol.GroupedSnapshot{MC: cmatrix.GroupedOf(e.matrix, e.partition)}
+		return protocol.GroupedSnapshot{MC: e.grouped.Grouped()}
 	default:
 		return protocol.VectorSnapshot{V: e.vector.Clone()}
 	}

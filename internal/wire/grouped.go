@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+)
+
+// Grouped frames carry the n×g grouped control matrix MC in a sparse,
+// partition-aware encoding. The dense BCC1 grouped path costs n·g·TS
+// bits per cycle regardless of how much of MC is actually populated;
+// at n ≥ 10⁵ with fine grouping, MC is overwhelmingly zero (most
+// objects were never written by a live transaction) and the control
+// bandwidth should scale with the nonzero structure instead. BCG1
+// encodes each object's MC row either sparsely — a count plus
+// (group, timestamp) pairs for the nonzero entries — or densely,
+// whichever is smaller for that row.
+//
+// Unlike BCC1's grouped path, the partition is not assumed uniform:
+// heat-adaptive regrouping ships the assignment explicitly. Carrying
+// n·ceil(log2 g) bits of partition in every cycle would wipe out the
+// sparse win, so frames come in two kinds, distinguished by a flag:
+// partition-bearing frames (sent at regroup epochs and periodically for
+// late joiners) embed the full assignment; partition-less frames name
+// only the epoch, and a client must hold the partition from that epoch
+// to decode — one that tuned in late waits for the next
+// partition-bearing frame, exactly like a delta-frame resync.
+//
+// Layout (big-endian header, then bit-packed, MSB first):
+//
+//	magic     4 bytes  "BCG1"
+//	flags     1 byte   bit0 = frame embeds the partition
+//	cycle     8 bytes  cycle number (unwrapped, for framing)
+//	epoch     8 bytes  regroup epoch the partition belongs to
+//	objects   4 bytes  n
+//	objBytes  4 bytes  bytes per object value slot
+//	tsBits    1 byte   timestamp width
+//	groups    4 bytes  g
+//	[partition: n group ids at ceil(log2 g) bits, byte-aligned after]
+//	then, per object i in id order:
+//	  value   objBytes bytes
+//	  mode    1 bit: 1 = sparse row, 0 = dense row
+//	  sparse: count at ceil(log2 (g+1)) bits, then count pairs of
+//	          group id (ceil(log2 g) bits, strictly ascending) and
+//	          wrapped timestamp (tsBits, decoding to a positive cycle)
+//	  dense:  g wrapped timestamps at tsBits
+//	  (padded to a byte boundary per object)
+//
+// Omitted sparse entries decode as the literal cycle 0 (the virtual
+// transaction t0): zero entries never wrap, so sparseness loses no
+// information. Dense mode has no such escape — raw 0 means the newest
+// cycle ≡ 0 mod 2^tsBits once the cycle number passes the codec
+// window, not "never written" — so the encoder uses dense mode only
+// for rows with an entry in every group (where it is also strictly
+// smaller). Nonzero timestamps alias upward when older than the codec
+// window, the same conservativeness as the dense formats.
+
+// GroupedMagic identifies a grouped cycle frame.
+var GroupedMagic = [4]byte{'B', 'C', 'G', '1'}
+
+const groupedHeaderBytes = 4 + 1 + 8 + 8 + 4 + 4 + 1 + 4
+
+const groupedFlagPartition = 0x01
+
+// countBits reports the width of a sparse row's entry count, which
+// ranges over [0, g] inclusive.
+func countBits(g int) int { return bits.Len(uint(g)) }
+
+// IsGroupedFrame reports whether data starts with the grouped magic.
+func IsGroupedFrame(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[0:4]) == GroupedMagic
+}
+
+// EncodeGroupedCycle serializes a broadcast cycle under the grouped
+// layout. epoch names the regroup epoch of cb.Grouped's partition;
+// includePartition embeds the assignment so cold-start clients (and
+// clients that missed a regroup) can decode.
+func EncodeGroupedCycle(cb *bcast.CycleBroadcast, epoch uint64, includePartition bool) ([]byte, error) {
+	l := cb.Layout
+	if l.Control != bcast.ControlGrouped {
+		return nil, fmt.Errorf("wire: grouped frames require the grouped layout, got %v", l.Control)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if cb.Grouped == nil {
+		return nil, fmt.Errorf("wire: grouped layout without grouped matrix")
+	}
+	part := cb.Grouped.Part()
+	if part.N() != l.Objects || part.Groups() != l.Groups {
+		return nil, fmt.Errorf("wire: partition is %d×%d but layout says %d×%d",
+			part.N(), part.Groups(), l.Objects, l.Groups)
+	}
+	if len(cb.Values) != l.Objects {
+		return nil, fmt.Errorf("wire: %d values for %d objects", len(cb.Values), l.Objects)
+	}
+	objBytes := int((l.ObjectBits + 7) / 8)
+
+	w := NewBitWriter()
+	var hdr [groupedHeaderBytes]byte
+	copy(hdr[0:4], GroupedMagic[:])
+	if includePartition {
+		hdr[4] = groupedFlagPartition
+	}
+	binary.BigEndian.PutUint64(hdr[5:13], uint64(cb.Number))
+	binary.BigEndian.PutUint64(hdr[13:21], epoch)
+	binary.BigEndian.PutUint32(hdr[21:25], uint32(l.Objects))
+	binary.BigEndian.PutUint32(hdr[25:29], uint32(objBytes))
+	hdr[29] = byte(l.TimestampBits)
+	binary.BigEndian.PutUint32(hdr[30:34], uint32(l.Groups))
+	w.WriteBytes(hdr[:])
+
+	ib := indexBits(l.Groups)
+	if includePartition {
+		for j := 0; j < l.Objects; j++ {
+			w.WriteBits(uint64(part.GroupOf(j)), ib)
+		}
+		w.Align()
+	}
+
+	codec := cmatrix.Codec{Bits: l.TimestampBits}
+	cw := countBits(l.Groups)
+	rows := cb.Grouped.SparseRows()
+	for i := 0; i < l.Objects; i++ {
+		v := cb.Values[i]
+		if len(v) > objBytes {
+			return nil, fmt.Errorf("wire: object %d value is %d bytes, slot holds %d", i, len(v), objBytes)
+		}
+		slot := make([]byte, objBytes)
+		copy(slot, v)
+		w.WriteBytes(slot)
+		row := rows[i]
+		// A dense row cannot represent a zero (never-written) entry once
+		// the cycle number passes the codec window: Encode(0) is raw 0,
+		// which decodes to the newest cycle ≡ 0 mod 2^TS, not back to 0.
+		// Rows with zero entries therefore always go sparse; full rows go
+		// dense, which is strictly smaller for them (the sparse form pays
+		// cw + g·ib extra bits) and wraps only upward, conservatively.
+		if len(row) < l.Groups {
+			w.WriteBits(1, 1)
+			w.WriteBits(uint64(len(row)), cw)
+			for _, e := range row {
+				w.WriteBits(uint64(e.Group), ib)
+				w.WriteBits(uint64(codec.Encode(e.Val)), l.TimestampBits)
+			}
+		} else {
+			w.WriteBits(0, 1)
+			k := 0
+			for s := 0; s < l.Groups; s++ {
+				var val cmatrix.Cycle
+				if k < len(row) && row[k].Group == s {
+					val = row[k].Val
+					k++
+				}
+				w.WriteBits(uint64(codec.Encode(val)), l.TimestampBits)
+			}
+		}
+		w.Align()
+	}
+	return w.Bytes(), nil
+}
+
+// GroupedCycleBits reports the exact size in bits of the BCG1 frame
+// EncodeGroupedCycle would produce, without allocating it — the
+// server's control-bandwidth accounting and the bandwidth experiments
+// call this every cycle. O(n + nonzeros).
+func GroupedCycleBits(g *cmatrix.Grouped, objBytes, tsBits int, includePartition bool) int64 {
+	n, groups := g.N(), g.Groups()
+	ib := indexBits(groups)
+	cw := countBits(groups)
+	align8 := func(b int64) int64 { return (b + 7) / 8 * 8 }
+	total := int64(groupedHeaderBytes) * 8
+	if includePartition {
+		total += align8(int64(n) * int64(ib))
+	}
+	denseBits := int64(groups) * int64(tsBits)
+	for _, row := range g.SparseRows() {
+		body := int64(cw) + int64(len(row))*int64(ib+tsBits)
+		if len(row) == groups {
+			body = denseBits
+		}
+		total += int64(objBytes)*8 + align8(1+body)
+	}
+	return total
+}
+
+// DecodeGroupedCycle reconstructs a grouped broadcast cycle. For a
+// partition-less frame the caller supplies the partition it holds and
+// the epoch it came from; a mismatch (or nil) means the client must
+// wait for the next partition-bearing frame, reported as an error. The
+// returned epoch tells the caller which epoch to associate with the
+// frame's partition.
+func DecodeGroupedCycle(data []byte, prevPart *cmatrix.Partition, prevEpoch uint64) (cb *bcast.CycleBroadcast, epoch uint64, err error) {
+	if len(data) < groupedHeaderBytes {
+		return nil, 0, ErrShortBuffer
+	}
+	if !IsGroupedFrame(data) {
+		return nil, 0, fmt.Errorf("wire: bad grouped magic %q", data[0:4])
+	}
+	flags := data[4]
+	if flags&^byte(groupedFlagPartition) != 0 {
+		return nil, 0, fmt.Errorf("wire: unknown grouped flags %#x", flags)
+	}
+	hasPart := flags&groupedFlagPartition != 0
+	number := cmatrix.Cycle(binary.BigEndian.Uint64(data[5:13]))
+	epoch = binary.BigEndian.Uint64(data[13:21])
+	objects := int(binary.BigEndian.Uint32(data[21:25]))
+	objBytes := int(binary.BigEndian.Uint32(data[25:29]))
+	tsBits := int(data[29])
+	groups := int(binary.BigEndian.Uint32(data[30:34]))
+
+	layout := bcast.Layout{
+		Objects:       objects,
+		ObjectBits:    int64(objBytes) * 8,
+		TimestampBits: tsBits,
+		Control:       bcast.ControlGrouped,
+		Groups:        groups,
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("wire: decoded layout invalid: %w", err)
+	}
+	if number < 1 {
+		return nil, 0, fmt.Errorf("wire: bad cycle number %d", number)
+	}
+	// Every object costs at least its value slot plus one aligned byte of
+	// control (mode bit + count); rejecting shorter frames up front bounds
+	// the allocations a torn frame can induce. The per-object bound is
+	// checked by division — objects and objBytes are attacker-controlled
+	// uint32s, so their product can overflow int64 and sign-flip past a
+	// multiplicative guard.
+	ib := indexBits(groups)
+	partBytes := int64(0)
+	if hasPart {
+		partBytes = (int64(objects)*int64(ib) + 7) / 8
+	}
+	avail := int64(len(data)) - int64(groupedHeaderBytes) - partBytes
+	if avail < 0 || int64(objects) > avail/int64(objBytes+1) {
+		return nil, 0, ErrShortBuffer
+	}
+
+	r := NewBitReader(data[groupedHeaderBytes:])
+	var part *cmatrix.Partition
+	if hasPart {
+		of := make([]int, objects)
+		for j := range of {
+			id, err := r.ReadBits(ib)
+			if err != nil {
+				return nil, 0, err
+			}
+			if int(id) >= groups {
+				return nil, 0, fmt.Errorf("wire: object %d assigned to group %d of %d", j, id, groups)
+			}
+			of[j] = int(id)
+		}
+		r.Align()
+		part = cmatrix.NewPartition(groups, of)
+	} else {
+		if prevPart == nil || prevEpoch != epoch || prevPart.N() != objects || prevPart.Groups() != groups {
+			return nil, 0, fmt.Errorf("wire: grouped frame needs the partition from epoch %d", epoch)
+		}
+		part = prevPart
+	}
+
+	codec := cmatrix.Codec{Bits: tsBits}
+	cw := countBits(groups)
+	ref := number - 1
+	cbOut := &bcast.CycleBroadcast{
+		Number: number,
+		Layout: layout,
+		Values: make([][]byte, objects),
+	}
+	rows := make([][]cmatrix.GroupEntry, objects)
+	for i := 0; i < objects; i++ {
+		v, err := r.ReadBytes(objBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		cbOut.Values[i] = v
+		mode, err := r.ReadBits(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if mode == 1 {
+			cnt, err := r.ReadBits(cw)
+			if err != nil {
+				return nil, 0, err
+			}
+			if int(cnt) > groups {
+				return nil, 0, fmt.Errorf("wire: object %d sparse row lists %d of %d groups", i, cnt, groups)
+			}
+			row := make([]cmatrix.GroupEntry, 0, cnt)
+			prev := -1
+			for k := 0; k < int(cnt); k++ {
+				s, err := r.ReadBits(ib)
+				if err != nil {
+					return nil, 0, err
+				}
+				if int(s) <= prev || int(s) >= groups {
+					return nil, 0, fmt.Errorf("wire: object %d sparse row group id %d invalid (previous %d, groups %d)", i, s, prev, groups)
+				}
+				prev = int(s)
+				raw, err := r.ReadBits(tsBits)
+				if err != nil {
+					return nil, 0, err
+				}
+				ts := codec.Decode(uint32(raw), ref)
+				if ts <= 0 {
+					return nil, 0, fmt.Errorf("wire: sparse timestamp %d decodes to cycle %d (corrupt frame)", raw, ts)
+				}
+				row = append(row, cmatrix.GroupEntry{Group: int(s), Val: ts})
+			}
+			rows[i] = row
+		} else {
+			var row []cmatrix.GroupEntry
+			for s := 0; s < groups; s++ {
+				raw, err := r.ReadBits(tsBits)
+				if err != nil {
+					return nil, 0, err
+				}
+				ts := codec.Decode(uint32(raw), ref)
+				if ts < 0 {
+					return nil, 0, fmt.Errorf("wire: timestamp %d decodes before cycle 0 (corrupt frame)", raw)
+				}
+				if ts > 0 {
+					row = append(row, cmatrix.GroupEntry{Group: s, Val: ts})
+				}
+			}
+			rows[i] = row
+		}
+		r.Align()
+	}
+	if r.Remaining() >= 8 {
+		return nil, 0, fmt.Errorf("wire: %d trailing bytes after grouped frame", r.Remaining()/8)
+	}
+	g, err := cmatrix.GroupedFromSparseRows(part, rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	cbOut.Grouped = g
+	return cbOut, epoch, nil
+}

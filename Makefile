@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,12 @@ test:
 # cmatrix are concurrency/aliasing surface: run those packages (plus the
 # TCP broadcast runtime, the fault layer's listener/proxy goroutines, the
 # client recovery path, the triple-server conformance harness, the wire
-# codecs the broadcast loop encodes concurrently, and the
-# server/protocol state it exercises) under the race detector.
+# codecs the broadcast loop encodes concurrently, the datagram
+# carrier/reassembler goroutines, and the server/protocol state it
+# exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/...
 
 verify: build test race
 
@@ -38,6 +39,8 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzGroupedColumnCodec -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceCodec -fuzztime 30s
+	$(GO) test ./internal/dgram/ -run '^$$' -fuzz FuzzDatagramCodec -fuzztime 30s
+	$(GO) test ./internal/dgram/ -run '^$$' -fuzz FuzzIngressFilter -fuzztime 30s
 
 # Micro-benchmarks only (matrix apply/snapshot, wire codec, validator).
 bench:
@@ -66,3 +69,30 @@ obs-smoke:
 	fi; \
 	echo "$$body" | grep -q '"server_cycles"' || { echo "obs-smoke: no server_cycles in /metrics" >&2; exit 1; }; \
 	echo "obs-smoke: ok"
+
+# Boot bcserver with the connectionless datapath, tune one datagram
+# client against it, and assert the client actually received packets
+# (its /metrics shows dgram_packets_rx > 0); catches -udp wiring rot on
+# both binaries end to end over a real UDP socket.
+udp-smoke:
+	$(GO) build -o /tmp/bcserver-udp-smoke ./cmd/bcserver
+	$(GO) build -o /tmp/bcclient-udp-smoke ./cmd/bcclient
+	/tmp/bcserver-udp-smoke -broadcast 127.0.0.1:0 -uplink 127.0.0.1:0 \
+		-udp 127.0.0.1:17272 -workload 50 -interval 20ms & \
+	spid=$$!; sleep 1; \
+	/tmp/bcclient-udp-smoke -udp 127.0.0.1:17272 -read 0,1 -txns 500 \
+		-obs-addr 127.0.0.1:17273 >/dev/null & \
+	cpid=$$!; rx=; \
+	for i in $$(seq 1 30); do \
+		sleep 0.3; \
+		rx=$$(curl -sf http://127.0.0.1:17273/metrics | \
+			sed -n 's/.*"dgram_packets_rx": \([0-9]*\).*/\1/p'); \
+		if [ -n "$$rx" ] && [ "$$rx" -gt 0 ]; then break; fi; \
+	done; \
+	kill $$cpid $$spid 2>/dev/null; \
+	rm -f /tmp/bcserver-udp-smoke /tmp/bcclient-udp-smoke; \
+	if [ -z "$$rx" ] || [ "$$rx" -eq 0 ]; then \
+		echo "udp-smoke: client never saw a datagram (dgram_packets_rx $${rx:-missing})" >&2; \
+		exit 1; \
+	fi; \
+	echo "udp-smoke: ok ($$rx packets received)"

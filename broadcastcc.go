@@ -54,6 +54,7 @@ import (
 	"broadcastcc/internal/client"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/core"
+	"broadcastcc/internal/dgram"
 	"broadcastcc/internal/experiments"
 	"broadcastcc/internal/faultair"
 	"broadcastcc/internal/history"
@@ -292,6 +293,63 @@ type NetUplink = netcast.Uplink
 
 // DialUplink connects to a server's uplink port.
 func DialUplink(addr string) (*NetUplink, error) { return netcast.DialUplink(addr) }
+
+// ---- Connectionless datapath (UDP datagrams + FEC) ----
+
+// DatagramConfig parameterizes the connectionless carrier: channel id,
+// MTU sharding, and the systematic FEC group geometry (FECData data
+// packets protected by FECRepair parity packets; FECRepair -1 disables
+// repair, 0 takes the default).
+type DatagramConfig = dgram.Config
+
+// DatagramCarrier is anything the datagram sender can transmit on: a
+// real UDP socket (DialUDPCarrier) or the in-process simulated medium
+// (NewSimCarrier).
+type DatagramCarrier = dgram.Carrier
+
+// DatagramSource is the receive side of a carrier: a bound UDP socket
+// (ListenUDPSource) or a simulated-medium tap.
+type DatagramSource = dgram.PacketSource
+
+// DatagramSender shards frames into MTU-sized packets with FEC repair
+// and transmits each exactly once, regardless of audience size.
+type DatagramSender = dgram.Sender
+
+// NewDatagramSender builds a sender on car. A nil registry disables
+// transmission counters.
+func NewDatagramSender(car DatagramCarrier, cfg DatagramConfig, reg *ObsRegistry) (*DatagramSender, error) {
+	return dgram.NewSender(car, cfg, reg)
+}
+
+// DialUDPCarrier opens a UDP carrier transmitting to dest — a unicast,
+// broadcast, or multicast "host:port" address.
+func DialUDPCarrier(dest string) (*dgram.UDPCarrier, error) { return dgram.DialUDP(dest) }
+
+// ListenUDPSource binds a UDP receive socket on addr, joining the
+// group when addr is a multicast address.
+func ListenUDPSource(addr string) (*dgram.UDPSource, error) { return dgram.ListenUDP(addr) }
+
+// SimDatagramCarrier is the loopback-simulated broadcast medium: every
+// tap sees every packet, subject to an optional per-tap fate schedule
+// (loss, duplication, reorder) and a bounded buffer whose overflow
+// models a dozing receiver.
+type SimDatagramCarrier = dgram.SimCarrier
+
+// NewSimDatagramCarrier builds an in-process simulated medium.
+func NewSimDatagramCarrier() *SimDatagramCarrier { return dgram.NewSimCarrier() }
+
+// DatagramTuner receives a datagram broadcast, reassembles frames
+// through the stateless ingress filter and FEC, and re-publishes
+// decoded cycles locally for NewClient — the connectionless equivalent
+// of Tuner.
+type DatagramTuner = netcast.DatagramTuner
+
+// TuneDatagram attaches a datagram tuner to a packet source. cfg must
+// match the sender's channel and FEC geometry; a nil registry disables
+// reception counters.
+func TuneDatagram(src DatagramSource, cfg DatagramConfig, reg *ObsRegistry) (*DatagramTuner, error) {
+	return netcast.TuneDatagram(src, cfg, reg)
+}
 
 // ---- Fault injection (the lossy air) ----
 

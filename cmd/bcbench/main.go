@@ -53,7 +53,7 @@ func writeBenchJSON(path string, e *broadcastcc.Experiment) error {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, or all")
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, wire, or all")
 	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")
@@ -118,6 +118,41 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		if *figure == "grouped" {
+			return
+		}
+	}
+
+	if *figure == "wire" || *figure == "all" {
+		analysis, err := experiments.WireStudy(opt, experiments.WireConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.WireTable(analysis))
+		fmt.Println()
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			scaling, fec := experiments.WireBench(analysis)
+			for _, bench := range []experiments.BenchExperiment{scaling, fec} {
+				path := filepath.Join(*jsonDir, "BENCH_"+bench.ID+".json")
+				f, err := os.Create(path)
+				if err == nil {
+					err = bench.WriteJSON(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+		if *figure == "wire" {
 			return
 		}
 	}

@@ -16,6 +16,15 @@
 // listened) separately from the values read:
 //
 //	bcclient -broadcast 127.0.0.1:7070 -read 0,5 -txns 10 -selective
+//
+// With -udp the client receives the broadcast over connectionless UDP
+// datagrams instead of TCP — bind the address the server's -udp flag
+// transmits to (joining the group when it is multicast). Updates still
+// travel up the TCP uplink; -loss/-doze compose with the datagram
+// tuner unchanged:
+//
+//	bcclient -udp 127.0.0.1:7072 -read 0,1,2
+//	bcclient -udp 239.1.2.3:7072 -read 0,1 -txns 20 -loss 0.2
 package main
 
 import (
@@ -44,6 +53,11 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
 	selective := flag.Bool("selective", false, "tune selectively via the (1,m) air index (requires a program-mode server; read-only)")
 	obsAddr := flag.String("obs-addr", "", "serve client /metrics, /trace and /debug/pprof on this address (empty = off)")
+	udpAddr := flag.String("udp", "", "receive the broadcast over UDP datagrams bound to this host:port instead of TCP (the server's -udp destination; empty = TCP)")
+	udpChannel := flag.Uint("udp-channel", 1, "datagram channel id to accept (must match the server)")
+	udpMTU := flag.Int("udp-mtu", 0, "datagram payload budget in bytes (0 = default; must match the server)")
+	udpFECData := flag.Int("udp-fec-data", 0, "data packets per FEC group (0 = default; must match the server)")
+	udpFECRepair := flag.Int("udp-fec-repair", 0, "repair packets per FEC group (0 = default, -1 = none; must match the server)")
 	flag.Parse()
 
 	alg, err := broadcastcc.ParseAlgorithm(*algName)
@@ -60,6 +74,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-selective supports read-only transactions over a clean air (no -write/-loss/-doze)")
 			os.Exit(2)
 		}
+		if *udpAddr != "" {
+			fmt.Fprintln(os.Stderr, "-selective needs the TCP frame stream; it does not compose with -udp")
+			os.Exit(2)
+		}
 		reads, err := parseReads(*readList)
 		if err != nil {
 			log.Fatal(err)
@@ -68,9 +86,46 @@ func main() {
 		return
 	}
 
-	tuner, err := broadcastcc.Tune(*broadcastAddr)
-	if err != nil {
-		log.Fatal(err)
+	// A -obs-addr registry is created up front so the datagram tuner's
+	// reception counters (dgram_packets_rx, dgram_frames_repaired, ...)
+	// land on the same /metrics document as the client's.
+	var reg *broadcastcc.ObsRegistry
+	if *obsAddr != "" {
+		reg = broadcastcc.NewObsRegistry()
+	}
+
+	// The broadcast source: a TCP tuner by default, or the datagram
+	// tuner (ingress filter + FEC reassembly) with -udp. Both publish
+	// decoded cycles through the same Subscription interface, so
+	// everything downstream — the lossy air, the client — is
+	// transport-blind.
+	var tuner interface {
+		Subscribe(buffer int) *broadcastcc.Subscription
+		Close() error
+	}
+	if *udpAddr != "" {
+		src, err := broadcastcc.ListenUDPSource(*udpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcfg := broadcastcc.DatagramConfig{
+			Channel:   uint32(*udpChannel),
+			MTU:       *udpMTU,
+			FECData:   *udpFECData,
+			FECRepair: *udpFECRepair,
+		}
+		dt, err := broadcastcc.TuneDatagram(src, dcfg, reg)
+		if err != nil {
+			src.Close()
+			log.Fatal(err)
+		}
+		tuner = dt
+	} else {
+		tcp, err := broadcastcc.Tune(*broadcastAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuner = tcp
 	}
 	defer tuner.Close()
 
@@ -98,7 +153,7 @@ func main() {
 		RetainSnapshots: faulty,
 	}
 	if *obsAddr != "" {
-		ccfg.Obs = broadcastcc.NewObsRegistry()
+		ccfg.Obs = reg
 		ccfg.Trace = broadcastcc.NewObsTracer(4096)
 		ln, err := broadcastcc.ServeObs(*obsAddr, ccfg.Obs, ccfg.Trace)
 		if err != nil {

@@ -21,6 +21,14 @@
 //
 //	bcserver -alg grouped -groups 16 -sparse-grouped
 //	bcserver -alg grouped -groups 16 -regroup-every 50
+//
+// With -udp the server additionally transmits every cycle exactly once
+// over connectionless UDP datagrams — to a unicast, broadcast, or
+// multicast destination — with MTU sharding and XOR/parity FEC repair
+// packets, so datagram audience size never costs server egress:
+//
+//	bcserver -udp 239.1.2.3:7072            # multicast group
+//	bcserver -udp 127.0.0.1:7072 -udp-fec-repair 3
 package main
 
 import (
@@ -57,6 +65,11 @@ func main() {
 	indexM := flag.Int("index-m", 0, "(1,m) air-index segments per major cycle (requires -disks >= 1)")
 	zipf := flag.Float64("zipf", 0, "zipf θ of the access-frequency estimate driving the disk partition")
 	refreshEvery := flag.Int("refresh-every", 0, "full control-column refresh period for program-mode deltas (0 = always full)")
+	udpDest := flag.String("udp", "", "also broadcast each cycle once over UDP datagrams to this host:port (unicast, broadcast, or multicast group; empty = off)")
+	udpChannel := flag.Uint("udp-channel", 1, "datagram channel id stamped on -udp packets")
+	udpMTU := flag.Int("udp-mtu", 0, "datagram payload budget in bytes for -udp (0 = default)")
+	udpFECData := flag.Int("udp-fec-data", 0, "data packets per FEC group for -udp (0 = default)")
+	udpFECRepair := flag.Int("udp-fec-repair", 0, "repair packets per FEC group for -udp (0 = default, -1 = no repair)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 	traceCap := flag.Int("trace-cap", 4096, "cycle-clock trace ring capacity (with -obs-addr)")
 	verifySample := flag.Int("verify-sample", 0, "run the control-state integrity check every Nth cycle, timing it into server_verify_ns (0 = off)")
@@ -111,6 +124,27 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ns.Close()
+	if *udpDest != "" {
+		car, err := broadcastcc.DialUDPCarrier(*udpDest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer car.Close()
+		dcfg := broadcastcc.DatagramConfig{
+			Channel:   uint32(*udpChannel),
+			MTU:       *udpMTU,
+			FECData:   *udpFECData,
+			FECRepair: *udpFECRepair,
+		}
+		sender, err := broadcastcc.NewDatagramSender(car, dcfg, srv.Obs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns.AttachDatagram(sender)
+		c := sender.Config()
+		log.Printf("datagram broadcast to %s (channel %d, mtu %d, fec %d+%d)",
+			*udpDest, c.Channel, c.MTU, c.FECData, c.FECRepair)
+	}
 	log.Printf("broadcasting %v on %s (uplink %s): %d objects, cycle = %d bit-units, control overhead %.2f%%",
 		alg, ns.BroadcastAddr(), ns.UplinkAddr(), *objects,
 		srv.Layout().CycleBits(), 100*srv.Layout().ControlOverhead())

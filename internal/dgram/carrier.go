@@ -1,0 +1,331 @@
+package dgram
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+)
+
+// PacketSource is the receive half of a carrier: where a tuner pulls
+// datagrams from. Recv blocks until a packet arrives and returns io.EOF
+// once the source is closed. A tuner that is dozing simply does not
+// call Recv — the source's buffer (sim tap or kernel socket buffer)
+// overflows and the packets are gone, which is what powering a radio
+// down means.
+type PacketSource interface {
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// ---------------------------------------------------------------------
+// Simulated medium
+// ---------------------------------------------------------------------
+
+// PacketFates is the per-packet fault schedule a simulated tap consults
+// — a pure function of (client, transmit index), so replays are
+// deterministic at any concurrency. faultair.PacketSchedule implements
+// it; the interface lives here (rather than importing faultair) because
+// faultair sits above the transport layers it injects faults into.
+type PacketFates interface {
+	// Dropped reports whether the client's copy of packet idx is erased.
+	Dropped(client int, idx uint64) bool
+	// Duplicated reports whether the client's copy of packet idx is
+	// delivered twice. Never true for a Dropped packet.
+	Duplicated(client int, idx uint64) bool
+	// Lag reports how many transmit slots delivery of packet idx is
+	// deferred; crossing lags reorder packets.
+	Lag(client int, idx uint64) int
+}
+
+// SimCarrier is the loopback-simulated broadcast medium: one Send fans
+// a datagram out to every tap, with each tap's per-packet fate (erase,
+// duplicate, lag) drawn from its own faultair.PacketSchedule. The
+// medium keeps a single transmit index shared by all taps — they are
+// tuned to the same transmission — so a replay with the same schedules
+// is byte-identical regardless of tap count or read concurrency.
+type SimCarrier struct {
+	mu    sync.Mutex
+	taps  []*SimTap
+	txIdx uint64
+	open  bool
+}
+
+// NewSimCarrier builds an empty simulated medium.
+func NewSimCarrier() *SimCarrier {
+	return &SimCarrier{open: true}
+}
+
+type laggedPkt struct {
+	release uint64 // transmit index at which the packet comes out of the air
+	idx     uint64 // original transmit index, the order tiebreak
+	data    []byte
+}
+
+// SimTap is one receiver tuned to a SimCarrier. Packets the schedule
+// delivers land in a bounded buffer; when the buffer is full — the
+// tuner is dozing, or simply slow — the medium drops them, exactly like
+// a broadcast no one recorded.
+type SimTap struct {
+	car     *SimCarrier
+	client  int
+	sched   PacketFates
+	ch      chan []byte
+	pending []laggedPkt
+	// Dropped counts buffer-overflow drops (distinct from scheduled
+	// erasures): packets the medium delivered but nobody was listening.
+	overflow uint64
+	closed   bool
+}
+
+// Tap tunes a new receiver to the medium. sched may be nil for a
+// perfect tap; bufCap is the tap's receive buffer in packets (the sim
+// analogue of SO_RCVBUF) and defaults to 4096 when zero.
+func (c *SimCarrier) Tap(client int, sched PacketFates, bufCap int) *SimTap {
+	if bufCap <= 0 {
+		bufCap = 4096
+	}
+	t := &SimTap{car: c, client: client, sched: sched, ch: make(chan []byte, bufCap)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		t.closed = true
+		close(t.ch)
+		return t
+	}
+	c.taps = append(c.taps, t)
+	return t
+}
+
+// Send broadcasts one datagram: every tap draws its fate for this
+// transmit index and the medium delivers accordingly. Implements
+// Carrier.
+func (c *SimCarrier) Send(pkt []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return fmt.Errorf("dgram: send on closed sim carrier")
+	}
+	idx := c.txIdx
+	c.txIdx++
+	for _, t := range c.taps {
+		t.offer(idx, pkt)
+	}
+	return nil
+}
+
+// offer applies the tap's fate for transmit index idx and releases any
+// lagged packets whose time has come. Caller holds the carrier lock.
+func (t *SimTap) offer(idx uint64, pkt []byte) {
+	if t.closed {
+		return
+	}
+	if t.sched == nil {
+		t.deliver(pkt)
+	} else if !t.sched.Dropped(t.client, idx) {
+		lag := t.sched.Lag(t.client, idx)
+		copies := 1
+		if t.sched.Duplicated(t.client, idx) {
+			copies = 2
+		}
+		if lag == 0 {
+			for i := 0; i < copies; i++ {
+				t.deliver(pkt)
+			}
+		} else {
+			for i := 0; i < copies; i++ {
+				t.pending = append(t.pending, laggedPkt{release: idx + uint64(lag), idx: idx, data: pkt})
+			}
+		}
+	}
+	t.release(idx)
+}
+
+// release delivers pending packets whose lag has elapsed, in
+// (release, original index) order so replays are deterministic.
+func (t *SimTap) release(now uint64) {
+	if len(t.pending) == 0 {
+		return
+	}
+	sort.Slice(t.pending, func(i, j int) bool {
+		if t.pending[i].release != t.pending[j].release {
+			return t.pending[i].release < t.pending[j].release
+		}
+		return t.pending[i].idx < t.pending[j].idx
+	})
+	n := 0
+	for _, p := range t.pending {
+		if p.release <= now {
+			t.deliver(p.data)
+			n++
+			continue
+		}
+		break
+	}
+	t.pending = append(t.pending[:0], t.pending[n:]...)
+}
+
+// deliver enqueues into the tap buffer, dropping on overflow.
+func (t *SimTap) deliver(pkt []byte) {
+	select {
+	case t.ch <- pkt:
+	default:
+		t.overflow++
+	}
+}
+
+// Settle releases every still-lagged packet on every tap. Call once the
+// transmission is over, so a reorder lag straddling the final packet is
+// not stranded in the air.
+func (c *SimCarrier) Settle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.taps {
+		if !t.closed {
+			t.release(^uint64(0))
+		}
+	}
+}
+
+// Close settles and closes every tap; subsequent Sends fail and blocked
+// Recvs return io.EOF.
+func (c *SimCarrier) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return nil
+	}
+	c.open = false
+	for _, t := range c.taps {
+		if !t.closed {
+			t.release(^uint64(0))
+			t.closed = true
+			close(t.ch)
+		}
+	}
+	c.taps = nil
+	return nil
+}
+
+// Recv blocks for the next delivered packet. Implements PacketSource.
+func (t *SimTap) Recv() ([]byte, error) {
+	pkt, ok := <-t.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return pkt, nil
+}
+
+// TryRecv returns the next buffered packet without blocking; ok is
+// false when the buffer is empty. Lockstep tests use it to drain
+// exactly what the medium has delivered so far.
+func (t *SimTap) TryRecv() ([]byte, bool) {
+	select {
+	case pkt, ok := <-t.ch:
+		return pkt, ok
+	default:
+		return nil, false
+	}
+}
+
+// Close detunes this tap from the medium: in-flight lagged packets are
+// discarded, blocked Recvs return io.EOF, and subsequent broadcasts
+// skip the tap. Closing an already-closed tap (or a tap on a closed
+// carrier) is a no-op.
+func (t *SimTap) Close() error {
+	t.car.mu.Lock()
+	defer t.car.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		t.pending = nil
+		close(t.ch)
+	}
+	return nil
+}
+
+// Overflow reports packets dropped because the tap buffer was full —
+// the packets a dozing tuner genuinely did not receive.
+func (t *SimTap) Overflow() uint64 { return t.overflow }
+
+// ---------------------------------------------------------------------
+// Real UDP sockets
+// ---------------------------------------------------------------------
+
+// UDPCarrier transmits datagrams to a fixed destination address —
+// unicast, subnet broadcast or a multicast group; the carrier does not
+// care, it writes each packet exactly once. Implements Carrier.
+type UDPCarrier struct {
+	conn *net.UDPConn
+}
+
+// DialUDP opens a carrier transmitting to dest (host:port). A multicast
+// group or broadcast address works as-is: transmission needs no special
+// socket options, the one-to-many fan-out is the network's job.
+func DialUDP(dest string) (*UDPCarrier, error) {
+	addr, err := net.ResolveUDPAddr("udp", dest)
+	if err != nil {
+		return nil, fmt.Errorf("dgram: resolve %q: %w", dest, err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("dgram: dial %q: %w", dest, err)
+	}
+	return &UDPCarrier{conn: conn}, nil
+}
+
+// Send writes one datagram.
+func (u *UDPCarrier) Send(pkt []byte) error {
+	_, err := u.conn.Write(pkt)
+	return err
+}
+
+// Close releases the socket.
+func (u *UDPCarrier) Close() error { return u.conn.Close() }
+
+// LocalAddr exposes the socket's source address (tests bind receivers
+// to it).
+func (u *UDPCarrier) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// UDPSource receives datagrams on a bound UDP socket. Implements
+// PacketSource.
+type UDPSource struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// ListenUDP binds a receive socket on addr (host:port). A multicast
+// group address joins the group; anything else is a plain bind, which
+// receives unicast and subnet broadcast alike.
+func ListenUDP(addr string) (*UDPSource, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dgram: resolve %q: %w", addr, err)
+	}
+	var conn *net.UDPConn
+	if ua.IP != nil && ua.IP.IsMulticast() {
+		conn, err = net.ListenMulticastUDP("udp", nil, ua)
+	} else {
+		conn, err = net.ListenUDP("udp", ua)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dgram: listen %q: %w", addr, err)
+	}
+	return &UDPSource{conn: conn, buf: make([]byte, maxMTU)}, nil
+}
+
+// Recv blocks for the next datagram and returns a copy of its bytes.
+func (s *UDPSource) Recv() ([]byte, error) {
+	n, _, err := s.conn.ReadFromUDP(s.buf)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), s.buf[:n]...), nil
+}
+
+// Close releases the socket, unblocking any Recv with an error.
+func (s *UDPSource) Close() error { return s.conn.Close() }
+
+// LocalAddr exposes the bound address (so callers binding port 0 can
+// learn the port).
+func (s *UDPSource) LocalAddr() net.Addr { return s.conn.LocalAddr() }

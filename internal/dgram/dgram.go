@@ -1,0 +1,117 @@
+// Package dgram is the connectionless broadcast datapath: the server
+// transmits each wire frame exactly once per channel as a stream of
+// MTU-sized datagrams, and any number of clients tune in at zero
+// marginal server cost — the paper's one-to-many medium, realized as
+// UDP broadcast/multicast semantics (real sockets) or a
+// loopback-simulated medium for deterministic tests.
+//
+// The layer sits below internal/netcast's frame formats and above the
+// carrier (socket or simulation):
+//
+//	wire frames ──Sender──▶ datagrams ──Carrier──▶ taps ──Reassembler──▶ wire frames
+//
+// Three mechanisms make a lossy datagram medium carry the broadcast:
+//
+//   - a versioned packet codec (packet.go) that shards frames into
+//     datagrams stamped with a per-channel packet sequence, the cycle
+//     number and the frame ordinal, so receivers detect loss, reorder
+//     and duplication without any dialogue with the server;
+//
+//   - systematic parity FEC (fec.go): every group of up to K data
+//     packets is followed by R repair packets (GF(256) Reed-Solomon
+//     parity; R = 1 degenerates to plain XOR), so a tuner reconstructs
+//     up to R lost datagrams per group without waiting a full major
+//     cycle for the rebroadcast;
+//
+//   - a stateless ingress filter (filter.go, after udpx's
+//     GenerateChonkle/BasicPacketFilter idiom): magic, version, length
+//     consistency and a cheap 8-byte header hash are checked before a
+//     single byte is allocated, so garbage and cross-channel traffic
+//     are rejected at line rate.
+//
+// Dozing over a datagram carrier is genuinely not receiving: a tuner
+// that stops reading lets its socket (or sim tap) buffer overflow and
+// the packets are gone, exactly like a powered-down radio — unlike the
+// TCP path, where dozing can only mean consume-undecoded.
+package dgram
+
+import "fmt"
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMTU bounds one datagram (header + payload); 1400 leaves
+	// room for IP/UDP headers inside an ethernet MTU.
+	DefaultMTU = 1400
+	// DefaultFECData is K, the maximum data packets per FEC group.
+	DefaultFECData = 4
+	// DefaultFECRepair is R, the repair packets appended per group.
+	DefaultFECRepair = 2
+)
+
+// Config shapes a datagram channel. The zero value means the defaults.
+type Config struct {
+	// Channel identifies the broadcast channel; receivers drop packets
+	// from other channels at the ingress filter.
+	Channel uint32
+	// MTU is the maximum datagram size, header included.
+	MTU int
+	// FECData is K: a repair group closes after K data packets (or at
+	// end of cycle, whichever comes first).
+	FECData int
+	// FECRepair is R: repair packets emitted per closed group (at most
+	// 3 — see fec.go). Zero means the default; -1 disables FEC.
+	FECRepair int
+}
+
+func (c Config) normalized() Config {
+	if c.MTU == 0 {
+		c.MTU = DefaultMTU
+	}
+	if c.FECData == 0 {
+		c.FECData = DefaultFECData
+	}
+	switch {
+	case c.FECRepair == 0:
+		c.FECRepair = DefaultFECRepair
+	case c.FECRepair < 0:
+		c.FECRepair = 0
+	}
+	return c
+}
+
+// Validate reports the first problem with the config.
+func (c Config) Validate() error {
+	c = c.normalized()
+	switch {
+	case c.MTU < headerLen+shardHeaderLen+1:
+		return fmt.Errorf("dgram: MTU %d cannot hold a header plus one payload byte (need >= %d)", c.MTU, headerLen+shardHeaderLen+1)
+	case c.MTU > maxMTU:
+		return fmt.Errorf("dgram: MTU %d exceeds the %d limit", c.MTU, maxMTU)
+	case c.FECData < 1 || c.FECData > maxFECShards:
+		return fmt.Errorf("dgram: FEC group size %d out of [1,%d]", c.FECData, maxFECShards)
+	case c.FECRepair < 0 || c.FECRepair > maxFECRepair:
+		return fmt.Errorf("dgram: FEC repair count %d out of [0,%d]", c.FECRepair, maxFECRepair)
+	}
+	return nil
+}
+
+// Obs counter names exported by the datagram layer. The sender and the
+// reassembler register them on whatever registry they are given, so one
+// process's /metrics shows the whole datapath.
+const (
+	// Sender side.
+	CtrPacketsTx = "dgram_packets_tx" // data packets transmitted
+	CtrRepairTx  = "dgram_repair_tx"  // repair packets transmitted
+	CtrTxBytes   = "dgram_tx_bytes"   // total datagram bytes transmitted
+	CtrFramesTx  = "dgram_frames_tx"  // wire frames sharded and sent
+	CtrTxErrors  = "dgram_tx_errors"  // packets the carrier refused (counted as lost, not fatal)
+
+	// Receiver side.
+	CtrPacketsRx      = "dgram_packets_rx"      // packets accepted past the filter
+	CtrFilterDrops    = "dgram_filter_drops"    // packets rejected by the stateless filter
+	CtrDupDrops       = "dgram_dup_drops"       // duplicate/stale packets dropped
+	CtrRepairRx       = "dgram_repair_rx"       // repair packets accepted
+	CtrFramesRx       = "dgram_frames_rx"       // whole frames delivered upward
+	CtrFramesRepaired = "dgram_frames_repaired" // delivered frames that needed FEC reconstruction
+	CtrFramesLost     = "dgram_frames_lost"     // frames abandoned (losses beyond FEC reach)
+)

@@ -1,0 +1,113 @@
+package dgram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// eraseCombos enumerates all ways to erase e of n shards.
+func eraseCombos(n, e int) [][]int {
+	var out [][]int
+	var rec func(start int, picked []int)
+	rec = func(start int, picked []int) {
+		if len(picked) == e {
+			out = append(out, append([]int(nil), picked...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(picked, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestFECReconstructAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, geom := range [][2]int{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {4, 3}, {7, 3}} {
+		k, r := geom[0], geom[1]
+		code := newFECCode(k, r)
+		size := 97
+		data := make([][]byte, k)
+		for i := range data {
+			// Ragged lengths exercise the zero-padding path.
+			data[i] = make([]byte, size-i)
+			rng.Read(data[i])
+		}
+		parity := code.encodeParity(data, size)
+		// Erase any e ≤ r shards out of the k+r total; any surviving k
+		// must reconstruct the data exactly.
+		for e := 1; e <= r; e++ {
+			for _, combo := range eraseCombos(k+r, e) {
+				gotData := make([][]byte, k)
+				gotParity := make([][]byte, r)
+				for i := 0; i < k; i++ {
+					gotData[i] = pad(data[i], size)
+				}
+				copy(gotParity, parity)
+				for _, idx := range combo {
+					if idx < k {
+						gotData[idx] = nil
+					} else {
+						gotParity[idx-k] = nil
+					}
+				}
+				if err := code.reconstruct(gotData, gotParity, size); err != nil {
+					t.Fatalf("k=%d r=%d erase %v: %v", k, r, combo, err)
+				}
+				for i := 0; i < k; i++ {
+					if !bytes.Equal(gotData[i], pad(data[i], size)) {
+						t.Fatalf("k=%d r=%d erase %v: shard %d wrong", k, r, combo, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFECTooManyErasures(t *testing.T) {
+	k, r := 4, 2
+	code := newFECCode(k, r)
+	size := 32
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = bytes.Repeat([]byte{byte(i + 1)}, size)
+	}
+	parity := code.encodeParity(data, size)
+	data[0], data[1], data[2] = nil, nil, nil // 3 erasures, only 2 repair
+	if err := code.reconstruct(data, parity, size); err == nil {
+		t.Fatal("reconstructed with more erasures than repair shards")
+	}
+}
+
+func TestFECSingleRepairIsXOR(t *testing.T) {
+	// With R = 1 the normalized Vandermonde parity row is all ones:
+	// the repair shard is the plain XOR of the data shards.
+	for k := 1; k <= 8; k++ {
+		code := newFECCode(k, 1)
+		for j, c := range code.parity[0] {
+			if c != 1 {
+				t.Fatalf("k=%d: parity coefficient %d is %d, want 1 (XOR)", k, j, c)
+			}
+		}
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := gfDiv(1, byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("gfMul(%d, inv) != 1", a)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := byte(i*7), byte(i*13+1), byte(i*31+5)
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatalf("associativity fails at %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+		}
+	}
+}

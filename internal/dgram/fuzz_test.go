@@ -1,0 +1,95 @@
+package dgram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzIngressFilter feeds arbitrary bytes to the stateless filter: it
+// must never panic, and anything it accepts must parse as a structurally
+// sound header.
+func FuzzIngressFilter(f *testing.F) {
+	region := encodeShardRegion(3, 0, 40, 0, bytes.Repeat([]byte{9}, 40))
+	good := encodePacket(false, 1, 10, 2, 0, 4, 2, region)
+	f.Add(good, uint32(1))
+	f.Add(good[:headerLen], uint32(1))
+	f.Add([]byte("BCD1"), uint32(0))
+	f.Add([]byte{}, uint32(7))
+	torn := append([]byte(nil), good[:len(good)-5]...)
+	f.Add(torn, uint32(1))
+	f.Fuzz(func(t *testing.T, pkt []byte, channel uint32) {
+		if !Filter(pkt, channel) {
+			return
+		}
+		h, err := decodeHeader(pkt)
+		if err != nil {
+			// The filter checks magic/version/length/hash; geometry is
+			// decodeHeader's job, so a crafted packet can pass the filter
+			// and still be structurally rejected — but never the reverse
+			// class: the accepted header fields must match the bytes.
+			return
+		}
+		if h.Channel != channel {
+			t.Fatalf("filter accepted channel %d as %d", h.Channel, channel)
+		}
+		if len(h.Region) != int(binary.BigEndian.Uint16(pkt[37:39])) {
+			t.Fatal("region length disagrees with plen")
+		}
+	})
+}
+
+// FuzzDatagramCodec drives the reassembler with torn, corrupted,
+// duplicated and valid packets: never panic, never emit a frame that
+// disagrees with what a valid stream encoded.
+func FuzzDatagramCodec(f *testing.F) {
+	f.Add([]byte("hello broadcast"), uint8(3), uint8(1), false, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xEE}, 5000), uint8(4), uint8(2), true, uint8(7))
+	f.Add([]byte{1}, uint8(1), uint8(0), false, uint8(255))
+	f.Fuzz(func(t *testing.T, payload []byte, kRaw, rRaw uint8, corrupt bool, corruptAt uint8) {
+		if len(payload) == 0 || len(payload) > 1<<12 {
+			return
+		}
+		cfg := Config{
+			Channel:   5,
+			MTU:       256,
+			FECData:   int(kRaw%8) + 1,
+			FECRepair: int(rRaw % 4),
+		}
+		car := NewSimCarrier()
+		tap := car.Tap(0, nil, 1<<14)
+		s, err := NewSender(car, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := NewReassembler(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SendCycle(1, [][]byte{payload}); err != nil {
+			t.Fatal(err)
+		}
+		car.Close()
+		var got []Frame
+		i := 0
+		for {
+			pkt, err := tap.Recv()
+			if err != nil {
+				break
+			}
+			if corrupt && i == int(corruptAt)%8 {
+				mut := append([]byte(nil), pkt...)
+				mut[int(corruptAt)%len(mut)] ^= 1 + corruptAt
+				got = append(got, ra.Ingest(mut)...) // corrupted copy: filter food
+			}
+			got = append(got, ra.Ingest(pkt)...)
+			i++
+		}
+		if len(got) != 1 {
+			t.Fatalf("lossless medium delivered %d frames, want 1", len(got))
+		}
+		if !bytes.Equal(got[0].Data, payload) {
+			t.Fatal("frame bytes corrupted in flight")
+		}
+	})
+}

@@ -24,6 +24,10 @@ type BenchMetrics struct {
 	Commits      int64    `json:"commits"`
 	CacheHits    int64    `json:"cache_hits"`
 	OffScale     bool     `json:"off_scale"`
+	// Values holds figure-specific scalar metrics keyed by name (e.g.
+	// the wire study's bytes-per-cycle and FEC recovery ratios) that
+	// have no column in the fixed schema above.
+	Values map[string]float64 `json:"values,omitempty"`
 	// Obs is the run's final obs-registry snapshot; off-scale runs
 	// carry none. encoding/json sorts map keys, so the embedded
 	// snapshot keeps BENCH_<id>.json byte-identical at any sweep

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The wire study's two acceptance shapes: server TX bytes/cycle flat in
+// the subscriber count on the datagram carrier but linear over TCP, and
+// FEC recovering >= 95% of loss-hit frames at 10% packet loss.
+func TestWireStudyShapes(t *testing.T) {
+	cfg := WireConfig{
+		Objects:         16,
+		Cycles:          16,
+		CommitsPerCycle: 2,
+		Subscribers:     []int{1, 4, 8},
+		LossRates:       []float64{0.10},
+		FramesPerCycle:  6,
+	}
+	a, err := WireStudy(Options{Txns: 1, Seed: 7}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Scaling) != 3 || len(a.FEC) != 1 {
+		t.Fatalf("point counts: %d scaling, %d fec", len(a.Scaling), len(a.FEC))
+	}
+
+	// UDP egress must be flat: the same cycle stream costs the same
+	// datagrams no matter who listens (identical seeds => identical
+	// workload at every point).
+	udp0 := a.Scaling[0].UDPBytesPerCycle
+	if udp0 == 0 {
+		t.Fatal("datagram carrier transmitted nothing")
+	}
+	for _, p := range a.Scaling[1:] {
+		if ratio := p.UDPBytesPerCycle / udp0; ratio > 1.01 || ratio < 0.99 {
+			t.Fatalf("udp bytes/cycle not flat: %0.f at %d subs vs %0.f at %d subs",
+				p.UDPBytesPerCycle, p.Subscribers, udp0, a.Scaling[0].Subscribers)
+		}
+	}
+	// Every datagram listener actually decoded the stream.
+	for _, p := range a.Scaling {
+		want := int64(cfg.Cycles * p.Subscribers)
+		if p.FramesRx < want {
+			t.Fatalf("%d subs decoded %d frames, want >= %d", p.Subscribers, p.FramesRx, want)
+		}
+	}
+
+	// TCP egress must grow with the audience, tracking the subscriber
+	// ratio (allowing generous slack for reconnect/framing noise).
+	tcp0 := a.Scaling[0].TCPBytesPerCycle
+	if tcp0 == 0 {
+		t.Fatal("tcp reference transmitted nothing")
+	}
+	last := a.Scaling[len(a.Scaling)-1]
+	subsRatio := float64(last.Subscribers) / float64(a.Scaling[0].Subscribers)
+	if growth := last.TCPBytesPerCycle / tcp0; growth < subsRatio*0.8 || growth > subsRatio*1.2 {
+		t.Fatalf("tcp bytes/cycle grew %.2fx for %.0fx subscribers", growth, subsRatio)
+	}
+
+	// At 10% packet loss, FEC brings back >= 95% of loss-hit frames and
+	// delivers strictly more than the repair-less stream.
+	p := a.FEC[0]
+	on, off := p.Series[WireSeriesFEC], p.Series[WireSeriesNoFEC]
+	if on.Repaired == 0 {
+		t.Fatal("10%% loss produced zero FEC reconstructions")
+	}
+	if on.RecoveryRatio < 0.95 {
+		t.Fatalf("FEC recovery ratio %.4f at 10%% loss, want >= 0.95 (repaired %d, lost %d)",
+			on.RecoveryRatio, on.Repaired, on.Lost)
+	}
+	if on.DeliveredRatio <= off.DeliveredRatio {
+		t.Fatalf("FEC delivered %.4f, repair-less %.4f: repair packets bought nothing",
+			on.DeliveredRatio, off.DeliveredRatio)
+	}
+	if off.Repaired != 0 {
+		t.Fatalf("repair-less series repaired %d frames", off.Repaired)
+	}
+}
+
+// The benchmark projection must carry both figures with the study's
+// numbers in the generic Values map.
+func TestWireBenchJSON(t *testing.T) {
+	a := &WireAnalysis{
+		Scaling: []WireScalingPoint{{Subscribers: 2, TCPBytesPerCycle: 200, UDPBytesPerCycle: 100}},
+		FEC: []WireFECPoint{{Loss: 0.1, Series: map[string]WireFECMetrics{
+			WireSeriesFEC:   {DeliveredRatio: 0.99, RecoveryRatio: 0.97},
+			WireSeriesNoFEC: {DeliveredRatio: 0.62, RecoveryRatio: 0},
+		}}},
+	}
+	scaling, fec := WireBench(a)
+	if scaling.ID != "wire" || fec.ID != "wirefec" {
+		t.Fatalf("figure ids %q, %q", scaling.ID, fec.ID)
+	}
+	var sb, fb strings.Builder
+	if err := scaling.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := fec.WriteJSON(&fb); err != nil {
+		t.Fatal(err)
+	}
+	var dec BenchExperiment
+	if err := json.Unmarshal([]byte(sb.String()), &dec); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Points[0].Series[WireSeriesTCP].Values["bytes_per_cycle"]; got != 200 {
+		t.Fatalf("tcp bytes_per_cycle round-tripped to %v", got)
+	}
+	var fdec BenchExperiment
+	if err := json.Unmarshal([]byte(fb.String()), &fdec); err != nil {
+		t.Fatal(err)
+	}
+	if got := fdec.Points[0].Series[WireSeriesFEC].Values["recovery_ratio"]; got != 0.97 {
+		t.Fatalf("recovery_ratio round-tripped to %v", got)
+	}
+	if !strings.Contains(WireTable(a), "udp") {
+		t.Fatal("table lost the udp series")
+	}
+}

@@ -1,0 +1,205 @@
+package netcast
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/dgram"
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/wire"
+)
+
+// Connectionless datapath integration: the same frame formats the TCP
+// stream carries (full/delta cycles, BCG1 grouped, program-mode
+// index/bucket) ride internal/dgram datagrams instead. The server
+// transmits each frame exactly once per channel — zero marginal cost
+// per listener — and the TCP path remains as the conformance reference
+// (the differential tests pin byte-identical decoded cycle streams).
+
+// FrameDecoder turns the broadcast frame stream back into cycles. It is
+// the transport-independent half of a tuner: the TCP Tuner feeds it
+// frames off a socket, the DatagramTuner feeds it frames reassembled
+// from datagrams, and both produce identical cycle streams for
+// identical frame streams — which is exactly what the differential
+// conformance tests pin.
+//
+// Decode returns (nil, nil) for frames that complete no cycle: program
+// frames mid-cycle, and recoverable desynchronization (a delta against
+// a cycle this tuner never heard, a grouped frame whose partition
+// baseline is missing) where the decoder waits for the next
+// self-contained frame, exactly like a tuner that missed a broadcast.
+// Errors are terminal stream corruption.
+type FrameDecoder struct {
+	asm       *assembler
+	last      *bcast.CycleBroadcast
+	lastPart  *cmatrix.Partition
+	lastEpoch uint64
+}
+
+// NewFrameDecoder builds a decoder in the "just tuned in" state.
+func NewFrameDecoder() *FrameDecoder {
+	return &FrameDecoder{asm: newAssembler()}
+}
+
+// Decode consumes one wire frame, returning a completed cycle when the
+// frame finished one.
+func (d *FrameDecoder) Decode(frame []byte) (*bcast.CycleBroadcast, error) {
+	if wire.IsIndexFrame(frame) || wire.IsBucketFrame(frame) {
+		// Program-mode stream: reassemble whole cycles from the index
+		// and bucket frames.
+		return d.asm.feed(frame)
+	}
+	if wire.IsGroupedFrame(frame) {
+		cb, epoch, err := wire.DecodeGroupedCycle(frame, d.lastPart, d.lastEpoch)
+		if err != nil {
+			// Tuned in mid-stream, or the partition moved while a frame
+			// was lost: wait for the next partition-bearing frame.
+			d.lastPart = nil
+			return nil, nil
+		}
+		d.lastPart, d.lastEpoch = cb.Grouped.Part(), epoch
+		return cb, nil
+	}
+	if wire.IsDeltaFrame(frame) {
+		if d.last == nil {
+			return nil, nil // tuned in mid-stream: wait for the next full frame
+		}
+		cb, err := wire.DecodeCycleDelta(frame, d.last)
+		if err != nil {
+			// Out of sync (e.g. a dropped frame): resynchronize on the
+			// next full frame rather than dying.
+			d.last = nil
+			return nil, nil
+		}
+		d.last = cb
+		return cb, nil
+	}
+	cb, err := wire.DecodeCycle(frame)
+	if err != nil {
+		return nil, err
+	}
+	d.last = cb
+	return cb, nil
+}
+
+// AttachDatagram makes every subsequent Step also broadcast the cycle's
+// frames over the datagram sender — one transmission per channel,
+// regardless of how many tuners listen. The TCP subscribers keep
+// receiving the identical frames; the two paths share the encoders, so
+// they can only diverge if the carrier does. Attach before the first
+// Step; the sender must not be shared with another server.
+func (s *Server) AttachDatagram(sender *dgram.Sender) {
+	s.dsender = sender
+}
+
+// DatagramTuner is a client's receiver on the connectionless datapath:
+// it pulls datagrams from a PacketSource, reassembles frames
+// (internal/dgram: ingress filter, dedup, FEC repair), decodes them
+// with the same FrameDecoder the TCP tuner uses, and publishes cycles
+// into a local medium for the ordinary client runtime.
+//
+// Unlike the TCP tuner, dozing here is genuinely not receiving: Doze
+// makes the receive loop stop calling Recv for the window, so the
+// source's buffer (sim tap or kernel socket buffer) overflows and the
+// missed packets are simply gone — a powered-down radio, not
+// consume-undecoded.
+type DatagramTuner struct {
+	src    dgram.PacketSource
+	reasm  *dgram.Reassembler
+	dec    *FrameDecoder
+	medium *bcast.Medium
+	done   chan struct{}
+	err    error
+
+	mu        sync.Mutex
+	dozeUntil time.Time
+}
+
+// TuneDatagram starts receiving from src. reg (may be nil) receives the
+// dgram_* receive counters.
+func TuneDatagram(src dgram.PacketSource, cfg dgram.Config, reg *obs.Registry) (*DatagramTuner, error) {
+	reasm, err := dgram.NewReassembler(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	t := &DatagramTuner{
+		src:    src,
+		reasm:  reasm,
+		dec:    NewFrameDecoder(),
+		medium: bcast.NewMedium(),
+		done:   make(chan struct{}),
+	}
+	go t.loop()
+	return t, nil
+}
+
+func (t *DatagramTuner) loop() {
+	defer close(t.done)
+	defer t.medium.Close()
+	for {
+		// A doze window is an actual non-read: sleep it out without
+		// touching the source, letting its buffer overflow.
+		t.mu.Lock()
+		until := t.dozeUntil
+		t.mu.Unlock()
+		if d := time.Until(until); d > 0 {
+			time.Sleep(d)
+		}
+		pkt, err := t.src.Recv()
+		if err != nil {
+			// End of stream: emit what the reorder gate was still
+			// holding, then report anything that was not a plain close.
+			if t.publish(t.reasm.Flush()) &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.err = err
+			}
+			return
+		}
+		if !t.publish(t.reasm.Ingest(pkt)) {
+			return
+		}
+	}
+}
+
+// publish decodes reassembled frames into cycles; false means the
+// stream is terminally corrupt.
+func (t *DatagramTuner) publish(frames []dgram.Frame) bool {
+	for _, f := range frames {
+		cb, err := t.dec.Decode(f.Data)
+		if err != nil {
+			t.err = err
+			return false
+		}
+		if cb != nil {
+			t.medium.Publish(cb)
+		}
+	}
+	return true
+}
+
+// Doze powers the receiver down for the duration: the loop stops
+// reading, and whatever the medium delivers meanwhile overflows the
+// source buffer and is lost. Calling Doze again extends or shortens the
+// window.
+func (t *DatagramTuner) Doze(d time.Duration) {
+	t.mu.Lock()
+	t.dozeUntil = time.Now().Add(d)
+	t.mu.Unlock()
+}
+
+// Subscribe returns a subscription delivering decoded cycles.
+func (t *DatagramTuner) Subscribe(buffer int) *bcast.Subscription {
+	return t.medium.Subscribe(buffer)
+}
+
+// Close tears the tuner down and waits for its receive loop.
+func (t *DatagramTuner) Close() error {
+	t.src.Close()
+	<-t.done
+	return t.err
+}

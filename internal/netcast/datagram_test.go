@@ -1,0 +1,236 @@
+package netcast
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/dgram"
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+// TestDatagramBroadcastEndToEnd runs the full connectionless datapath:
+// server cycles ride dgram packets over a simulated medium, a
+// DatagramTuner reassembles and decodes them, and an ordinary client
+// reads the result — no TCP connection anywhere on the client side.
+func TestDatagramBroadcastEndToEnd(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.FMatrix, 4)
+
+	car := dgram.NewSimCarrier()
+	defer car.Close()
+	cfg := dgram.Config{Channel: 3}
+	sender, err := dgram.NewSender(car, cfg, ns.Obs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.AttachDatagram(sender)
+
+	tap := car.Tap(0, nil, 0)
+	dt, err := TuneDatagram(tap, cfg, ns.Obs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	cli := client.New(client.Config{Algorithm: protocol.FMatrix}, dt.Subscribe(64))
+
+	txn := bsrv.Begin()
+	if err := txn.Write(0, []byte("dgram-hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	for c := 1; c <= 10; c++ {
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ten consecutive cycles must come out of the air in order.
+	for c := 1; c <= 10; c++ {
+		cb, ok := cli.AwaitCycle()
+		if !ok {
+			t.Fatalf("stream closed before cycle %d", c)
+		}
+		if int(cb.Number) != c {
+			t.Fatalf("cycle %d, want %d", cb.Number, c)
+		}
+	}
+	rd := cli.BeginReadOnly()
+	v, err := rd.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(v), "dgram-hi") {
+		t.Fatalf("read %q over the datagram path", v)
+	}
+	if _, err := rd.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := ns.Obs().Counter(dgram.CtrPacketsTx).Load(); n == 0 {
+		t.Error("no datagram packets transmitted")
+	}
+	if n := ns.Obs().Counter(dgram.CtrFramesRx).Load(); n < 10 {
+		t.Errorf("frames_rx = %d, want >= 10", n)
+	}
+	if n := ns.Obs().Counter(dgram.CtrFilterDrops).Load(); n != 0 {
+		t.Errorf("filter_drops = %d on a clean medium", n)
+	}
+}
+
+// TestDatagramDozeMissesTraffic pins that a DatagramTuner's doze window
+// is an actual non-read: cycles broadcast while the tuner sleeps
+// overflow its (tiny) tap buffer and are gone, and the tuner
+// resynchronizes on the traffic after it wakes.
+func TestDatagramDozeMissesTraffic(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.FMatrix, 4)
+	car := dgram.NewSimCarrier()
+	defer car.Close()
+	cfg := dgram.Config{Channel: 1}
+	sender, err := dgram.NewSender(car, cfg, ns.Obs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.AttachDatagram(sender)
+
+	// A one-packet buffer: anything broadcast during the doze overflows.
+	tap := car.Tap(0, nil, 1)
+	dt, err := TuneDatagram(tap, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dt.Close()
+	sub := dt.Subscribe(64)
+
+	if _, err := ns.Step(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cb := <-sub.C:
+		if cb.Number != 1 {
+			t.Fatalf("cycle %d, want 1", cb.Number)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cycle 1 never arrived")
+	}
+
+	// Power down, then broadcast a burst the radio cannot hear.
+	dt.Doze(500 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond) // let the loop park in the doze branch
+	for c := 2; c <= 6; c++ {
+		txn := bsrv.Begin()
+		txn.Write(0, []byte{byte(c)})
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tap.Overflow() == 0 {
+		t.Fatal("doze window lost no packets: the tuner was still reading")
+	}
+
+	// After waking, later cycles must still decode (full frames are
+	// self-contained, so resync is immediate).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("tuner never resynchronized after dozing")
+		}
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case cb := <-sub.C:
+			if cb.Number > 6 {
+				return // decoded a post-doze cycle: resynchronized
+			}
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestOverflowReapThenRetune is the regression for the slow-subscriber
+// reap path: a TCP subscriber that never reads must be reaped (counter
+// + trace event), and the server must keep serving — a fresh tuner
+// connecting afterwards receives cycles normally.
+func TestOverflowReapThenRetune(t *testing.T) {
+	bsrv, err := server.New(server.Config{
+		Objects: 256, ObjectBits: 64, Algorithm: protocol.FMatrix,
+		Trace: obs.NewTracer(512),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	ns, err := ServeOptions(bsrv, "127.0.0.1:0", "127.0.0.1:0", Options{
+		WriteTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	// A subscriber that never reads: the kernel buffer fills and the
+	// write deadline reaps it.
+	conn, err := net.Dial("tcp", ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	awaitSubscribers(t, ns, 1)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for ns.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unread subscriber never reaped")
+		}
+		if _, err := ns.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := ns.Obs()
+	if n := reg.Counter("netcast_overflow_reaps").Load(); n < 1 {
+		t.Fatalf("netcast_overflow_reaps = %d, want >= 1", n)
+	}
+	if n := reg.Counter("netcast_tx_bytes").Load(); n == 0 {
+		t.Fatal("netcast_tx_bytes never moved while a subscriber was attached")
+	}
+	found := false
+	for _, ev := range bsrv.Tracer().Events() {
+		if ev.Kind == obs.EvSubReap {
+			found = true
+			if ev.Arg != 0 {
+				t.Fatalf("EvSubReap arg = %d subscribers left, want 0", ev.Arg)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no EvSubReap event in the trace")
+	}
+
+	// The server must still be fully serviceable: a fresh tuner retunes
+	// and receives the next cycle.
+	tuner, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	sub := tuner.Subscribe(8)
+	awaitSubscribers(t, ns, 1)
+	if _, err := ns.Step(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.C:
+	case <-time.After(5 * time.Second):
+		t.Fatal("retuned subscriber received nothing after the reap")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"broadcastcc/internal/airsched"
 	"broadcastcc/internal/bcast"
 	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/dgram"
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
@@ -104,11 +105,17 @@ type Options struct {
 	// frame and at epoch changes.
 	PartitionEvery int
 
+	// WriteTimeout bounds each subscriber socket write; a subscriber
+	// that cannot drain a frame within it is reaped (the broadcast never
+	// waits for a listener). Zero means the defaults: 2s in classic
+	// mode, 10s in program mode (whole major cycles per Step).
+	WriteTimeout time.Duration
+
 	// Obs receives the transmission metrics (netcast_full_bytes,
 	// netcast_delta_bytes, netcast_grouped_bytes, netcast_frames_sent,
-	// subscriber churn and the netcast_subscribers gauge). Nil uses the
-	// broadcast server's registry, so one process naturally has one
-	// registry.
+	// netcast_tx_bytes, netcast_overflow_reaps, subscriber churn and the
+	// netcast_subscribers gauge). Nil uses the broadcast server's
+	// registry, so one process naturally has one registry.
 	Obs *obs.Registry
 }
 
@@ -150,7 +157,14 @@ type Server struct {
 	cFramesSent   *obs.Counter
 	cSubsAdded    *obs.Counter
 	cSubsDropped  *obs.Counter
+	cTxBytes      *obs.Counter
+	cReaps        *obs.Counter
 	gSubs         *obs.Gauge
+	reg           *obs.Registry
+
+	// Optional datagram broadcast (AttachDatagram): every cycle's frames
+	// also go out once over the connectionless datapath. Step-only.
+	dsender *dgram.Sender
 }
 
 // Serve starts listening on the two addresses (e.g. "127.0.0.1:0") and
@@ -202,12 +216,15 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	if reg == nil {
 		reg = bsrv.Obs()
 	}
+	s.reg = reg
 	s.cFullBytes = reg.Counter("netcast_full_bytes")
 	s.cDeltaBytes = reg.Counter("netcast_delta_bytes")
 	s.cGroupedBytes = reg.Counter("netcast_grouped_bytes")
 	s.cFramesSent = reg.Counter("netcast_frames_sent")
 	s.cSubsAdded = reg.Counter("netcast_subs_added")
 	s.cSubsDropped = reg.Counter("netcast_subs_dropped")
+	s.cTxBytes = reg.Counter("netcast_tx_bytes")
+	s.cReaps = reg.Counter("netcast_overflow_reaps")
 	s.gSubs = reg.Gauge("netcast_subscribers")
 	if prog != nil {
 		s.timeline = airsched.NewTimeline(prog)
@@ -283,6 +300,13 @@ func (s *Server) Step() (int, error) {
 		s.cFullBytes.Add(int64(len(data)))
 	}
 	s.cFramesSent.Inc()
+	if s.dsender != nil {
+		// One datagram transmission reaches every tuned receiver; its
+		// cost does not appear in the per-subscriber loop below.
+		if err := s.dsender.SendCycle(int64(cb.Number), [][]byte{data}); err != nil {
+			return 0, err
+		}
+	}
 	s.mu.Lock()
 	s.prev = cb
 	conns := make([]net.Conn, 0, len(s.subs))
@@ -294,15 +318,47 @@ func (s *Server) Step() (int, error) {
 	for _, c := range conns {
 		// A slow or dead subscriber must not stall the broadcast: give
 		// each write a short deadline and drop the connection on error.
-		c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		c.SetWriteDeadline(time.Now().Add(s.writeTimeout(2 * time.Second)))
 		if err := writeFrame(c, data); err != nil {
-			s.dropSub(c)
+			s.reapSub(c, cb.Number)
 			continue
 		}
+		s.cTxBytes.Add(int64(len(data)) + 4)
 		delivered++
 	}
 	s.bsrv.Tracer().Emit(obs.EvCycleEnd, obs.ActorServer, int64(cb.Number), 1, int64(delivered))
 	return delivered, nil
+}
+
+// writeTimeout resolves the per-write deadline for subscriber sockets.
+func (s *Server) writeTimeout(def time.Duration) time.Duration {
+	if s.opts.WriteTimeout > 0 {
+		return s.opts.WriteTimeout
+	}
+	return def
+}
+
+// reapSub drops a subscriber whose send path overflowed — it could not
+// drain a frame within the write deadline (or the connection died). The
+// reap is observable: a dedicated counter and a trace event, because a
+// silently vanishing subscriber looks identical to a doze window from
+// the outside and the difference matters when debugging retune storms.
+func (s *Server) reapSub(c net.Conn, cycle cmatrix.Cycle) {
+	s.mu.Lock()
+	reaped := false
+	if s.subs[c] {
+		delete(s.subs, c)
+		c.Close()
+		reaped = true
+		s.cSubsDropped.Inc()
+		s.cReaps.Inc()
+		s.gSubs.Set(int64(len(s.subs)))
+	}
+	left := len(s.subs)
+	s.mu.Unlock()
+	if reaped {
+		s.bsrv.Tracer().Emit(obs.EvSubReap, obs.ActorServer, int64(cycle), 0, int64(left))
+	}
 }
 
 // RunTicker calls Step every interval until stop is closed.
@@ -322,6 +378,10 @@ func (s *Server) RunTicker(interval time.Duration, stop <-chan struct{}) {
 }
 
 // Subscribers reports the current broadcast subscriber count.
+// Obs returns the registry the server's transmission counters live in
+// (Options.Obs, defaulting to the broadcast server's own registry).
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
 func (s *Server) Subscribers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -371,17 +431,6 @@ func (s *Server) acceptBroadcast() {
 	}
 }
 
-func (s *Server) dropSub(c net.Conn) {
-	s.mu.Lock()
-	if s.subs[c] {
-		delete(s.subs, c)
-		c.Close()
-		s.cSubsDropped.Inc()
-		s.gSubs.Set(int64(len(s.subs)))
-	}
-	s.mu.Unlock()
-}
-
 func (s *Server) acceptUplink() {
 	defer s.wg.Done()
 	for {
@@ -420,7 +469,7 @@ type Tuner struct {
 	medium *bcast.Medium
 	done   chan struct{}
 	err    error
-	asm    *assembler
+	dec    *FrameDecoder
 }
 
 // Tune connects to a broadcast address and starts receiving cycles.
@@ -429,7 +478,7 @@ func Tune(addr string) (*Tuner, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{}), asm: newAssembler()}
+	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{}), dec: NewFrameDecoder()}
 	go t.loop()
 	return t, nil
 }
@@ -437,9 +486,6 @@ func Tune(addr string) (*Tuner, error) {
 func (t *Tuner) loop() {
 	defer close(t.done)
 	defer t.medium.Close()
-	var last *bcast.CycleBroadcast
-	var lastPart *cmatrix.Partition // partition held for partition-less grouped frames
-	var lastEpoch uint64
 	for {
 		frame, err := readFrame(t.conn)
 		if err != nil {
@@ -448,52 +494,14 @@ func (t *Tuner) loop() {
 			}
 			return
 		}
-		if wire.IsIndexFrame(frame) || wire.IsBucketFrame(frame) {
-			// Program-mode stream: reassemble whole cycles from the
-			// index and bucket frames.
-			cb, err := t.asm.feed(frame)
-			if err != nil {
-				t.err = err
-				return
-			}
-			if cb != nil {
-				t.medium.Publish(cb)
-			}
-			continue
+		cb, err := t.dec.Decode(frame)
+		if err != nil {
+			t.err = err
+			return
 		}
-		if wire.IsGroupedFrame(frame) {
-			cb, epoch, err := wire.DecodeGroupedCycle(frame, lastPart, lastEpoch)
-			if err != nil {
-				// Tuned in mid-stream, or the partition moved while a frame
-				// was lost: wait for the next partition-bearing frame.
-				lastPart = nil
-				continue
-			}
-			lastPart, lastEpoch = cb.Grouped.Part(), epoch
+		if cb != nil {
 			t.medium.Publish(cb)
-			continue
 		}
-		var cb *bcast.CycleBroadcast
-		if wire.IsDeltaFrame(frame) {
-			if last == nil {
-				continue // tuned in mid-stream: wait for the next full frame
-			}
-			cb, err = wire.DecodeCycleDelta(frame, last)
-			if err != nil {
-				// Out of sync (e.g. a dropped frame): resynchronize on
-				// the next full frame rather than dying.
-				last = nil
-				continue
-			}
-		} else {
-			cb, err = wire.DecodeCycle(frame)
-			if err != nil {
-				t.err = err
-				return
-			}
-		}
-		last = cb
-		t.medium.Publish(cb)
 	}
 }
 

@@ -106,6 +106,11 @@ func (s *Server) stepProgram() (int, error) {
 	s.cFullBytes.Add(fullB)
 	s.cDeltaBytes.Add(deltaB)
 	s.cFramesSent.Add(int64(len(payloads)))
+	if s.dsender != nil {
+		if err := s.dsender.SendCycle(int64(cb.Number), payloads); err != nil {
+			return 0, err
+		}
+	}
 	s.mu.Lock()
 	conns := make([]net.Conn, 0, len(s.subs))
 	for c := range s.subs {
@@ -114,14 +119,15 @@ func (s *Server) stepProgram() (int, error) {
 	s.mu.Unlock()
 	delivered := 0
 	for _, c := range conns {
-		c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		c.SetWriteDeadline(time.Now().Add(s.writeTimeout(10 * time.Second)))
 		ok := true
 		for _, data := range payloads {
 			if err := writeFrame(c, data); err != nil {
-				s.dropSub(c)
+				s.reapSub(c, cb.Number)
 				ok = false
 				break
 			}
+			s.cTxBytes.Add(int64(len(data)) + 4)
 		}
 		if ok {
 			delivered++

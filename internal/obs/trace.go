@@ -22,6 +22,7 @@ const (
 	EvUplinkVerdict                        // uplink update decided; Arg = 1 accept / 0 reject
 	EvRetune                               // client re-tuned after a gap/disconnect; Arg = cycles missed
 	EvDoze                                 // client doze window; Arg = frames (or cycles) slept
+	EvSubReap                              // server reaped a subscriber that could not keep up; Arg = subscribers left
 )
 
 var kindNames = [...]string{
@@ -33,6 +34,7 @@ var kindNames = [...]string{
 	EvUplinkVerdict:   "uplink-verdict",
 	EvRetune:          "retune",
 	EvDoze:            "doze",
+	EvSubReap:         "sub-reap",
 }
 
 // String returns the stable text name of the kind.
@@ -159,7 +161,7 @@ func DecodeTrace(b []byte) ([]Event, error) {
 	for off := 0; off < len(b); off += traceRecordSize {
 		rec := b[off : off+traceRecordSize]
 		k := EventKind(rec[0])
-		if k < EvCycleStart || k > EvDoze {
+		if k < EvCycleStart || k > EvSubReap {
 			return nil, fmt.Errorf("obs: unknown event kind %d at offset %d", rec[0], off)
 		}
 		events = append(events, Event{

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke soak-smoke soak-nightly
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/... ./internal/bctest/... ./cmd/bcsoak/...
 
 verify: build test race
 
@@ -96,3 +96,17 @@ udp-smoke:
 		exit 1; \
 	fi; \
 	echo "udp-smoke: ok ($$rx packets received)"
+
+# 30 seconds of bcsoak: a real netcast server under concurrent TCP
+# tuners, UDP datagram readers, uplink writers and subscription churn,
+# with the obs-derived invariants (subscriber balance, uplink latency
+# p99, restart-ratio model, datagram loss budget) checked on every
+# /metrics scrape. Non-zero exit on the first violation.
+soak-smoke:
+	$(GO) run ./cmd/bcsoak -duration 30s -scrape 3s
+
+# The nightly long soak: 30 minutes, a larger tuner population, and a
+# JSONL metrics timeline for upload as a CI artifact.
+soak-nightly:
+	$(GO) run ./cmd/bcsoak -duration 30m -tuners 120 -udp-clients 16 \
+		-writers 8 -scrape 15s -timeline soak-timeline.jsonl

@@ -11,6 +11,7 @@
 //	bcbench -figure all -parallel 8 # bound the sweep worker pool
 //	bcbench -figure airsched -json bench/   # tuning-vs-skew study as BENCH_airsched.json
 //	bcbench -figure grouped -json bench/    # grouped-matrix bandwidth study at n=10⁵
+//	bcbench -figure scale -json bench/      # event-wheel sweep to 10⁶ clients as BENCH_scale.json
 //
 // The airsched figures measure the air-scheduling subsystem: "airsched"
 // sweeps zipf skew θ comparing the flat broadcast against a 3-disk
@@ -34,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"broadcastcc"
 	"broadcastcc/internal/experiments"
@@ -53,7 +56,7 @@ func writeBenchJSON(path string, e *broadcastcc.Experiment) error {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, wire, or all")
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, wire, scale, or all")
 	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")
@@ -62,6 +65,7 @@ func main() {
 	shapeSlack := flag.Float64("shape-slack", 0.35, "tolerance for the qualitative shape check")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	jsonDir := flag.String("json", "", "write one machine-readable BENCH_<id>.json per figure into this directory")
+	scaleClients := flag.String("scale-clients", "", "comma-separated client counts for -figure scale (default 10000,100000,1000000)")
 	flag.Parse()
 
 	opt := broadcastcc.ExperimentOptions{
@@ -74,6 +78,48 @@ func main() {
 		opt.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+
+	// The scale study is deliberately not part of "all": its million-
+	// client points dominate the wall clock of everything else combined.
+	if *figure == "scale" {
+		var counts []int
+		if *scaleClients != "" {
+			for _, part := range strings.Split(*scaleClients, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad -scale-clients entry %q: %v\n", part, err)
+					os.Exit(2)
+				}
+				counts = append(counts, n)
+			}
+		}
+		bench, err := experiments.ScaleStudy(experiments.ScaleConfig{Clients: counts, Seed: *seed}, opt.Progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.ScaleTable(bench))
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+bench.ID+".json")
+			f, err := os.Create(path)
+			if err == nil {
+				err = bench.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return
 	}
 
 	if *figure == "delta" || *figure == "all" {

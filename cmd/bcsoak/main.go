@@ -1,0 +1,53 @@
+// Command bcsoak soaks a real broadcast server: it stands up an
+// in-process bcserver, tunes in a crowd of concurrent TCP and UDP
+// clients plus uplink writers, churns subscriptions, and periodically
+// scrapes the live /metrics and /trace endpoints over HTTP, asserting
+// the obs-derived invariants from internal/bctest on every scrape:
+//
+//   - no subscriber leak (netcast_subs_added − netcast_subs_dropped
+//     equals the live gauge, bounded by the configured population)
+//   - uplink commit latency p99 stays under -p99
+//   - the client restart ratio stays within the paper's analytic
+//     restart model (self-calibrated from the measured update rate)
+//   - datagram reassembly losses stay under the loopback loss budget
+//
+// It exits non-zero on the first violation, so it doubles as a CI
+// smoke test (make soak-smoke) and as a long-running nightly soak:
+//
+//	bcsoak -duration 30s
+//	bcsoak -duration 30m -tuners 200 -timeline soak-timeline.jsonl
+//
+// With -timeline every scrape appends a JSONL point (elapsed time plus
+// the merged server+client snapshot), which CI uploads as an artifact
+// for post-mortem inspection.
+package main
+
+import (
+	"flag"
+	"log"
+)
+
+func main() {
+	cfg := defaultSoakConfig()
+	flag.DurationVar(&cfg.Duration, "duration", cfg.Duration, "how long to soak")
+	flag.DurationVar(&cfg.Interval, "interval", cfg.Interval, "broadcast cycle interval")
+	flag.IntVar(&cfg.Objects, "objects", cfg.Objects, "number of objects in the database")
+	flag.IntVar(&cfg.Tuners, "tuners", cfg.Tuners, "concurrent TCP read-only tuners")
+	flag.IntVar(&cfg.UDPClients, "udp-clients", cfg.UDPClients, "concurrent readers on the UDP datagram leg")
+	flag.IntVar(&cfg.Writers, "writers", cfg.Writers, "concurrent uplink update writers")
+	flag.DurationVar(&cfg.ChurnEvery, "churn", cfg.ChurnEvery, "tune+drop a throwaway subscriber this often (0 = off)")
+	flag.DurationVar(&cfg.ScrapeEvery, "scrape", cfg.ScrapeEvery, "scrape /metrics and check invariants this often")
+	flag.IntVar(&cfg.ReadsPerTxn, "reads", cfg.ReadsPerTxn, "objects read per client transaction")
+	flag.Float64Var(&cfg.Workload, "workload", cfg.Workload, "server-side synthetic update transactions per second")
+	flag.IntVar(&cfg.WorkloadLen, "workload-len", cfg.WorkloadLen, "operations per synthetic server transaction")
+	flag.DurationVar(&cfg.P99Bound, "p99", cfg.P99Bound, "uplink commit latency p99 bound")
+	flag.Float64Var(&cfg.LossBudget, "loss-budget", cfg.LossBudget, "tolerated datagram frame-loss fraction (loopback kernel drops)")
+	flag.StringVar(&cfg.Timeline, "timeline", cfg.Timeline, "append a JSONL metrics point per scrape to this file (empty = off)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "client workload seed")
+	flag.Parse()
+
+	if err := runSoak(cfg, log.Printf); err != nil {
+		log.Fatalf("bcsoak: %v", err)
+	}
+	log.Printf("bcsoak: all invariants held for %v", cfg.Duration)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// soakTestConfig is a short, dense run: enough concurrency to exercise
+// every leg (TCP tuners, UDP readers, writers, churn) in ~2 seconds.
+func soakTestConfig() soakConfig {
+	cfg := defaultSoakConfig()
+	cfg.Duration = 2 * time.Second
+	cfg.Interval = 10 * time.Millisecond
+	cfg.Tuners = 12
+	cfg.UDPClients = 4
+	cfg.Writers = 2
+	cfg.ChurnEvery = 100 * time.Millisecond
+	cfg.ScrapeEvery = 400 * time.Millisecond
+	cfg.Workload = 100
+	// The test often shares the machine with the rest of the suite;
+	// scheduling stalls there are not commit-path pathology.
+	cfg.P99Bound = 5 * time.Second
+	return cfg
+}
+
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke needs a couple of wall-clock seconds")
+	}
+	cfg := soakTestConfig()
+	cfg.Timeline = filepath.Join(t.TempDir(), "timeline.jsonl")
+	if err := runSoak(cfg, t.Logf); err != nil {
+		t.Fatalf("soak run violated an invariant: %v", err)
+	}
+
+	// The timeline artifact must hold one valid JSON point per scrape,
+	// each embedding the merged snapshot the checkers saw.
+	f, err := os.Open(cfg.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	points := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var pt timelinePoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			t.Fatalf("timeline line %d is not valid JSON: %v", points+1, err)
+		}
+		if pt.Snapshot.Counters["server_cycles"] <= 0 {
+			t.Fatalf("timeline point %d has no server cycles: %+v", points+1, pt.Snapshot.Counters)
+		}
+		points++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if points < 2 {
+		t.Fatalf("timeline holds %d points, want at least 2 for a %v run scraped every %v",
+			points, cfg.Duration, cfg.ScrapeEvery)
+	}
+}
+
+func TestSoakConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*soakConfig)
+		want string
+	}{
+		{"zero duration", func(c *soakConfig) { c.Duration = 0 }, "Duration"},
+		{"no tuners", func(c *soakConfig) { c.Tuners = 0 }, "Tuners"},
+		{"negative writers", func(c *soakConfig) { c.Writers = -1 }, "Writers"},
+		{"reads exceed objects", func(c *soakConfig) { c.ReadsPerTxn = c.Objects + 1 }, "ReadsPerTxn"},
+		{"loss budget above 1", func(c *soakConfig) { c.LossBudget = 1.5 }, "LossBudget"},
+		{"zero scrape", func(c *soakConfig) { c.ScrapeEvery = 0 }, "ScrapeEvery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultSoakConfig()
+			tc.mut(&cfg)
+			err := runSoak(cfg, nil)
+			if err == nil {
+				t.Fatal("invalid config was accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := defaultSoakConfig().validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+package bctest
+
+import (
+	"fmt"
+	"math"
+
+	"broadcastcc/internal/obs"
+)
+
+// Obs-derived invariant checkers, shared by cmd/bcsoak (asserted on
+// every live /metrics scrape) and by unit tests. Each checker takes an
+// obs.Snapshot — the merged view of one or more registries — and
+// returns nil or an *InvariantViolation naming what broke and the
+// numbers that prove it.
+
+// InvariantViolation is a named failed invariant with its evidence.
+type InvariantViolation struct {
+	Name   string // stable checker identifier, e.g. "subscriber-leak"
+	Detail string // the numbers: expected vs observed
+}
+
+func (v *InvariantViolation) Error() string {
+	return fmt.Sprintf("invariant %s violated: %s", v.Name, v.Detail)
+}
+
+func violation(name, format string, args ...any) error {
+	return &InvariantViolation{Name: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CheckSubscriberBalance asserts the netcast subscriber accounting has
+// no leak: the live gauge equals adds minus drops, never goes negative,
+// and never exceeds maxLive (the harness knows how many tuners it ever
+// had attached at once; pass a generous cap if churn makes the exact
+// peak awkward).
+func CheckSubscriberBalance(s obs.Snapshot, maxLive int64) error {
+	added := s.Counters["netcast_subs_added"]
+	dropped := s.Counters["netcast_subs_dropped"]
+	live := s.Gauges["netcast_subscribers"]
+	if added-dropped != live {
+		return violation("subscriber-leak",
+			"netcast_subs_added %d - netcast_subs_dropped %d = %d, but netcast_subscribers gauge is %d",
+			added, dropped, added-dropped, live)
+	}
+	if live < 0 {
+		return violation("subscriber-leak", "netcast_subscribers gauge is negative: %d", live)
+	}
+	if live > maxLive {
+		return violation("subscriber-leak", "netcast_subscribers %d exceeds the harness cap %d", live, maxLive)
+	}
+	return nil
+}
+
+// CheckCommitLatency asserts the named latency histogram's p99 stays
+// under p99Max (same unit as the histogram, nanoseconds for the
+// netcast_uplink_ns commit path). Histograms with fewer than minSamples
+// observations pass vacuously — early scrapes haven't seen traffic yet.
+// A missing histogram with minSamples > 0 is itself a violation: the
+// instrument the invariant rides on was unregistered.
+func CheckCommitLatency(s obs.Snapshot, name string, p99Max int64, minSamples int64) error {
+	h, ok := s.Histograms[name]
+	if !ok {
+		if minSamples <= 0 {
+			return nil
+		}
+		return violation("commit-latency-bound", "histogram %q is not in the snapshot", name)
+	}
+	if h.Total() < minSamples {
+		return nil
+	}
+	lo, _ := h.Quantile(0.99)
+	if lo > p99Max {
+		return violation("commit-latency-bound",
+			"%s p99 is at least %d (bucket lower bound), above the %d bound (%d samples)",
+			name, lo, p99Max, h.Total())
+	}
+	return nil
+}
+
+// RestartModel is the analytic restart-ratio model for read-only
+// transactions under the strict (conjunctive) read condition: over the
+// CyclesPerTxn cycles a transaction is exposed, UpdatesPerCycle update
+// transactions commit, each writing WritesPerUpdate of the Objects
+// uniformly; a commit touching any of the transaction's TxnReads read
+// objects aborts it. Restarts per commit then follow the geometric
+// p/(1-p) with
+//
+//	p = 1 - (1 - TxnReads*WritesPerUpdate/Objects)^(UpdatesPerCycle*CyclesPerTxn)
+//
+// Slack (>= 1) is the multiplicative headroom the bound allows for the
+// approximations (non-uniform exposure, read-set growth during the
+// transaction, integer update counts).
+type RestartModel struct {
+	UpdatesPerCycle float64
+	WritesPerUpdate float64
+	Objects         int
+	TxnReads        int
+	CyclesPerTxn    float64
+	Slack           float64
+}
+
+// Bound returns the model's maximum admissible restarts per committed
+// transaction.
+func (m RestartModel) Bound() float64 {
+	slack := m.Slack
+	if slack < 1 {
+		slack = 1
+	}
+	if m.Objects <= 0 {
+		return math.Inf(1)
+	}
+	hit := float64(m.TxnReads) * m.WritesPerUpdate / float64(m.Objects)
+	if hit >= 1 {
+		return math.Inf(1)
+	}
+	p := 1 - math.Pow(1-hit, m.UpdatesPerCycle*m.CyclesPerTxn)
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return slack * p / (1 - p)
+}
+
+// CheckRestartRatio asserts the observed restart ratio — restarts per
+// committed transaction — stays within the analytic model. Runs with
+// fewer than minTxns committed transactions pass vacuously.
+func CheckRestartRatio(restarts, txns int64, m RestartModel, minTxns int64) error {
+	if txns < minTxns || txns == 0 {
+		return nil
+	}
+	if restarts < 0 {
+		return violation("restart-ratio-model", "negative restart counter: %d", restarts)
+	}
+	ratio := float64(restarts) / float64(txns)
+	if bound := m.Bound(); ratio > bound {
+		return violation("restart-ratio-model",
+			"observed restart ratio %.4f (%d restarts / %d txns) exceeds the model bound %.4f",
+			ratio, restarts, txns, bound)
+	}
+	return nil
+}
+
+// CheckDgramLoss asserts the datagram reassembly path loses at most the
+// injected packet-loss fraction (times slack): frames the FEC could not
+// repair over all loss-exposed frames must not exceed what the medium
+// itself dropped — reassembly must never amplify loss. Runs with fewer
+// than minFrames total frames pass vacuously.
+func CheckDgramLoss(s obs.Snapshot, injectedLoss, slack float64, minFrames int64) error {
+	lost := s.Counters["dgram_frames_lost"]
+	rx := s.Counters["dgram_frames_rx"]
+	total := lost + rx
+	if total < minFrames || total == 0 {
+		return nil
+	}
+	if slack < 1 {
+		slack = 1
+	}
+	frac := float64(lost) / float64(total)
+	if bound := injectedLoss * slack; frac > bound {
+		return violation("dgram-loss-bound",
+			"frame loss fraction %.4f (%d lost / %d frames) exceeds injected loss %.4f x slack %.1f = %.4f",
+			frac, lost, total, injectedLoss, slack, bound)
+	}
+	return nil
+}

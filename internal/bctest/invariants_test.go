@@ -1,0 +1,147 @@
+package bctest
+
+import (
+	"errors"
+	"testing"
+
+	"broadcastcc/internal/obs"
+)
+
+func wantViolation(t *testing.T, err error, name string) *InvariantViolation {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected %s violation, got nil", name)
+	}
+	var v *InvariantViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not an *InvariantViolation", err)
+	}
+	if v.Name != name {
+		t.Fatalf("violation name = %q, want %q", v.Name, name)
+	}
+	return v
+}
+
+func TestCheckSubscriberBalance(t *testing.T) {
+	healthy := obs.Snapshot{
+		Counters: map[string]int64{"netcast_subs_added": 10, "netcast_subs_dropped": 4},
+		Gauges:   map[string]int64{"netcast_subscribers": 6},
+	}
+	if err := CheckSubscriberBalance(healthy, 100); err != nil {
+		t.Fatalf("healthy snapshot flagged: %v", err)
+	}
+
+	leak := healthy
+	leak.Gauges = map[string]int64{"netcast_subscribers": 7}
+	wantViolation(t, CheckSubscriberBalance(leak, 100), "subscriber-leak")
+
+	negative := obs.Snapshot{
+		Counters: map[string]int64{"netcast_subs_added": 3, "netcast_subs_dropped": 5},
+		Gauges:   map[string]int64{"netcast_subscribers": -2},
+	}
+	wantViolation(t, CheckSubscriberBalance(negative, 100), "subscriber-leak")
+
+	wantViolation(t, CheckSubscriberBalance(healthy, 5), "subscriber-leak")
+}
+
+func latencySnapshot(counts ...int64) obs.Snapshot {
+	// Buckets: (..1000], (1000..10000], (10000..+Inf).
+	return obs.Snapshot{
+		Counters: map[string]int64{},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"netcast_uplink_ns": {Bounds: []int64{1000, 10000}, Counts: counts},
+		},
+	}
+}
+
+func TestCheckCommitLatency(t *testing.T) {
+	healthy := latencySnapshot(90, 10, 0)
+	if err := CheckCommitLatency(healthy, "netcast_uplink_ns", 10000, 10); err != nil {
+		t.Fatalf("healthy latency flagged: %v", err)
+	}
+
+	slow := latencySnapshot(10, 10, 80)
+	wantViolation(t, CheckCommitLatency(slow, "netcast_uplink_ns", 10000, 10), "commit-latency-bound")
+
+	// Too few samples passes vacuously, even when they are slow.
+	sparse := latencySnapshot(0, 0, 3)
+	if err := CheckCommitLatency(sparse, "netcast_uplink_ns", 10000, 10); err != nil {
+		t.Fatalf("sparse histogram flagged: %v", err)
+	}
+
+	// A missing instrument is a violation once samples are required.
+	empty := obs.Snapshot{Counters: map[string]int64{}}
+	wantViolation(t, CheckCommitLatency(empty, "netcast_uplink_ns", 10000, 1), "commit-latency-bound")
+	if err := CheckCommitLatency(empty, "netcast_uplink_ns", 10000, 0); err != nil {
+		t.Fatalf("optional missing histogram flagged: %v", err)
+	}
+}
+
+func TestRestartModelBound(t *testing.T) {
+	m := RestartModel{
+		UpdatesPerCycle: 2,
+		WritesPerUpdate: 4,
+		Objects:         300,
+		TxnReads:        4,
+		CyclesPerTxn:    1.5,
+		Slack:           1,
+	}
+	b := m.Bound()
+	if b <= 0 || b > 1 {
+		t.Fatalf("bound %v out of the plausible range for the paper's Table 1 regime", b)
+	}
+	m.Slack = 3
+	if got := m.Bound(); got <= b {
+		t.Fatalf("slack did not widen the bound: %v <= %v", got, b)
+	}
+	// Degenerate models must not produce a finite bound that false-flags.
+	if got := (RestartModel{Objects: 0}).Bound(); !isInf(got) {
+		t.Fatalf("zero-object model bound = %v, want +Inf", got)
+	}
+	if got := (RestartModel{Objects: 4, TxnReads: 4, WritesPerUpdate: 2}).Bound(); !isInf(got) {
+		t.Fatalf("certain-hit model bound = %v, want +Inf", got)
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+func TestCheckRestartRatio(t *testing.T) {
+	m := RestartModel{
+		UpdatesPerCycle: 2,
+		WritesPerUpdate: 4,
+		Objects:         300,
+		TxnReads:        4,
+		CyclesPerTxn:    1.5,
+		Slack:           2,
+	}
+	if err := CheckRestartRatio(10, 100, m, 50); err != nil {
+		t.Fatalf("healthy ratio flagged: %v", err)
+	}
+	wantViolation(t, CheckRestartRatio(90, 100, m, 50), "restart-ratio-model")
+	// Vacuous below the evidence threshold.
+	if err := CheckRestartRatio(90, 100, m, 500); err != nil {
+		t.Fatalf("sub-threshold run flagged: %v", err)
+	}
+	wantViolation(t, CheckRestartRatio(-1, 100, m, 50), "restart-ratio-model")
+}
+
+func TestCheckDgramLoss(t *testing.T) {
+	healthy := obs.Snapshot{Counters: map[string]int64{
+		"dgram_frames_lost": 5,
+		"dgram_frames_rx":   995,
+	}}
+	if err := CheckDgramLoss(healthy, 0.10, 1.2, 100); err != nil {
+		t.Fatalf("healthy dgram snapshot flagged: %v", err)
+	}
+
+	amplified := obs.Snapshot{Counters: map[string]int64{
+		"dgram_frames_lost": 200,
+		"dgram_frames_rx":   800,
+	}}
+	wantViolation(t, CheckDgramLoss(amplified, 0.10, 1.2, 100), "dgram-loss-bound")
+
+	// Vacuous with too few frames.
+	if err := CheckDgramLoss(amplified, 0.10, 1.2, 10_000); err != nil {
+		t.Fatalf("sub-threshold dgram run flagged: %v", err)
+	}
+}

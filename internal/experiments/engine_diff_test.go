@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/sim"
+)
+
+// TestAllFiguresWheelVsLegacyEngine reproduces every existing figure
+// under both multi-client engines and asserts byte-identical output —
+// the rendered tables and the BENCH JSON, obs snapshots included.
+// Single-client figures are trivially shared code; the clients figure
+// is the live differential surface, and the whole sweep pins that no
+// figure silently grows an engine dependence.
+func TestAllFiguresWheelVsLegacyEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction too slow for -short")
+	}
+	mk := func(engine string) Options {
+		return Options{
+			Txns:        40,
+			MeasureFrom: 10,
+			Seed:        7,
+			MaxTime:     5e11,
+			Algorithms:  []protocol.Algorithm{protocol.RMatrix, protocol.FMatrix},
+			Engine:      engine,
+		}
+	}
+	legacy, err := All(mk(sim.EngineLegacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wheel, err := All(mk(sim.EngineWheel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(wheel) {
+		t.Fatalf("legacy produced %d experiments, wheel %d", len(legacy), len(wheel))
+	}
+	for i := range legacy {
+		if legacy[i].ID != wheel[i].ID {
+			t.Fatalf("experiment %d: id %q vs %q", i, legacy[i].ID, wheel[i].ID)
+		}
+		for _, m := range []Metric{ResponseTime, RestartRatio} {
+			lt, wt := legacy[i].Table(m), wheel[i].Table(m)
+			if lt != wt {
+				t.Errorf("figure %s [%s]: tables differ\nlegacy:\n%s\nwheel:\n%s",
+					legacy[i].ID, m.label(), lt, wt)
+			}
+		}
+		lb, err := json.Marshal(legacy[i].Bench())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(wheel[i].Bench())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, wb) {
+			t.Errorf("figure %s: BENCH JSON differs between engines", legacy[i].ID)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/sim"
+)
+
+func TestScaleStudySmall(t *testing.T) {
+	sc := ScaleConfig{
+		Clients:    []int{50, 200},
+		Algorithms: []protocol.Algorithm{protocol.RMatrix, protocol.FMatrix},
+		Txns:       4,
+		Objects:    60,
+		Seed:       3,
+	}
+	b, err := ScaleStudy(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "scale" {
+		t.Fatalf("ID = %q", b.ID)
+	}
+	if len(b.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(b.Points))
+	}
+	for _, pt := range b.Points {
+		for _, lbl := range b.Labels {
+			m, ok := pt.Series[lbl]
+			if !ok {
+				t.Fatalf("point x=%v missing series %q", pt.X, lbl)
+			}
+			if m.RestartRatio == nil {
+				t.Fatalf("point x=%v %s: nil restart ratio", pt.X, lbl)
+			}
+			if m.Obs == nil || m.Obs.Counters["client_reads"] == 0 {
+				t.Fatalf("point x=%v %s: missing obs snapshot", pt.X, lbl)
+			}
+		}
+	}
+
+	// Seed-pure: the same config replays the identical table.
+	b2, err := ScaleStudy(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, b2) {
+		t.Fatal("scale study is not deterministic")
+	}
+}
+
+func TestScaleStudyRejectsBadClientCounts(t *testing.T) {
+	for _, n := range []int{0, -5, sim.MaxClients + 1} {
+		_, err := ScaleStudy(ScaleConfig{Clients: []int{n}}, nil)
+		if err == nil {
+			t.Fatalf("client count %d accepted", n)
+		}
+		if !strings.Contains(err.Error(), "client count") {
+			t.Fatalf("client count %d: unhelpful error %q", n, err)
+		}
+	}
+}

@@ -160,6 +160,7 @@ type Server struct {
 	cTxBytes      *obs.Counter
 	cReaps        *obs.Counter
 	gSubs         *obs.Gauge
+	hUplinkNs     *obs.Histogram
 	reg           *obs.Registry
 
 	// Optional datagram broadcast (AttachDatagram): every cycle's frames
@@ -226,6 +227,9 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	s.cTxBytes = reg.Counter("netcast_tx_bytes")
 	s.cReaps = reg.Counter("netcast_overflow_reaps")
 	s.gSubs = reg.Gauge("netcast_subscribers")
+	// Uplink commit latency (decode + server-side validation + commit),
+	// nanoseconds: ~1 µs .. ~0.5 s. The soak harness bounds its p99.
+	s.hUplinkNs = reg.Histogram("netcast_uplink_ns", obs.Pow2Buckets(10, 20))
 	if prog != nil {
 		s.timeline = airsched.NewTimeline(prog)
 		s.seqs = make([]uint32, bsrv.Layout().Objects)
@@ -447,6 +451,7 @@ func (s *Server) acceptUplink() {
 				if err != nil {
 					return
 				}
+				start := time.Now()
 				req, err := wire.DecodeUpdateRequest(frame)
 				var verdict error
 				if err != nil {
@@ -454,6 +459,7 @@ func (s *Server) acceptUplink() {
 				} else {
 					verdict = s.bsrv.SubmitUpdate(req)
 				}
+				s.hUplinkNs.Observe(time.Since(start).Nanoseconds())
 				if err := writeFrame(conn, wire.EncodeUpdateReply(verdict)); err != nil {
 					return
 				}

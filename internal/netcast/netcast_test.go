@@ -162,6 +162,20 @@ func TestUplinkOverTCP(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "rejected") {
 		t.Fatalf("conflicting update = %v, want rejection", err)
 	}
+
+	// Every uplink round trip — accepted or rejected — lands one
+	// observation in the commit-latency histogram the soak harness
+	// bounds.
+	h, ok := ns.reg.Snapshot().Histograms["netcast_uplink_ns"]
+	if !ok {
+		t.Fatal("netcast_uplink_ns histogram not registered")
+	}
+	if got := h.Total(); got != 2 {
+		t.Fatalf("netcast_uplink_ns observations = %d, want 2", got)
+	}
+	if h.Sum <= 0 {
+		t.Fatalf("netcast_uplink_ns sum = %d, want > 0", h.Sum)
+	}
 }
 
 func TestSlowSubscriberIsDropped(t *testing.T) {

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -52,4 +54,29 @@ func Serve(addr string, reg *Registry, tr *Tracer) (net.Listener, error) {
 	srv := &http.Server{Handler: Handler(reg, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
+}
+
+// FetchSnapshot scrapes a /metrics endpoint served by Handler and
+// decodes it back into a Snapshot — the client side of the obs wire
+// format, used by the soak harness to assert invariants against live
+// processes. url is the full endpoint, e.g.
+// "http://127.0.0.1:7171/metrics".
+func FetchSnapshot(url string) (Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Snapshot{}, fmt.Errorf("obs: %s returned %s: %s", url, resp.Status, body)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decoding %s: %w", url, err)
+	}
+	if snap.Counters == nil {
+		snap.Counters = map[string]int64{}
+	}
+	return snap, nil
 }

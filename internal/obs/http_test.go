@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestFetchSnapshotRoundTrip pins the scrape path the soak harness
+// depends on: a snapshot served by Handler decodes back identically
+// through FetchSnapshot, histograms included.
+func TestFetchSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server_commits").Add(42)
+	reg.Gauge("netcast_subscribers").Set(7)
+	reg.Histogram("netcast_uplink_ns", Pow2Buckets(10, 8)).Observe(5000)
+
+	ln, err := Serve("127.0.0.1:0", reg, NewTracer(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	got, err := FetchSnapshot(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reg.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scraped snapshot differs:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestFetchSnapshotErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if _, err := FetchSnapshot(srv.URL + "/metrics"); err == nil {
+		t.Fatal("expected an error from a 500 endpoint")
+	}
+	if _, err := FetchSnapshot("http://127.0.0.1:1/metrics"); err == nil {
+		t.Fatal("expected an error from an unreachable endpoint")
+	}
+}

@@ -114,7 +114,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if cfg.Clients > 1 {
-		return e.runMulti()
+		if cfg.Engine == EngineLegacy {
+			return e.runMulti()
+		}
+		return e.runWheel()
 	}
 	return e.run()
 }

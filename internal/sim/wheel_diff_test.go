@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+)
+
+// The differential suite: the event-wheel engine must produce a Result
+// byte-identical to the legacy heap engine — same samples, same obs
+// snapshot, same trace, same per-client stats — for every multi-client
+// configuration both engines accept.
+
+// runBothEngines executes the same config under both engines.
+func runBothEngines(t *testing.T, cfg Config) (legacy, wheel *Result) {
+	t.Helper()
+	lc := cfg
+	lc.Engine = EngineLegacy
+	legacy, err := Run(lc)
+	if err != nil {
+		t.Fatalf("legacy engine: %v", err)
+	}
+	wc := cfg
+	wc.Engine = EngineWheel
+	wheel, err = Run(wc)
+	if err != nil {
+		t.Fatalf("wheel engine: %v", err)
+	}
+	return legacy, wheel
+}
+
+// mustEqualResults asserts byte-identity between two Results modulo the
+// Engine field of the embedded Config.
+func mustEqualResults(t *testing.T, legacy, wheel *Result) {
+	t.Helper()
+	l, w := *legacy, *wheel
+	l.Config.Engine, w.Config.Engine = "", ""
+
+	// The obs snapshots marshal deterministically; compare the exact
+	// bytes a /metrics endpoint (or an embedded BENCH table) would show.
+	lo, err := json.Marshal(l.Obs)
+	if err != nil {
+		t.Fatalf("marshal legacy obs: %v", err)
+	}
+	wo, err := json.Marshal(w.Obs)
+	if err != nil {
+		t.Fatalf("marshal wheel obs: %v", err)
+	}
+	if !bytes.Equal(lo, wo) {
+		t.Errorf("obs snapshots differ:\nlegacy: %s\nwheel:  %s", lo, wo)
+	}
+	if !reflect.DeepEqual(l.Trace, w.Trace) {
+		t.Errorf("traces differ: legacy %d events, wheel %d events", len(l.Trace), len(w.Trace))
+		for i := range l.Trace {
+			if i < len(w.Trace) && l.Trace[i] != w.Trace[i] {
+				t.Errorf("first divergence at event %d: legacy %+v wheel %+v", i, l.Trace[i], w.Trace[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(l, w) {
+		t.Errorf("results differ beyond obs/trace:\nlegacy: %+v\nwheel:  %+v", l, w)
+	}
+}
+
+// wheelDiffConfigs enumerates every multi-client shape the existing
+// figures exercise (plus the fault profiles) at n <= 1000.
+func wheelDiffConfigs() map[string]Config {
+	cfgs := make(map[string]Config)
+
+	// The clients figure: Clients in {2, 4, 8} per algorithm.
+	for _, alg := range []protocol.Algorithm{protocol.Datacycle, protocol.RMatrix, protocol.FMatrix, protocol.FMatrixNo} {
+		for _, n := range []int{2, 4, 8} {
+			cfg := smallConfig(alg)
+			cfg.Clients = n
+			cfg.ClientTxns = 40
+			cfg.MeasureFrom = 10
+			cfgs[fmt.Sprintf("%v/clients=%d", alg, n)] = cfg
+		}
+	}
+
+	grouped := smallConfig(protocol.Grouped)
+	grouped.Groups = 8
+	grouped.Clients = 4
+	grouped.ClientTxns = 40
+	grouped.MeasureFrom = 10
+	cfgs["grouped/clients=4"] = grouped
+
+	updates := smallConfig(protocol.FMatrix)
+	updates.Clients = 6
+	updates.ClientTxns = 40
+	updates.MeasureFrom = 10
+	updates.ClientUpdateProb = 0.4
+	updates.ClientTxnWrites = 2
+	updates.UplinkLatency = 4096
+	cfgs["updates"] = updates
+
+	faults := smallConfig(protocol.FMatrix)
+	faults.Clients = 8
+	faults.ClientTxns = 40
+	faults.MeasureFrom = 10
+	faults.FaultLoss = 0.2
+	faults.FaultDoze = 0.1
+	faults.FaultDozeLen = 2
+	faults.FaultSeed = 11
+	cfgs["faults"] = faults
+
+	zipf := smallConfig(protocol.RMatrix)
+	zipf.Clients = 4
+	zipf.ClientTxns = 40
+	zipf.MeasureFrom = 10
+	zipf.ZipfTheta = 0.9
+	cfgs["zipf"] = zipf
+
+	hot := smallConfig(protocol.FMatrix)
+	hot.Clients = 4
+	hot.ClientTxns = 40
+	hot.MeasureFrom = 10
+	hot.HotAccessProb = 0.8
+	hot.HotSetSize = 10
+	cfgs["hot-access"] = hot
+
+	audit := smallConfig(protocol.FMatrix)
+	audit.Clients = 4
+	audit.ClientTxns = 30
+	audit.MeasureFrom = 5
+	audit.ClientUpdateProb = 0.3
+	audit.Audit = true
+	cfgs["audit+updates"] = audit
+
+	restart := smallConfig(protocol.Datacycle)
+	restart.Clients = 4
+	restart.ClientTxns = 30
+	restart.MeasureFrom = 5
+	restart.RestartDelay = 10000
+	cfgs["restart-delay"] = restart
+
+	// Sparse timeline: inter-transaction gaps spanning many broadcast
+	// cycles push events past the wheel horizon into the overflow heap
+	// and exercise the empty-ring fast-forward.
+	sparse := smallConfig(protocol.FMatrix)
+	sparse.Clients = 4
+	sparse.ClientTxns = 12
+	sparse.MeasureFrom = 2
+	sparse.MeanInterTxnDelay = 5e6
+	cfgs["sparse-overflow"] = sparse
+
+	return cfgs
+}
+
+func TestWheelMatchesLegacyAcrossConfigs(t *testing.T) {
+	for name, cfg := range wheelDiffConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			legacy, wheel := runBothEngines(t, cfg)
+			mustEqualResults(t, legacy, wheel)
+		})
+	}
+}
+
+func TestWheelMatchesLegacyAtThousandClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-client differential run")
+	}
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 1000
+	cfg.ClientTxns = 6
+	cfg.MeasureFrom = 2
+	cfg.ClientUpdateProb = 0.1
+	cfg.UplinkLatency = 4096
+	cfg.FaultLoss = 0.1
+	cfg.FaultDoze = 0.05
+	cfg.FaultDozeLen = 2
+	cfg.FaultSeed = 23
+	legacy, wheel := runBothEngines(t, cfg)
+	mustEqualResults(t, legacy, wheel)
+	if legacy.Restarts.N() == 0 && legacy.UpdateRestarts.N() == 0 {
+		t.Fatal("degenerate run: no measured transactions")
+	}
+}
+
+// TestWheelDeterministicAcrossGOMAXPROCS pins that the wheel engine —
+// like the rest of the sim — is a pure function of Config regardless of
+// scheduler parallelism (the differential suite also runs under -race
+// via make race).
+func TestWheelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 8
+	cfg.ClientTxns = 40
+	cfg.MeasureFrom = 10
+	cfg.FaultLoss = 0.15
+	cfg.FaultSeed = 5
+	cfg.Engine = EngineWheel
+
+	prev := runtime.GOMAXPROCS(1)
+	one, err := Run(cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatalf("GOMAXPROCS=1 run: %v", err)
+	}
+	many, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("default GOMAXPROCS run: %v", err)
+	}
+	mustEqualResults(t, one, many)
+}
+
+// TestWheelDozeWakeOrdering drives heavy doze/loss fault schedules so
+// reads repeatedly skip cycles (doze-wake on the wheel lands events
+// several slots ahead) and asserts the wheel still reproduces the
+// legacy engine exactly, doze trace included.
+func TestWheelDozeWakeOrdering(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 64
+	cfg.ClientTxns = 12
+	cfg.MeasureFrom = 2
+	cfg.FaultLoss = 0.3
+	cfg.FaultDoze = 0.2
+	cfg.FaultDozeLen = 3
+	cfg.FaultSeed = 41
+	legacy, wheel := runBothEngines(t, cfg)
+	mustEqualResults(t, legacy, wheel)
+
+	dozes := 0
+	for _, ev := range wheel.Trace {
+		if ev.Kind == obs.EvDoze {
+			dozes++
+		}
+	}
+	if dozes == 0 {
+		t.Fatal("fault schedule induced no doze-wake events; the test exercises nothing")
+	}
+}
+
+// TestWheelMassRetune makes nearly every client miss cycles at once
+// (FaultDoze close to the cap with long windows), so after a dropped
+// cycle a wave of clients retunes into the same later slot
+// simultaneously; pop order within the slot must still be the global
+// (time, seq) order the legacy heap produces.
+func TestWheelMassRetune(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 128
+	cfg.ClientTxns = 8
+	cfg.MeasureFrom = 2
+	cfg.FaultDoze = 0.6
+	cfg.FaultDozeLen = 4
+	cfg.FaultSeed = 3
+	cfg.MaxTime = 5e11
+	legacy, wheel := runBothEngines(t, cfg)
+	mustEqualResults(t, legacy, wheel)
+}
+
+func TestClientsAndEngineBoundsValidation(t *testing.T) {
+	base := smallConfig(protocol.FMatrix)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative clients", func(c *Config) { c.Clients = -1 }, "Clients"},
+		{"clients overflow", func(c *Config) { c.Clients = MaxClients + 1 }, "MaxClients"},
+		{"unknown engine", func(c *Config) { c.Clients = 2; c.Engine = "turbine" }, "Engine"},
+		{"compact rng on legacy", func(c *Config) { c.Clients = 2; c.Engine = EngineLegacy; c.CompactRNG = true }, "CompactRNG"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("Run should refuse the invalid config")
+			}
+		})
+	}
+
+	// Clients = 0 and 1 are the paper's single-client mode, not the
+	// wheel; both must keep working.
+	for _, n := range []int{0, 1} {
+		cfg := base
+		cfg.Clients = n
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("Clients=%d: %v", n, err)
+		}
+	}
+}
+
+// TestCompactRNGDeterminism pins that compact mode is seed-pure (same
+// config, same Result) and actually responds to the seed.
+func TestCompactRNGDeterminism(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 16
+	cfg.ClientTxns = 20
+	cfg.MeasureFrom = 5
+	cfg.CompactRNG = true
+
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, a, b)
+
+	cfg.Seed = 99
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trace, c.Trace) && a.SimulatedTime == c.SimulatedTime {
+		t.Fatal("different seeds produced identical runs under CompactRNG")
+	}
+}
+
+// TestWheelAllocsPerEvent pins the event-wheel's allocation behaviour
+// at scale: with CompactRNG, steady-state per-event allocations must
+// stay far below one — what the engine allocates is setup (the flat
+// arrays, one read-set backing array per client) and per-cycle
+// snapshots, never per-event garbage.
+func TestWheelAllocsPerEvent(t *testing.T) {
+	cfg := smallConfig(protocol.FMatrix)
+	cfg.Clients = 2000
+	cfg.ClientTxns = 3
+	cfg.MeasureFrom = 1
+	cfg.CompactRNG = true
+
+	events := float64(cfg.Clients * cfg.ClientTxns * (cfg.ClientTxnLength + 1))
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perEvent := allocs / events; perEvent > 0.5 {
+		t.Fatalf("allocs per event = %.3f (%.0f allocs / %.0f events); the wheel must not allocate per event", perEvent, allocs, events)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke soak-smoke soak-nightly
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke shard-smoke soak-smoke soak-nightly
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/... ./internal/bctest/... ./cmd/bcsoak/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/... ./internal/bctest/... ./internal/shard/... ./cmd/bcsoak/...
 
 verify: build test race
 
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeCycle -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrames -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzGroupedColumnCodec -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzShardFrameCodec -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceCodec -fuzztime 30s
 	$(GO) test ./internal/dgram/ -run '^$$' -fuzz FuzzDatagramCodec -fuzztime 30s
@@ -96,6 +97,31 @@ udp-smoke:
 		exit 1; \
 	fi; \
 	echo "udp-smoke: ok ($$rx packets received)"
+
+# Boot a 2-shard bcserver fleet, commit a cross-shard write through the
+# coordinator uplink with bcclient -shards, and read it back off both
+# broadcast channels; catches -shards wiring rot on both binaries over
+# real sockets.
+shard-smoke:
+	$(GO) build -o /tmp/bcserver-shard-smoke ./cmd/bcserver
+	$(GO) build -o /tmp/bcclient-shard-smoke ./cmd/bcclient
+	/tmp/bcserver-shard-smoke -shards 2 -objects 256 -ring-seed 7 \
+		-broadcast 127.0.0.1:17370 -uplink 127.0.0.1:17380 \
+		-coordinator 127.0.0.1:17369 -interval 20ms & \
+	spid=$$!; sleep 1; \
+	/tmp/bcclient-shard-smoke -shards 2 -objects 256 -ring-seed 7 \
+		-broadcast 127.0.0.1:17370 -coordinator 127.0.0.1:17369 \
+		-write 0=alpha,1=beta,2=gamma,3=delta; wstatus=$$?; \
+	out=$$(/tmp/bcclient-shard-smoke -shards 2 -objects 256 -ring-seed 7 \
+		-broadcast 127.0.0.1:17370 -read 0,1,2,3); rstatus=$$?; \
+	kill $$spid 2>/dev/null; \
+	rm -f /tmp/bcserver-shard-smoke /tmp/bcclient-shard-smoke; \
+	if [ $$wstatus -ne 0 ] || [ $$rstatus -ne 0 ]; then \
+		echo "shard-smoke: client exited non-zero (write $$wstatus, read $$rstatus)" >&2; exit 1; \
+	fi; \
+	echo "$$out" | grep -q 'obj0="alpha"' || { echo "shard-smoke: committed write did not read back: $$out" >&2; exit 1; }; \
+	echo "$$out" | grep -q '@shard1' || { echo "shard-smoke: reads never touched shard 1: $$out" >&2; exit 1; }; \
+	echo "shard-smoke: ok"
 
 # 30 seconds of bcsoak: a real netcast server under concurrent TCP
 # tuners, UDP datagram readers, uplink writers and subscription churn,

@@ -62,6 +62,7 @@ import (
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
 	"broadcastcc/internal/server"
+	"broadcastcc/internal/shard"
 	"broadcastcc/internal/sim"
 	"broadcastcc/internal/wire"
 )
@@ -293,6 +294,82 @@ type NetUplink = netcast.Uplink
 
 // DialUplink connects to a server's uplink port.
 func DialUplink(addr string) (*NetUplink, error) { return netcast.DialUplink(addr) }
+
+// UplinkServer serves an uplink port over any Uplink handler with no
+// broadcast side — the fleet coordinator's global-id commit endpoint
+// in a sharded deployment.
+type UplinkServer = netcast.UplinkServer
+
+// ServeUplink listens on addr and dispatches uplink frames to the
+// handler. reg (nil = private) receives the endpoint's metrics.
+func ServeUplink(addr string, uplink Uplink, reg *ObsRegistry) (*UplinkServer, error) {
+	return netcast.ServeUplink(addr, uplink, reg)
+}
+
+// ---- Cluster sharding (hashring-partitioned channels) ----
+
+// ShardRing is a deterministic hashring over k shards: placements are
+// pure functions of (seed, shards, vnodes).
+type ShardRing = shard.Ring
+
+// NewShardRing builds the ring for k shards (vnodes <= 0 selects the
+// default).
+func NewShardRing(seed int64, shards, vnodes int) *ShardRing {
+	return shard.NewRing(seed, shards, vnodes)
+}
+
+// ShardMapping freezes the placement of an n-object database on a ring
+// and carries the global-to-local id translation.
+type ShardMapping = shard.Mapping
+
+// NewShardMapping places n objects on the ring by hashing each object
+// id.
+func NewShardMapping(r *ShardRing, n int) *ShardMapping { return shard.NewMapping(r, n) }
+
+// NewShardPrefixMapping places n objects by hashing the key prefix
+// obj/entity, co-locating each contiguous entity of `entity` objects
+// on one shard at every shard count.
+func NewShardPrefixMapping(r *ShardRing, n, entity int) *ShardMapping {
+	return shard.NewPrefixMapping(r, n, entity)
+}
+
+// Fleet is k per-shard broadcast servers behind one mapping plus the
+// coordinator that runs the two-shot commit for cross-shard update
+// transactions. StartCycle drives the shards in lockstep.
+type Fleet = shard.Fleet
+
+// FleetConfig describes an in-process sharded deployment.
+type FleetConfig = shard.FleetConfig
+
+// NewFleet builds the mapping, the per-shard servers, and the
+// coordinator.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return shard.NewFleet(cfg) }
+
+// ShardCoordinator splits global update transactions across the fleet:
+// single-shard transactions use the shard's ordinary submit (keeping
+// k = 1 byte-identical to an unsharded server), cross-shard ones run
+// the prepare/decide two-shot commit. It implements Uplink over global
+// object ids.
+type ShardCoordinator = shard.Coordinator
+
+// ShardRouter gives client code the unsharded programming model over a
+// sharded fleet: transactions name global object ids, the router
+// splits them across per-shard clients and commits updates through the
+// coordinator's uplink.
+type ShardRouter = shard.Router
+
+// NewShardRouter wires per-shard clients (index = shard id) to the
+// fleet's commit uplink — a ShardCoordinator in process, or a
+// DialUplink connection to a ServeUplink coordinator endpoint.
+func NewShardRouter(m *ShardMapping, clients []*Client, uplink Uplink) (*ShardRouter, error) {
+	return shard.NewRouter(m, clients, uplink)
+}
+
+// ShardReadTxn is a router read-only transaction over global ids.
+type ShardReadTxn = shard.ReadTxn
+
+// ShardUpdateTxn is a router update transaction over global ids.
+type ShardUpdateTxn = shard.UpdateTxn
 
 // ---- Connectionless datapath (UDP datagrams + FEC) ----
 

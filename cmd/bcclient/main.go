@@ -25,6 +25,16 @@
 //
 //	bcclient -udp 127.0.0.1:7072 -read 0,1,2
 //	bcclient -udp 239.1.2.3:7072 -read 0,1 -txns 20 -loss 0.2
+//
+// Against a sharded fleet (bcserver -shards k), -shards tunes all k
+// broadcast channels at once and runs transactions over global object
+// ids: reads validate per shard plus the cross-shard alignment check,
+// writes commit through the fleet's coordinator uplink. The mapping
+// flags (-ring-seed, -vnodes, -objects, -entity) must match the
+// server's:
+//
+//	bcclient -shards 4 -objects 4096 -ring-seed 7 -read 0,1000,3000
+//	bcclient -shards 4 -objects 4096 -write 0=a,3000=b
 package main
 
 import (
@@ -52,6 +62,12 @@ func main() {
 	dozeLen := flag.Int("doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (same seed = identical drop/doze trace)")
 	selective := flag.Bool("selective", false, "tune selectively via the (1,m) air index (requires a program-mode server; read-only)")
+	shards := flag.Int("shards", 0, "tune a bcserver -shards fleet: all k broadcast channels (ports derived from -broadcast), transactions over global object ids (0 = unsharded)")
+	vnodes := flag.Int("vnodes", 0, "hashring virtual nodes per shard (must match the server)")
+	ringSeed := flag.Int64("ring-seed", 1, "hashring placement seed (must match the server)")
+	objects := flag.Int("objects", 64, "database size n for the shard mapping (with -shards; must match the server)")
+	entityObjs := flag.Int("entity", 0, "key-prefix entity size of the shard mapping (must match the server; 0 = per-object placement)")
+	coordinatorAddr := flag.String("coordinator", "127.0.0.1:7069", "fleet coordinator uplink for -shards writes (global object ids)")
 	obsAddr := flag.String("obs-addr", "", "serve client /metrics, /trace and /debug/pprof on this address (empty = off)")
 	udpAddr := flag.String("udp", "", "receive the broadcast over UDP datagrams bound to this host:port instead of TCP (the server's -udp destination; empty = TCP)")
 	udpChannel := flag.Uint("udp-channel", 1, "datagram channel id to accept (must match the server)")
@@ -68,6 +84,23 @@ func main() {
 	if *readList == "" && *writeSpec == "" {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -read and/or -write")
 		os.Exit(2)
+	}
+	if *shards > 1 {
+		if *selective || *udpAddr != "" || *loss > 0 || *doze > 0 || *cacheT > 0 {
+			fmt.Fprintln(os.Stderr, "-shards composes with plain TCP tuning only (no -selective/-udp/-loss/-doze/-cache-currency)")
+			os.Exit(2)
+		}
+		reads, err := parseReads(*readList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writes, err := parseWrites(*writeSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runFleetClient(alg, *broadcastAddr, *coordinatorAddr,
+			*shards, *vnodes, *objects, *entityObjs, *ringSeed, reads, writes, *txns)
+		return
 	}
 	if *selective {
 		if *writeSpec != "" || *loss > 0 || *doze > 0 {

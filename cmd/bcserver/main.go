@@ -29,6 +29,16 @@
 //
 //	bcserver -udp 239.1.2.3:7072            # multicast group
 //	bcserver -udp 127.0.0.1:7072 -udp-fec-repair 3
+//
+// With -shards k the database is hashring-partitioned across k
+// broadcast channels (DESIGN.md §12): shard s streams its slice on
+// broadcast-port+2s with its participant uplink on uplink-port+2s, all
+// shards step in lockstep on one ticker, and a coordinator uplink
+// accepts update transactions in global object ids, running the
+// two-shot commit when they span shards:
+//
+//	bcserver -shards 4 -objects 4096 -ring-seed 7
+//	bcserver -shards 4 -workload 8 -workload-cross 0.2
 package main
 
 import (
@@ -70,6 +80,11 @@ func main() {
 	udpMTU := flag.Int("udp-mtu", 0, "datagram payload budget in bytes for -udp (0 = default)")
 	udpFECData := flag.Int("udp-fec-data", 0, "data packets per FEC group for -udp (0 = default)")
 	udpFECRepair := flag.Int("udp-fec-repair", 0, "repair packets per FEC group for -udp (0 = default, -1 = no repair)")
+	shards := flag.Int("shards", 0, "serve a k-shard fleet: each shard broadcasts its slice of the database on its own channel (ports derived from -broadcast/-uplink), with a coordinator uplink for cross-shard commits (0 = unsharded)")
+	vnodes := flag.Int("vnodes", 0, "hashring virtual nodes per shard for -shards (0 = default)")
+	ringSeed := flag.Int64("ring-seed", 1, "hashring placement seed for -shards (clients must tune with the same seed)")
+	coordinatorAddr := flag.String("coordinator", "127.0.0.1:7069", "coordinator uplink listen address for -shards (global object ids)")
+	workloadCross := flag.Float64("workload-cross", 0.2, "fraction of -workload transactions scattered across the whole database (with -shards; the rest stay on one shard)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 	traceCap := flag.Int("trace-cap", 4096, "cycle-clock trace ring capacity (with -obs-addr)")
 	verifySample := flag.Int("verify-sample", 0, "run the control-state integrity check every Nth cycle, timing it into server_verify_ns (0 = off)")
@@ -93,6 +108,32 @@ func main() {
 		// VerifyControl rebuilds from the audit log, so sampling it
 		// implies auditing.
 		Audit: *verifySample > 0,
+	}
+	if *shards > 1 {
+		if *disks > 0 || *indexM > 0 || *refreshEvery > 0 {
+			log.Fatal("bcserver: -shards builds each shard's flat broadcast; air programs (-disks/-index-m/-refresh-every) are unsharded-only")
+		}
+		if *udpDest != "" {
+			log.Fatal("bcserver: -udp is unsharded-only (datagram channels are not yet per-shard)")
+		}
+		cfg.Obs = nil // the fleet builds per-shard registries
+		runFleet(fleetOptions{
+			shards:          *shards,
+			vnodes:          *vnodes,
+			ringSeed:        *ringSeed,
+			broadcastAddr:   *broadcastAddr,
+			uplinkAddr:      *uplinkAddr,
+			coordinatorAddr: *coordinatorAddr,
+			base:            cfg,
+			sparseGrouped:   *sparseGrouped || *regroupEvery > 0,
+			interval:        *interval,
+			workload:        *workload,
+			workloadLen:     *workloadLen,
+			workloadCross:   *workloadCross,
+			seed:            *seed,
+			obsAddr:         *obsAddr,
+		})
+		return
 	}
 	var trace *broadcastcc.ObsTracer
 	if *obsAddr != "" {

@@ -539,18 +539,32 @@ func (t *UpdateTxn) Write(obj int, val []byte) error {
 // Commit finishes the transaction. Pure readers commit locally; writers
 // ship an UpdateRequest up the uplink and adopt the server's verdict.
 func (t *UpdateTxn) Commit(uplink protocol.Uplink) error {
-	if t.done {
-		return ErrTxnFinished
+	req, err := t.Finish()
+	if err != nil {
+		return err
 	}
-	t.done = true
-	if len(t.writes) == 0 {
+	if len(req.Writes) == 0 {
 		return nil
 	}
+	return uplink.SubmitUpdate(req)
+}
+
+// Finish ends the transaction and returns the update request it would
+// have submitted — the validated read set plus buffered writes in
+// write order — without shipping it anywhere. The shard router uses
+// this to merge per-shard requests into one global submission, where
+// even a pure-reader shard's read set must travel (the coordinator
+// validates and pins reads at every participant).
+func (t *UpdateTxn) Finish() (protocol.UpdateRequest, error) {
+	if t.done {
+		return protocol.UpdateRequest{}, ErrTxnFinished
+	}
+	t.done = true
 	req := protocol.UpdateRequest{Reads: t.val.ReadSet()}
 	for _, obj := range t.order {
 		req.Writes = append(req.Writes, protocol.ObjectWrite{Obj: obj, Value: t.writes[obj]})
 	}
-	return uplink.SubmitUpdate(req)
+	return req, nil
 }
 
 // Abort discards the transaction.

@@ -166,6 +166,45 @@ func (m *Matrix) Apply(readSet, writeSet []int, commitCycle Cycle) {
 	}
 }
 
+// ApplyRemote folds one committed transaction whose read set is not
+// fully visible to this matrix (a cross-shard commit): dep(i) =
+// max_{k∈RS} Cold(i,k) cannot be evaluated, but every column entry is
+// bounded by its row's diagonal — Cold(i,k) ≤ Cold(i,i), since C(i,·)
+// only ever holds values stamped at or before object i's last write —
+// so the written columns take commitCycle at write-set rows and the old
+// diagonal Cold(i,i) elsewhere. That is exactly the Theorem 1 vector
+// bound per entry: the state still dominates (≥ pointwise) the true
+// matrix, keeping the read-condition sound, while rows of never-written
+// objects stay zero and the diagonal stays exact.
+func (m *Matrix) ApplyRemote(writeSet []int, commitCycle Cycle) {
+	if len(writeSet) == 0 {
+		return
+	}
+	if m.dep == nil {
+		m.dep = make([]Cycle, m.n)
+		m.inWS = make([]bool, m.n)
+	}
+	for _, j := range writeSet {
+		m.check(j)
+		m.inWS[j] = true
+	}
+	for _, j := range writeSet {
+		col := m.mutableColumn(j, true)
+		for i := range col {
+			if m.inWS[i] {
+				col[i] = commitCycle
+			} else {
+				// Column i is not being rewritten (i ∉ WS), so its
+				// diagonal is the pre-apply Cold(i,i).
+				col[i] = m.cols[i][i]
+			}
+		}
+	}
+	for _, j := range writeSet {
+		m.inWS[j] = false
+	}
+}
+
 // Equal reports whether two matrices have identical dimensions and
 // entries.
 func (m *Matrix) Equal(o *Matrix) bool {

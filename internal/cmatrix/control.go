@@ -12,6 +12,21 @@ type Control interface {
 	// Apply folds one committed transaction occurring next in the
 	// update serialization order.
 	Apply(readSet, writeSet []int, commitCycle Cycle)
+	// ApplyRemote folds one committed transaction whose read set is not
+	// fully visible to this control state — a cross-shard commit whose
+	// reads touch objects outside this shard's object space. Theorem 2's
+	// dep(i) = max_{k∈RS} C(i,k) cannot be evaluated locally, so the
+	// rule degrades conservatively to the diagonal bound: each written
+	// column takes commitCycle at write-set rows and the row's own
+	// last-write cycle C(i,i) elsewhere. Since every column entry is
+	// bounded by its row's diagonal (C(i,k) ≤ C(i,i) always), the
+	// resulting state dominates (≥ pointwise) the global matrix
+	// restricted to this shard, keeping the read-condition sound —
+	// remote-written columns degrade to exactly the Theorem 1 vector
+	// bound per entry, no further. Commits whose reads are entirely
+	// local must use Apply, which keeps k=1 sharding exactly the
+	// unsharded protocol.
+	ApplyRemote(writeSet []int, commitCycle Cycle)
 	// Snapshot returns an immutable view; later Applies never change it.
 	Snapshot() ControlSnapshot
 }
@@ -55,6 +70,11 @@ func (d *DenseControl) Apply(readSet, writeSet []int, commitCycle Cycle) {
 	d.m.Apply(readSet, writeSet, commitCycle)
 }
 
+// ApplyRemote implements Control.
+func (d *DenseControl) ApplyRemote(writeSet []int, commitCycle Cycle) {
+	d.m.ApplyRemote(writeSet, commitCycle)
+}
+
 // Snapshot implements Control via the copy-on-write column snapshot.
 func (d *DenseControl) Snapshot() ControlSnapshot { return d.m.Snapshot() }
 
@@ -75,6 +95,13 @@ func (c *VectorControl) Vector() *Vector { return c.v }
 
 // Apply implements Control.
 func (c *VectorControl) Apply(_, writeSet []int, commitCycle Cycle) {
+	c.v.Apply(writeSet, commitCycle)
+}
+
+// ApplyRemote implements Control. The vector already ignores read
+// sets — V(j) is exactly the commit cycle of j's last writer — so the
+// conservative rule coincides with Apply and sharding loses nothing.
+func (c *VectorControl) ApplyRemote(writeSet []int, commitCycle Cycle) {
 	c.v.Apply(writeSet, commitCycle)
 }
 

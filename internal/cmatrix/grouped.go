@@ -263,6 +263,18 @@ func (g *GroupedControl) mergeGroup(s int) []SparseEntry {
 // recomputes the MC columns of exactly the groups intersecting the
 // write set.
 func (g *GroupedControl) Apply(readSet, writeSet []int, commitCycle Cycle) {
+	g.apply(readSet, writeSet, commitCycle, false)
+}
+
+// ApplyRemote implements Control with the conservative cross-shard rule
+// (see Control.ApplyRemote): the underlying class-shared C degrades the
+// write-set columns to the diagonal-bounded column and the affected
+// MC columns are rebuilt from it.
+func (g *GroupedControl) ApplyRemote(writeSet []int, commitCycle Cycle) {
+	g.apply(nil, writeSet, commitCycle, true)
+}
+
+func (g *GroupedControl) apply(readSet, writeSet []int, commitCycle Cycle, remote bool) {
 	if len(writeSet) == 0 {
 		return
 	}
@@ -281,7 +293,12 @@ func (g *GroupedControl) Apply(readSet, writeSet []int, commitCycle Cycle) {
 		}
 	}
 	g.affected = affected
-	nc := g.cm.applyDistinct(readSet, ws, commitCycle)
+	var nc *colClass
+	if remote {
+		nc = g.cm.applyRemoteDistinct(ws, commitCycle)
+	} else {
+		nc = g.cm.applyDistinct(readSet, ws, commitCycle)
+	}
 	for _, j := range ws {
 		g.gcls[g.part.GroupOf(j)][nc]++
 	}

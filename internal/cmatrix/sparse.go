@@ -68,6 +68,13 @@ type colClass struct {
 type classMatrix struct {
 	n     int
 	class []*colClass
+	// lastWrite[i] mirrors the diagonal C(i,i) — the commit cycle of
+	// object i's last writer (0 if never written). Every apply rule
+	// stamps C(j,j) = commitCycle for j ∈ WS and leaves other diagonal
+	// entries alone, so an O(|WS|) update keeps it exact. Remote
+	// applies read it to build their diagonal-bounded columns without
+	// an O(n log nnz) sweep of per-row lookups.
+	lastWrite []Cycle
 	// Scratch buffers reused across applies; owned exclusively by this
 	// matrix.
 	mergeA, mergeB []SparseEntry
@@ -79,7 +86,7 @@ func newClassMatrix(n int) *classMatrix {
 	if n <= 0 {
 		panic(fmt.Sprintf("cmatrix: class matrix needs n > 0, got %d", n))
 	}
-	return &classMatrix{n: n, class: make([]*colClass, n)}
+	return &classMatrix{n: n, class: make([]*colClass, n), lastWrite: make([]Cycle, n)}
 }
 
 func (cm *classMatrix) check(i int) {
@@ -185,6 +192,36 @@ func (cm *classMatrix) applyDistinct(readSet, wsSorted []int, commitCycle Cycle)
 	nc := &colClass{col: col}
 	for _, j := range wsSorted {
 		cm.class[j] = nc
+		cm.lastWrite[j] = commitCycle
+	}
+	return nc
+}
+
+// applyRemoteDistinct folds one committed transaction whose read set is
+// not locally visible (a cross-shard commit): the Theorem 2 dep column
+// is unknowable, but Cold(i,k) ≤ Cold(i,i) for every k, so the written
+// columns take the diagonal-bounded conservative column — commitCycle
+// at write-set rows, the row's last-write cycle elsewhere (see
+// Control.ApplyRemote). Rows of never-written objects stay absent, so
+// the column's nonzero structure is the set of ever-written objects and
+// the sparse representation survives remote applies; all write-set
+// columns still share one class.
+func (cm *classMatrix) applyRemoteDistinct(wsSorted []int, commitCycle Cycle) *colClass {
+	if len(wsSorted) == 0 {
+		return nil
+	}
+	for _, j := range wsSorted {
+		cm.lastWrite[j] = commitCycle
+	}
+	var col []SparseEntry
+	for i, v := range cm.lastWrite {
+		if v > 0 {
+			col = append(col, SparseEntry{Idx: i, Val: v})
+		}
+	}
+	nc := &colClass{col: col}
+	for _, j := range wsSorted {
+		cm.class[j] = nc
 	}
 	return nc
 }
@@ -218,6 +255,14 @@ func (s *SparseControl) Apply(readSet, writeSet []int, commitCycle Cycle) {
 		return
 	}
 	s.cm.applyDistinct(readSet, s.cm.distinctSorted(writeSet), commitCycle)
+}
+
+// ApplyRemote implements Control with the conservative cross-shard rule.
+func (s *SparseControl) ApplyRemote(writeSet []int, commitCycle Cycle) {
+	if len(writeSet) == 0 {
+		return
+	}
+	s.cm.applyRemoteDistinct(s.cm.distinctSorted(writeSet), commitCycle)
 }
 
 // Snapshot implements Control: an O(n) copy of the class pointers.

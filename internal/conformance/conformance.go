@@ -113,6 +113,16 @@ type Workload struct {
 	// partition from the write heat every RegroupEvery cycles
 	// (deterministic regroup epochs).
 	RegroupEvery int `json:"regroupEvery,omitempty"`
+	// Shards, when > 0, additionally replays the workload's commit
+	// stream through a hashring-partitioned fleet of Shards per-shard
+	// servers in lockstep with a single logical reference server: uplink
+	// verdicts must agree, per-shard control must dominate (and at
+	// Shards == 1 equal, bit-for-bit on the wire) the reference, and the
+	// sharded read-only acceptance — per-shard Theorem 1/2 validation
+	// plus the cross-shard cycle-alignment check — must stay inside the
+	// F-Matrix acceptance. 0 (the pre-sharding corpus default) skips the
+	// sharded participant entirely.
+	Shards int `json:"shards,omitempty"`
 	// Faults is the reception-fault profile applied to every client's
 	// tuner (the zero profile delivers everything).
 	Faults faultair.Profile `json:"faults,omitempty"`
@@ -142,6 +152,7 @@ const (
 	maxSkew         = 4.0
 	maxRefresh      = 64
 	maxRegroupEvery = 64
+	maxShards       = 8
 )
 
 // GroupsOrDefault resolves the grouped participant's group count: the
@@ -192,6 +203,10 @@ func (w *Workload) Validate() error {
 		return fmt.Errorf("conformance: Groups = %d, range [0,%d]", w.Groups, w.Objects)
 	case w.RegroupEvery < 0 || w.RegroupEvery > maxRegroupEvery:
 		return fmt.Errorf("conformance: RegroupEvery = %d, range [0,%d]", w.RegroupEvery, maxRegroupEvery)
+	case w.Shards < 0 || w.Shards > maxShards:
+		return fmt.Errorf("conformance: Shards = %d, range [0,%d]", w.Shards, maxShards)
+	case w.Shards > w.Objects:
+		return fmt.Errorf("conformance: Shards = %d cannot cover %d objects", w.Shards, w.Objects)
 	}
 	if err := w.Faults.Validate(); err != nil {
 		return err
@@ -262,7 +277,8 @@ func (w *Workload) Validate() error {
 func (w *Workload) Clone() *Workload {
 	c := &Workload{
 		Seed: w.Seed, Objects: w.Objects, Cycles: w.Cycles,
-		Groups: w.Groups, RegroupEvery: w.RegroupEvery, Faults: w.Faults,
+		Groups: w.Groups, RegroupEvery: w.RegroupEvery,
+		Shards: w.Shards, Faults: w.Faults,
 	}
 	c.Faults.Windows = append([]faultair.Window(nil), w.Faults.Windows...)
 	if w.Air != nil {

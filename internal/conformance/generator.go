@@ -151,6 +151,17 @@ func Generate(seed int64, p Params) *Workload {
 		w.RegroupEvery = 1 + rng.Intn(4)
 	}
 
+	// Sharded lockstep participant: sometimes re-drive the commit stream
+	// through a hashring-partitioned fleet (k = 1 degenerates to the
+	// byte-identity check against the unsharded server).
+	if rng.Intn(3) == 0 {
+		ks := []int{1, 2, 4}
+		k := ks[rng.Intn(len(ks))]
+		if k <= n {
+			w.Shards = k
+		}
+	}
+
 	if rng.Float64() < p.Air {
 		a := &AirProgram{
 			Disks: 1 + rng.Intn(3),

@@ -108,6 +108,15 @@ func CheckWorkload(w *Workload) (*Report, error) {
 	}
 	rep.Violations = append(rep.Violations, airViolations...)
 
+	// Sharded participant: re-drive the commit stream through a k-shard
+	// fleet in lockstep with a single logical server and check verdict
+	// agreement, control domination and the sharded acceptance lattice.
+	shardViolations, err := runShard(w, tr)
+	if err != nil {
+		return nil, err
+	}
+	rep.Violations = append(rep.Violations, shardViolations...)
+
 	vecAt := func(c cmatrix.Cycle) protocol.Snapshot {
 		return protocol.VectorSnapshot{V: tr.snaps[c].vec}
 	}

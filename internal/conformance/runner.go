@@ -58,6 +58,13 @@ const (
 	KindGroupedWire    = "grouped-wire-roundtrip"
 
 	KindTraceDiverged = "cycle-trace-divergence"
+
+	KindShardWire          = "shard-wire-divergence"
+	KindShardControl       = "shard-control-domination"
+	KindShardState         = "shard-state-divergence"
+	KindShardVerdict       = "shard-verdict-divergence"
+	KindShardDiverged      = "shard-acceptance-divergence"
+	KindShardBeyondFMatrix = "shard-beyond-fmatrix"
 )
 
 // resolvedTxn is a client transaction with its reads pinned to concrete

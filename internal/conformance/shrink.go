@@ -45,6 +45,25 @@ func Shrink(w *Workload) (*Workload, *Report) {
 	for changed := true; changed; {
 		changed = false
 
+		// Collapse the sharded deployment first: a violation that
+		// survives with the fleet gone (Shards = 0) is not a sharding
+		// bug at all; one that survives at k = 1 needs no cross-shard
+		// machinery. Either collapse removes the most moving parts in
+		// one step, so it leads the pass.
+		if cur.Shards != 0 {
+			c := cur.Clone()
+			c.Shards = 0
+			if try(c) {
+				changed = true
+			} else if cur.Shards > 1 {
+				c := cur.Clone()
+				c.Shards = 1
+				if try(c) {
+					changed = true
+				}
+			}
+		}
+
 		// Drop whole client transactions (and then empty clients).
 		for ci := 0; ci < len(cur.Clients); ci++ {
 			for ti := 0; ti < len(cur.Clients[ci]); ti++ {

@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"broadcastcc/internal/airsched"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/shard"
+	"broadcastcc/internal/wire"
+)
+
+// The cluster-sharding study: at n = 10⁵, what does hashring-
+// partitioning the database over k broadcast channels buy per channel,
+// and what does the two-shot cross-shard commit cost? One committed
+// update stream is replayed against k ∈ {1, 2, 4, 8} deployments of the
+// same grouped control representation — each shard maintains an
+// (n/k)×g MC over its local objects, applying commits it can validate
+// locally with the exact Theorem 2 rule and remote-prepared commits
+// with the conservative diagonal-bounded rule — and read-only clients
+// validate against the per-shard snapshots plus the Router's
+// cross-shard cycle-alignment check. Placement hashes the key-prefix
+// entity (shard.NewPrefixMapping), so the Affinity fraction of
+// transactions that confine themselves to one entity stay single-shard
+// at every k — the co-location a range-sharded deployment is built
+// around — while the scattered remainder pays the cross-shard
+// machinery. Three effects trade off:
+//
+//   - per-channel control bandwidth falls ~k× (each channel ships an
+//     (n/k)×(g/k) MC — its proportional slice of the k = 1 group
+//     budget, holding objects-per-group constant so every deployment
+//     runs the same tuning);
+//   - cross-shard commits pay the conservative ApplyRemote on write
+//     shards that cannot see the whole read set, and multi-shard read
+//     sets pay the alignment check — both push restarts up.
+//
+// The k = 1 point is the unsharded floor: one channel, exact local
+// application, no alignment, bit-identical to a single logical server.
+
+// ShardConfig shapes a ShardStudy run. The zero value means the
+// paper-scale defaults (n = 10⁵, 400 cycles, zipf θ = 0.95); tests
+// shrink it.
+type ShardConfig struct {
+	// Objects is the global database size n.
+	Objects int
+	// Cycles is the broadcast run length.
+	Cycles int
+	// CommitsPerCycle is the uplink commit rate.
+	CommitsPerCycle int
+	// Clients is the number of independent read-only clients per pass.
+	Clients int
+	// TxnReads is the reads per client transaction (one per cycle).
+	TxnReads int
+	// Theta is the zipf skew of both the update and the read access law.
+	Theta float64
+	// ShardCounts are the x-values k to sweep; the first must be 1 (the
+	// unsharded floor every other point is normalized against).
+	ShardCounts []int
+	// Groups is the fleet-wide group budget g: each shard's channel
+	// carries its proportional slice (g × n_s/n groups), keeping
+	// objects-per-group — the grouping tuning — constant across shard
+	// counts.
+	Groups int
+	// EntityObjects is the key-prefix entity size: the ring places
+	// contiguous runs of this many object ids together (see
+	// shard.NewPrefixMapping), so transactions confined to one entity
+	// stay single-shard at every k. 1 disables co-location.
+	EntityObjects int
+	// Affinity is the probability a transaction (uplink commit or
+	// client read set) confines itself to a single entity; the rest
+	// scatter across the whole database and almost surely cross shards.
+	// Negative means 0.
+	Affinity float64
+	// MeasureFromCycle discards warmup, mirroring GroupedConfig.
+	MeasureFromCycle int
+	// TimestampBits prices each control entry on the wire.
+	TimestampBits int
+	// Vnodes is the hashring's virtual-node count (0 = default).
+	Vnodes int
+}
+
+func (c ShardConfig) normalized() ShardConfig {
+	if c.Objects == 0 {
+		c.Objects = 100_000
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 400
+	}
+	if c.CommitsPerCycle == 0 {
+		c.CommitsPerCycle = 8
+	}
+	if c.Clients == 0 {
+		c.Clients = 64
+	}
+	if c.TxnReads == 0 {
+		c.TxnReads = 4
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.95
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if c.Groups == 0 {
+		c.Groups = 256
+	}
+	if c.EntityObjects == 0 {
+		c.EntityObjects = 64
+	}
+	if c.Affinity == 0 {
+		c.Affinity = 0.9
+	}
+	if c.Affinity < 0 {
+		c.Affinity = 0
+	}
+	if c.MeasureFromCycle == 0 {
+		c.MeasureFromCycle = c.Cycles / 4
+	}
+	if c.TimestampBits == 0 {
+		c.TimestampBits = 16
+	}
+	return c
+}
+
+// ShardSeries is the single series label of the shard figure.
+const ShardSeries = "sharded-grouped"
+
+// ShardMetrics is one deployment's measurements at one shard count.
+type ShardMetrics struct {
+	// ControlBitsPerChannel is the mean per-cycle control cost of one
+	// shard's channel, priced with the exact BCG1 frame size and
+	// averaged over the k channels.
+	ControlBitsPerChannel float64
+	// ChannelRatio is ControlBitsPerChannel over the k = 1 floor's.
+	ChannelRatio float64
+	// RestartRatio is restarts per committed read-only transaction.
+	RestartRatio float64
+	// RestartVsFloor is RestartRatio over the k = 1 floor's.
+	RestartVsFloor float64
+	// CommitLatencyCycles is the mean uplink commit latency in cycles:
+	// a single-shard commit is decided in its arrival cycle and visible
+	// the next (1), a cross-shard commit spends one cycle in the
+	// prepared state before its decision broadcasts (2).
+	CommitLatencyCycles float64
+	// CrossShardFrac is the fraction of uplink commits touching more
+	// than one shard.
+	CrossShardFrac float64
+	// Commits and Restarts are the raw client counts behind the ratio.
+	Commits  int64
+	Restarts int64
+	// Obs is the pass's registry snapshot (exp_shard_* counters).
+	Obs obs.Snapshot
+}
+
+// ShardPoint is one shard count's measurements.
+type ShardPoint struct {
+	Shards  int
+	Metrics ShardMetrics
+}
+
+// shardStream is the pre-generated workload shared by every pass: the
+// uplink commit stream (read and write sets over global object ids) and
+// each client's planned transaction object-sets. Identical across shard
+// counts, so the only varying factor is the deployment.
+type shardStream struct {
+	commits [][]plannedGroupedCommit // per cycle
+	txns    [][][]int                // txns[client][t] = t-th txn's objects
+}
+
+func generateShardStream(cfg ShardConfig, seed int64) *shardStream {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := airsched.NewZipfPicker(cfg.Objects, cfg.Theta)
+	// Entity-affine picks: with probability Affinity a transaction
+	// confines itself to one key-prefix entity (drawn zipf over full
+	// entities, members uniform within), so the same stream is
+	// single-shard for those transactions at every k under the prefix
+	// placement; the rest scatter zipf over the whole database.
+	entity := max(cfg.EntityObjects, 1)
+	fullEntities := cfg.Objects / entity
+	var entityZipf *airsched.ZipfPicker
+	if fullEntities > 1 {
+		entityZipf = airsched.NewZipfPicker(fullEntities, cfg.Theta)
+	}
+	pickWithin := func(k int) []int {
+		base := entityZipf.Pick(rng.Float64()) * entity
+		out := make([]int, 0, k)
+		for len(out) < k {
+			obj := base + rng.Intn(entity)
+			dup := false
+			for _, o := range out {
+				dup = dup || o == obj
+			}
+			if !dup {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+	pickScattered := func(k int) []int {
+		out := make([]int, 0, k)
+		for len(out) < k {
+			obj := zipf.Pick(rng.Float64())
+			dup := false
+			for _, o := range out {
+				dup = dup || o == obj
+			}
+			if !dup {
+				out = append(out, obj)
+			}
+		}
+		return out
+	}
+	pickDistinct := func(k int) []int {
+		if entityZipf != nil && k <= entity && rng.Float64() < cfg.Affinity {
+			return pickWithin(k)
+		}
+		return pickScattered(k)
+	}
+
+	s := &shardStream{}
+	for c := 0; c < cfg.Cycles; c++ {
+		var cyc []plannedGroupedCommit
+		for i := 0; i < cfg.CommitsPerCycle; i++ {
+			var cm plannedGroupedCommit
+			if entityZipf != nil && rng.Float64() < cfg.Affinity {
+				// Affine commit: reads and writes inside one entity.
+				objs := pickWithin(4)
+				cm = plannedGroupedCommit{writeSet: objs[:2], readSet: objs[2:]}
+			} else if entityZipf != nil {
+				// Cross-entity commit — the realistic cross-partition
+				// shape: read one entity, write into another (usually a
+				// different shard), rather than four unrelated keys.
+				cm = plannedGroupedCommit{writeSet: pickWithin(2), readSet: pickWithin(2)}
+			} else {
+				objs := pickScattered(4)
+				cm = plannedGroupedCommit{writeSet: objs[:2], readSet: objs[2:]}
+			}
+			cyc = append(cyc, cm)
+		}
+		s.commits = append(s.commits, cyc)
+	}
+	s.txns = make([][][]int, cfg.Clients)
+	for cli := range s.txns {
+		for t := 0; t < cfg.Cycles; t++ {
+			s.txns[cli] = append(s.txns[cli], pickDistinct(cfg.TxnReads))
+		}
+	}
+	return s
+}
+
+// shardClient is one read-only client against a sharded deployment: one
+// read per cycle through the shard the object lives on, one validator
+// per shard (the Router's per-shard Theorem 1/2 validation), and the
+// cross-shard cycle-alignment check at commit when the transaction
+// touched more than one shard.
+type shardClient struct {
+	m     *shard.Mapping
+	vs    []protocol.ConjunctiveValidator
+	reads []protocol.ReadAt // global ids with read cycles
+	txns  [][]int
+	txn   int
+	pos   int
+}
+
+func (c *shardClient) reset() {
+	for s := range c.vs {
+		c.vs[s].Reset()
+	}
+	c.reads = c.reads[:0]
+	c.pos = 0
+}
+
+func (c *shardClient) step(snaps []*cmatrix.Grouped, cur cmatrix.Cycle) (committed, crossShard, restarted bool) {
+	if c.txn >= len(c.txns) {
+		return false, false, false
+	}
+	objs := c.txns[c.txn]
+	obj := objs[c.pos]
+	s := c.m.ShardOf(obj)
+	if !c.vs[s].TryRead(protocol.GroupedSnapshot{MC: snaps[s]}, c.m.Local(obj), cur) {
+		c.reset()
+		return false, false, true
+	}
+	c.reads = append(c.reads, protocol.ReadAt{Obj: obj, Cycle: cur})
+	c.pos++
+	if c.pos < len(objs) {
+		return false, false, false
+	}
+	// Commit: multi-shard read sets must admit one serialization point
+	// at c* = cur — every older read's object must be unwritten since
+	// it was read, judged on its shard's current (conservative grouped)
+	// diagonal.
+	shards := map[int]bool{}
+	for _, r := range c.reads {
+		shards[c.m.ShardOf(r.Obj)] = true
+	}
+	if len(shards) > 1 {
+		for _, r := range c.reads {
+			s := c.m.ShardOf(r.Obj)
+			li := c.m.Local(r.Obj)
+			if r.Cycle < cur && snaps[s].Bound(li, li) >= r.Cycle {
+				c.reset()
+				return false, false, true
+			}
+		}
+	}
+	c.reset()
+	c.txn++
+	return true, len(shards) > 1, false
+}
+
+// runShardPass replays the shared stream against one k-shard deployment
+// and returns the pass's measurements.
+func runShardPass(cfg ShardConfig, stream *shardStream, seed int64, k int) ShardMetrics {
+	m := shard.NewPrefixMapping(shard.NewRing(seed, k, cfg.Vnodes), cfg.Objects, cfg.EntityObjects)
+	reg := obs.NewRegistry()
+	cBits := reg.Counter("exp_shard_control_bits")
+	cCommits := reg.Counter("exp_shard_txn_commits")
+	cRestarts := reg.Counter("exp_shard_txn_restarts")
+	cCrossTxns := reg.Counter("exp_shard_txn_cross")
+	cUplinks := reg.Counter("exp_shard_uplink_commits")
+	cCross := reg.Counter("exp_shard_uplink_cross")
+	cRemote := reg.Counter("exp_shard_remote_applies")
+	hLatency := reg.Histogram("exp_shard_commit_cycles", []int64{1, 2})
+
+	controls := make([]*cmatrix.GroupedControl, k)
+	for s := 0; s < k; s++ {
+		// Hold the grouping TUNING — objects per group — constant
+		// across deployments: each shard gets its proportional slice of
+		// the k = 1 group budget, so every pass compares the same
+		// control representation, just partitioned.
+		ns := m.Size(s)
+		gs := min(max(cfg.Groups*ns/cfg.Objects, 1), ns)
+		controls[s] = cmatrix.NewGroupedControl(cmatrix.UniformPartition(ns, gs))
+	}
+
+	clients := make([]*shardClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &shardClient{m: m, vs: make([]protocol.ConjunctiveValidator, k), txns: stream.txns[i]}
+	}
+
+	var latencySum int64
+	measuredCycles := 0
+	for c := 1; c <= cfg.Cycles; c++ {
+		cyc := cmatrix.Cycle(c)
+		measured := c >= cfg.MeasureFromCycle
+		if measured {
+			measuredCycles++
+		}
+
+		// Publish each channel's cycle-start control and price it.
+		snaps := make([]*cmatrix.Grouped, k)
+		for s := 0; s < k; s++ {
+			snaps[s] = controls[s].Grouped()
+			if measured {
+				cBits.Add(wire.GroupedCycleBits(snaps[s], 0, cfg.TimestampBits, c == 1))
+			}
+		}
+
+		for _, cl := range clients {
+			committed, cross, restarted := cl.step(snaps, cyc)
+			if measured {
+				if committed {
+					cCommits.Inc()
+					if cross {
+						cCrossTxns.Inc()
+					}
+				}
+				if restarted {
+					cRestarts.Inc()
+				}
+			}
+		}
+
+		// Uplink commits take effect for the next cycle. A write shard
+		// holding the whole read set applies the exact Theorem 2 rule;
+		// one prepared remotely applies the conservative
+		// diagonal-bounded rule.
+		// Latency models the two-shot: single-shard commits decide in
+		// their arrival cycle (visible next cycle, 1), cross-shard
+		// commits spend one cycle prepared before the decision (2).
+		for _, cm := range stream.commits[c-1] {
+			involved := map[int]bool{}
+			for _, obj := range cm.readSet {
+				involved[m.ShardOf(obj)] = true
+			}
+			for _, obj := range cm.writeSet {
+				involved[m.ShardOf(obj)] = true
+			}
+			perShardWrites := map[int][]int{}
+			perShardReads := map[int][]int{}
+			for _, obj := range cm.writeSet {
+				s := m.ShardOf(obj)
+				perShardWrites[s] = append(perShardWrites[s], m.Local(obj))
+			}
+			for _, obj := range cm.readSet {
+				s := m.ShardOf(obj)
+				perShardReads[s] = append(perShardReads[s], m.Local(obj))
+			}
+			for s, writes := range perShardWrites {
+				if len(perShardReads[s]) == len(cm.readSet) {
+					controls[s].Apply(perShardReads[s], writes, cyc)
+				} else {
+					controls[s].ApplyRemote(writes, cyc)
+					if measured {
+						cRemote.Inc()
+					}
+				}
+			}
+			latency := int64(1)
+			if len(involved) > 1 {
+				latency = 2
+			}
+			if measured {
+				cUplinks.Inc()
+				if len(involved) > 1 {
+					cCross.Inc()
+				}
+				latencySum += latency
+				hLatency.Observe(latency)
+			}
+		}
+	}
+
+	mtr := ShardMetrics{
+		ControlBitsPerChannel: float64(cBits.Load()) / float64(max(measuredCycles, 1)) / float64(k),
+		Commits:               cCommits.Load(),
+		Restarts:              cRestarts.Load(),
+		Obs:                   reg.Snapshot(),
+	}
+	if mtr.Commits > 0 {
+		mtr.RestartRatio = float64(mtr.Restarts) / float64(mtr.Commits)
+	}
+	if up := cUplinks.Load(); up > 0 {
+		mtr.CommitLatencyCycles = float64(latencySum) / float64(up)
+		mtr.CrossShardFrac = float64(cCross.Load()) / float64(up)
+	}
+	return mtr
+}
+
+// ShardStudy runs the per-channel-bandwidth-vs-restart analysis across
+// the shard counts.
+func ShardStudy(opt Options, cfg ShardConfig) ([]*ShardPoint, error) {
+	opt = opt.normalized()
+	cfg = cfg.normalized()
+	if cfg.Objects < 2 || cfg.TxnReads < 1 || cfg.Clients < 1 || cfg.TxnReads > cfg.Objects {
+		return nil, fmt.Errorf("experiments: degenerate shard config %+v", cfg)
+	}
+	if cfg.ShardCounts[0] != 1 {
+		return nil, fmt.Errorf("experiments: ShardCounts must start with the k=1 floor, got %v", cfg.ShardCounts)
+	}
+	for _, k := range cfg.ShardCounts {
+		if k < 1 || k > cfg.Objects {
+			return nil, fmt.Errorf("experiments: shard count %d out of range [1, %d]", k, cfg.Objects)
+		}
+	}
+
+	stream := generateShardStream(cfg, opt.Seed)
+	var out []*ShardPoint
+	var floor ShardMetrics
+	for i, k := range cfg.ShardCounts {
+		mtr := runShardPass(cfg, stream, opt.Seed, k)
+		if i == 0 {
+			floor = mtr
+			mtr.ChannelRatio = 1
+			mtr.RestartVsFloor = 1
+		} else {
+			if floor.ControlBitsPerChannel > 0 {
+				mtr.ChannelRatio = mtr.ControlBitsPerChannel / floor.ControlBitsPerChannel
+			}
+			if floor.RestartRatio > 0 {
+				mtr.RestartVsFloor = mtr.RestartRatio / floor.RestartRatio
+			} else if mtr.RestartRatio == 0 {
+				mtr.RestartVsFloor = 1
+			}
+		}
+		out = append(out, &ShardPoint{Shards: k, Metrics: mtr})
+		opt.Progress("shard: k=%d ctrl/channel=%.3g bits (%.3g of floor) restart=%.4f (%.2fx floor) latency=%.2f cycles cross=%.0f%%",
+			k, mtr.ControlBitsPerChannel, mtr.ChannelRatio, mtr.RestartRatio, mtr.RestartVsFloor,
+			mtr.CommitLatencyCycles, 100*mtr.CrossShardFrac)
+	}
+	return out, nil
+}
+
+// ShardTable renders the analysis as an aligned table.
+func ShardTable(points []*ShardPoint) string {
+	var b strings.Builder
+	b.WriteString("Cluster sharding: per-channel control bandwidth vs restart ratio and commit latency\n")
+	fmt.Fprintf(&b, "%-8s%-22s%-11s%-11s%-12s%-15s%s\n",
+		"shards", "ctrl bits/channel", "of floor", "restart", "vs floor", "latency(cyc)", "cross-shard")
+	for _, p := range points {
+		m := p.Metrics
+		fmt.Fprintf(&b, "%-8d%-22.4g%-11s%-11.4f%-12s%-15.2f%.0f%%\n",
+			p.Shards, m.ControlBitsPerChannel, fmt.Sprintf("%.3g", m.ChannelRatio),
+			m.RestartRatio, fmt.Sprintf("%.2fx", m.RestartVsFloor),
+			m.CommitLatencyCycles, 100*m.CrossShardFrac)
+	}
+	return b.String()
+}
+
+// ShardBench converts the analysis to the shared BENCH_<id>.json
+// schema: x is the shard count k, restart_ratio carries over, and the
+// per-channel bandwidth, latency and cross-shard accounting ride in the
+// figure-specific values.
+func ShardBench(points []*ShardPoint) BenchExperiment {
+	out := BenchExperiment{
+		ID:     "shard",
+		Title:  "Cluster sharding: per-channel control bandwidth vs restart ratio",
+		XLabel: "shards k",
+		Metric: "restart ratio",
+		Labels: []string{ShardSeries},
+	}
+	merged := obs.Snapshot{Counters: map[string]int64{}}
+	for _, p := range points {
+		m := p.Metrics
+		snap := m.Obs
+		out.Points = append(out.Points, BenchPoint{
+			X: float64(p.Shards),
+			Series: map[string]BenchMetrics{
+				ShardSeries: {
+					RestartRatio: finiteOrNil(m.RestartRatio),
+					Commits:      m.Commits,
+					Values: map[string]float64{
+						"ctrl_bits_per_channel": m.ControlBitsPerChannel,
+						"channel_ratio":         m.ChannelRatio,
+						"restart_vs_floor":      m.RestartVsFloor,
+						"commit_latency_cycles": m.CommitLatencyCycles,
+						"cross_shard_frac":      m.CrossShardFrac,
+					},
+					Obs: &snap,
+				},
+			},
+		})
+		merged = merged.Merge(snap)
+	}
+	out.Obs = &merged
+	return out
+}

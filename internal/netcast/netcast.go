@@ -452,13 +452,7 @@ func (s *Server) acceptUplink() {
 					return
 				}
 				start := time.Now()
-				req, err := wire.DecodeUpdateRequest(frame)
-				var verdict error
-				if err != nil {
-					verdict = err
-				} else {
-					verdict = s.bsrv.SubmitUpdate(req)
-				}
+				verdict := s.dispatchUplink(frame)
 				s.hUplinkNs.Observe(time.Since(start).Nanoseconds())
 				if err := writeFrame(conn, wire.EncodeUpdateReply(verdict)); err != nil {
 					return
@@ -466,6 +460,35 @@ func (s *Server) acceptUplink() {
 			}
 		}()
 	}
+}
+
+// dispatchUplink decodes and executes one uplink frame, multiplexing
+// the three uplink frame kinds by magic: ordinary BCU1 submissions plus
+// the BCP1/BCD1 shots of the cross-shard two-shot commit, so a shard
+// coordinator drives a remote shard over the same scarce uplink
+// connection clients use.
+func (s *Server) dispatchUplink(frame []byte) error {
+	if len(frame) >= 4 {
+		switch [4]byte(frame[0:4]) {
+		case wire.PrepareMagic:
+			token, req, remote, err := wire.DecodePrepare(frame)
+			if err != nil {
+				return err
+			}
+			return s.bsrv.PrepareUpdate(token, req, remote)
+		case wire.DecisionMagic:
+			token, commit, err := wire.DecodeDecision(frame)
+			if err != nil {
+				return err
+			}
+			return s.bsrv.DecideUpdate(token, commit)
+		}
+	}
+	req, err := wire.DecodeUpdateRequest(frame)
+	if err != nil {
+		return err
+	}
+	return s.bsrv.SubmitUpdate(req)
 }
 
 // Tuner is a client's receiver: it decodes the broadcast stream into a
@@ -540,11 +563,11 @@ func DialUplink(addr string) (*Uplink, error) {
 	return &Uplink{conn: conn}, nil
 }
 
-// SubmitUpdate implements protocol.Uplink over the wire.
-func (u *Uplink) SubmitUpdate(req protocol.UpdateRequest) error {
+// roundTrip sends one uplink frame and decodes the status reply.
+func (u *Uplink) roundTrip(frame []byte) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if err := writeFrame(u.conn, wire.EncodeUpdateRequest(req)); err != nil {
+	if err := writeFrame(u.conn, frame); err != nil {
 		return err
 	}
 	reply, err := readFrame(u.conn)
@@ -556,6 +579,22 @@ func (u *Uplink) SubmitUpdate(req protocol.UpdateRequest) error {
 		return wireErr
 	}
 	return verdict
+}
+
+// SubmitUpdate implements protocol.Uplink over the wire.
+func (u *Uplink) SubmitUpdate(req protocol.UpdateRequest) error {
+	return u.roundTrip(wire.EncodeUpdateRequest(req))
+}
+
+// PrepareUpdate sends shot one of the cross-shard commit, making
+// *Uplink a shard coordinator participant over TCP.
+func (u *Uplink) PrepareUpdate(token uint64, req protocol.UpdateRequest, remote bool) error {
+	return u.roundTrip(wire.EncodePrepare(token, req, remote))
+}
+
+// DecideUpdate sends shot two.
+func (u *Uplink) DecideUpdate(token uint64, commit bool) error {
+	return u.roundTrip(wire.EncodeDecision(token, commit))
 }
 
 // Close closes the uplink connection.

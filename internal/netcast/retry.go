@@ -1,0 +1,106 @@
+package netcast
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds dial retries for tuners and uplinks. A broadcast
+// client's life is full of transient refusals — the server restarting,
+// a proxy mid-failover — so both dial paths accept a policy instead of
+// failing on the first ECONNREFUSED.
+//
+// The backoff schedule is a pure function of the policy: exponential
+// from BaseDelay, capped at MaxDelay, with jitter drawn from a
+// splitmix64 stream keyed by Seed and the attempt number. Two dialers
+// with the same policy sleep the same nanoseconds — a fleet of clients
+// should therefore spread their Seeds (e.g. by client id) to avoid a
+// thundering herd, and a test replays a schedule exactly.
+type RetryPolicy struct {
+	// Attempts is the total number of dials (first try included).
+	// Values below 1 mean a single attempt.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Seed keys the jitter stream.
+	Seed int64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// splitmix64 is the seed-pure hash behind the jitter stream (the same
+// finalizer faultair uses for its fault schedules; duplicated here
+// because faultair sits above netcast in the import graph).
+func splitmix64(seed int64, v uint64) uint64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x += v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Backoff returns the sleep before attempt number attempt (1-based: the
+// sleep taken after attempt attempt failed). The value lies in
+// [cap/2, cap) where cap is the exponentially grown, MaxDelay-capped
+// envelope — half deterministic floor, half seeded jitter.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	envelope := base
+	for i := 1; i < attempt && envelope < max; i++ {
+		envelope *= 2
+	}
+	if envelope > max {
+		envelope = max
+	}
+	half := envelope / 2
+	if half <= 0 {
+		return envelope
+	}
+	jitter := time.Duration(splitmix64(p.Seed, uint64(attempt)) % uint64(half))
+	return half + jitter
+}
+
+// dialRetry runs dial under the policy, sleeping the deterministic
+// backoff between failures.
+func dialRetry[T any](policy RetryPolicy, what string, dial func() (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for attempt := 1; attempt <= policy.attempts(); attempt++ {
+		if attempt > 1 {
+			time.Sleep(policy.Backoff(attempt - 1))
+		}
+		v, err := dial()
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return zero, fmt.Errorf("netcast: %s failed after %d attempts: %w", what, policy.attempts(), lastErr)
+}
+
+// TuneRetry is Tune with bounded, deterministically jittered retries.
+func TuneRetry(addr string, policy RetryPolicy) (*Tuner, error) {
+	return dialRetry(policy, "tune "+addr, func() (*Tuner, error) { return Tune(addr) })
+}
+
+// DialUplinkRetry is DialUplink with the same retry discipline.
+func DialUplinkRetry(addr string, policy RetryPolicy) (*Uplink, error) {
+	return dialRetry(policy, "dial uplink "+addr, func() (*Uplink, error) { return DialUplink(addr) })
+}

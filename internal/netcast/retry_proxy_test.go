@@ -1,0 +1,104 @@
+// Dial-retry regression against the faultair TCP proxy: a tuner whose
+// broadcast path (the proxy) comes up late must connect on a retry and
+// then decode the stream normally. Lives in netcast_test because
+// faultair sits above netcast in the import graph.
+package netcast_test
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/faultair"
+	"broadcastcc/internal/netcast"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+// TestTuneRetryThroughLateProxy reserves a port, tears the listener
+// down (dials now refuse), and only brings the faultair proxy up on
+// that address after the tuner has burned a few attempts. The retry
+// policy must carry the tuner through to a decoded broadcast cycle.
+func TestTuneRetryThroughLateProxy(t *testing.T) {
+	bsrv, err := server.New(server.Config{Objects: 8, ObjectBits: 64, Algorithm: protocol.FMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	ns, err := netcast.Serve(bsrv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	// Reserve an address, then free it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyAddr := ln.Addr().String()
+	ln.Close()
+
+	var proxy atomic.Pointer[faultair.Proxy]
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		p, err := faultair.NewProxy(proxyAddr, ns.BroadcastAddr(), faultair.NewSchedule(faultair.Profile{}))
+		if err != nil {
+			t.Errorf("proxy up: %v", err)
+			return
+		}
+		proxy.Store(p)
+	}()
+	defer func() {
+		if p := proxy.Load(); p != nil {
+			p.Close()
+		}
+	}()
+
+	tuner, err := netcast.TuneRetry(proxyAddr, netcast.RetryPolicy{
+		Attempts:  20,
+		BaseDelay: 20 * time.Millisecond,
+		MaxDelay:  50 * time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("retry never connected: %v", err)
+	}
+	defer tuner.Close()
+
+	c := client.New(client.Config{Algorithm: protocol.FMatrix}, tuner.Subscribe(8))
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ns.Step(); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	cb, ok := c.AwaitCycle()
+	close(stop)
+	if !ok || cb == nil {
+		t.Fatal("no cycle decoded through the late proxy")
+	}
+
+	// The uplink dial path shares the policy; against a live address the
+	// first attempt wins.
+	up, err := netcast.DialUplinkRetry(ns.UplinkAddr(), netcast.RetryPolicy{Attempts: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	if err := up.SubmitUpdate(protocol.UpdateRequest{
+		Writes: []protocol.ObjectWrite{{Obj: 0, Value: []byte("v")}},
+	}); err != nil {
+		t.Fatalf("uplink after retry-tune: %v", err)
+	}
+}

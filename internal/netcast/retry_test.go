@@ -1,0 +1,69 @@
+package netcast
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: the schedule is a pure function of the
+// policy — same seed, same nanoseconds; different seeds decorrelate.
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 9}
+	q := p
+	same := 0
+	for i := 1; i <= 5; i++ {
+		if p.Backoff(i) != q.Backoff(i) {
+			t.Fatalf("attempt %d: schedule not deterministic", i)
+		}
+	}
+	r := p
+	r.Seed = 10
+	for i := 1; i <= 5; i++ {
+		if p.Backoff(i) == r.Backoff(i) {
+			same++
+		}
+	}
+	if same == 5 {
+		t.Fatal("jitter ignores the seed")
+	}
+}
+
+// TestBackoffEnvelope: each sleep lies in [cap/2, cap) of the
+// exponential, MaxDelay-capped envelope.
+func TestBackoffEnvelope(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 8 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 3}
+	envelopes := []time.Duration{
+		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	for i, env := range envelopes {
+		d := p.Backoff(i + 1)
+		if d < env/2 || d >= env {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", i+1, d, env/2, env)
+		}
+	}
+	// Zero-valued policy still produces sane defaults.
+	var def RetryPolicy
+	if d := def.Backoff(1); d < 5*time.Millisecond || d >= 10*time.Millisecond {
+		t.Errorf("default first backoff %v outside [5ms, 10ms)", d)
+	}
+}
+
+// TestDialRetryExhaustion: a dead address fails after exactly Attempts
+// tries with the last error wrapped.
+func TestDialRetryExhaustion(t *testing.T) {
+	tries := 0
+	_, err := dialRetry(RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond}, "test", func() (int, error) {
+		tries++
+		return 0, errTest
+	})
+	if err == nil || tries != 3 {
+		t.Fatalf("tries=%d err=%v", tries, err)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "refused" }

@@ -1,0 +1,58 @@
+package netcast
+
+import (
+	"strings"
+	"testing"
+
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/server"
+)
+
+// TestUplinkShardDispatch drives both shots of the cross-shard commit
+// over a real TCP uplink and checks the frames reach the server's
+// prepare/decide handlers (and that verdicts travel back as replies).
+func TestUplinkShardDispatch(t *testing.T) {
+	bsrv, err := server.New(server.Config{Objects: 8, ObjectBits: 64, Algorithm: protocol.FMatrix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bsrv.Close()
+	ns, err := Serve(bsrv, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	bsrv.StartCycle()
+
+	up, err := DialUplink(ns.UplinkAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+
+	req := protocol.UpdateRequest{Writes: []protocol.ObjectWrite{{Obj: 2, Value: []byte("net")}}}
+	if err := up.PrepareUpdate(7, req, true); err != nil {
+		t.Fatalf("prepare over TCP: %v", err)
+	}
+	// The pin is live on the server until the decision arrives.
+	if _, pinned := bsrv.PinnedBy(2); !pinned {
+		t.Fatal("prepare frame did not reach the server")
+	}
+	if err := up.DecideUpdate(7, true); err != nil {
+		t.Fatalf("decide over TCP: %v", err)
+	}
+	cb := bsrv.StartCycle()
+	if string(cb.Values[2]) != "net" {
+		t.Fatalf("committed value %q", cb.Values[2])
+	}
+	// Refusals travel back as reply errors: token 7 is already decided.
+	if err := up.DecideUpdate(7, false); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("contradictory decision over TCP: %v", err)
+	}
+	// Plain BCU1 submissions still dispatch on the same connection.
+	if err := up.SubmitUpdate(protocol.UpdateRequest{
+		Writes: []protocol.ObjectWrite{{Obj: 3, Value: []byte("plain")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package netcast
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/wire"
+)
+
+// participant is the two-shot surface a handler may optionally expose
+// (shard.Participant without importing internal/shard — netcast stays
+// below the sharding layer in the dependency graph).
+type participant interface {
+	PrepareUpdate(token uint64, req protocol.UpdateRequest, remote bool) error
+	DecideUpdate(token uint64, commit bool) error
+}
+
+// ErrNotParticipant rejects a BCP1/BCD1 frame sent to an uplink whose
+// handler only implements the single-shot submit — e.g. a fleet
+// coordinator port, which *originates* two-shot traffic toward the
+// shards and never accepts it.
+var ErrNotParticipant = errors.New("netcast: uplink handler does not accept two-shot frames")
+
+// UplinkServer serves an uplink port over any protocol.Uplink, with no
+// broadcast side. A sharded deployment uses one as the coordinator
+// endpoint: clients (Routers) assemble update transactions in global
+// object ids and submit them here, and the coordinator behind the
+// handler splits them across the shards' own netcast servers. If the
+// handler additionally implements the prepare/decide pair, two-shot
+// frames are dispatched to it as well, so an UplinkServer can also
+// stand in front of a bare shard participant.
+type UplinkServer struct {
+	ln     net.Listener
+	uplink protocol.Uplink
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	cRequests *obs.Counter
+	hUplinkNs *obs.Histogram
+}
+
+// ServeUplink listens on addr and dispatches each uplink frame to the
+// handler. reg receives the endpoint's metrics (netcast_uplink_requests
+// and the shared netcast_uplink_ns latency histogram); nil uses a
+// private registry.
+func ServeUplink(addr string, uplink protocol.Uplink, reg *obs.Registry) (*UplinkServer, error) {
+	if uplink == nil {
+		return nil, errors.New("netcast: ServeUplink needs a handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	u := &UplinkServer{
+		ln:        ln,
+		uplink:    uplink,
+		cRequests: reg.Counter("netcast_uplink_requests"),
+		hUplinkNs: reg.Histogram("netcast_uplink_ns", obs.Pow2Buckets(10, 20)),
+	}
+	u.wg.Add(1)
+	go u.accept()
+	return u, nil
+}
+
+// Addr reports the listener's address.
+func (u *UplinkServer) Addr() string { return u.ln.Addr().String() }
+
+// Close stops the listener and disconnects every uplink connection's
+// accept loop (in-flight dispatches finish their reply first).
+func (u *UplinkServer) Close() {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	u.mu.Unlock()
+	u.ln.Close()
+	u.wg.Wait()
+}
+
+func (u *UplinkServer) accept() {
+	defer u.wg.Done()
+	for {
+		conn, err := u.ln.Accept()
+		if err != nil {
+			return
+		}
+		u.wg.Add(1)
+		go func() {
+			defer u.wg.Done()
+			defer conn.Close()
+			for {
+				frame, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				u.cRequests.Inc()
+				start := time.Now()
+				verdict := u.dispatch(frame)
+				u.hUplinkNs.Observe(time.Since(start).Nanoseconds())
+				if err := writeFrame(conn, wire.EncodeUpdateReply(verdict)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// dispatch mirrors Server.dispatchUplink over the handler: BCU1
+// submissions always, the BCP1/BCD1 shots only when the handler is a
+// participant.
+func (u *UplinkServer) dispatch(frame []byte) error {
+	if len(frame) >= 4 {
+		switch [4]byte(frame[0:4]) {
+		case wire.PrepareMagic:
+			p, ok := u.uplink.(participant)
+			if !ok {
+				return ErrNotParticipant
+			}
+			token, req, remote, err := wire.DecodePrepare(frame)
+			if err != nil {
+				return err
+			}
+			return p.PrepareUpdate(token, req, remote)
+		case wire.DecisionMagic:
+			p, ok := u.uplink.(participant)
+			if !ok {
+				return ErrNotParticipant
+			}
+			token, commit, err := wire.DecodeDecision(frame)
+			if err != nil {
+				return err
+			}
+			return p.DecideUpdate(token, commit)
+		}
+	}
+	req, err := wire.DecodeUpdateRequest(frame)
+	if err != nil {
+		return err
+	}
+	return u.uplink.SubmitUpdate(req)
+}

@@ -17,13 +17,24 @@ import (
 //
 // reg and tr may be nil; the endpoints then serve empty documents.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
+	return HandlerFunc(func() Snapshot {
+		if reg == nil {
+			return Snapshot{Counters: map[string]int64{}}
+		}
+		return reg.Snapshot()
+	}, tr)
+}
+
+// HandlerFunc is Handler with a snapshot source instead of a single
+// registry, for processes whose one scrape document aggregates several
+// registries — a sharded fleet merges the coordinator's, every shard
+// server's, and the netcast layer's metrics into each scrape.
+func HandlerFunc(snapshot func() Snapshot, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		var snap Snapshot
-		if reg != nil {
-			snap = reg.Snapshot()
-		} else {
+		snap := snapshot()
+		if snap.Counters == nil {
 			snap.Counters = map[string]int64{}
 		}
 		enc := json.NewEncoder(w)
@@ -52,6 +63,17 @@ func Serve(addr string, reg *Registry, tr *Tracer) (net.Listener, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+// ServeFunc is Serve over a HandlerFunc snapshot source.
+func ServeFunc(addr string, snapshot func() Snapshot, tr *Tracer) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: HandlerFunc(snapshot, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil
 }

@@ -332,6 +332,36 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	return out
 }
 
+// Prefixed returns a copy of the snapshot with every metric name
+// prefixed — the fleet's per-shard label scheme (shard2_server_commits
+// is shard 2's server_commits). Prefixing before Merge keeps per-shard
+// series distinct in one scrape while the unprefixed Merge of the same
+// registries gives the fleet totals; both stay byte-deterministic
+// because names are transformed, never invented.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{Counters: map[string]int64{}}
+	for k, v := range s.Counters {
+		out.Counters[prefix+k] = v
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = map[string]int64{}
+		for k, v := range s.Gauges {
+			out.Gauges[prefix+k] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = map[string]HistogramSnapshot{}
+		for k, h := range s.Histograms {
+			out.Histograms[prefix+k] = HistogramSnapshot{
+				Bounds: append([]int64(nil), h.Bounds...),
+				Counts: append([]int64(nil), h.Counts...),
+				Sum:    h.Sum,
+			}
+		}
+	}
+	return out
+}
+
 // Names returns the sorted counter names — handy for stable reports.
 func (s Snapshot) Names() []string {
 	out := make([]string, 0, len(s.Counters))

@@ -85,6 +85,11 @@ type Config struct {
 	// snapshot publish, uplink verdicts) stamped with the broadcast
 	// cycle, never wall time.
 	Trace *obs.Tracer
+	// PrepareTTL bounds, in broadcast cycles on this server's own cycle
+	// clock, how long a cross-shard prepare (PrepareUpdate) may stay
+	// undecided before the server unilaterally aborts it and releases
+	// its pins. 0 selects DefaultPrepareTTL.
+	PrepareTTL int
 	// VerifySample, when > 0, runs VerifyControl every VerifySample-th
 	// StartCycle and records its wall-clock cost in the
 	// server_verify_ns histogram (requires Audit). Wall time stays in
@@ -126,6 +131,14 @@ type Server struct {
 	shipPartition bool          // next grouped frame should embed the partition
 	closed        bool
 	audit         []cmatrix.Commit
+	// Two-shot cross-shard commit state (see shard.go): in-flight
+	// prepares, the pins they hold, recently settled tokens, and the
+	// count of conservative ApplyRemote commits (any > 0 voids the
+	// Theorem 2 equality VerifyControl checks).
+	prepares      map[uint64]*prepared
+	pinned        map[int]uint64
+	decided       map[uint64]decision
+	remoteApplies int64
 	// Incremental verification state (Audit only): rb tracks the
 	// definition-based rebuild of the audited prefix; verifyAllGroups
 	// forces the next grouped verification to recheck every MC column
@@ -149,6 +162,12 @@ type Server struct {
 	hVerifyNs      *obs.Histogram
 	cVerifyFail    *obs.Counter
 	cycleCommits   int64 // commits since the last StartCycle
+
+	cShardPrepares       *obs.Counter
+	cShardPrepareRefused *obs.Counter
+	cShardCommits        *obs.Counter
+	cShardAborts         *obs.Counter
+	cShardExpired        *obs.Counter
 }
 
 // New builds a server. The configuration must describe a valid broadcast
@@ -215,6 +234,11 @@ func New(cfg Config) (*Server, error) {
 	s.cVerifyFail = s.obs.Counter("server_verify_failures")
 	s.hCommitsCycle = s.obs.Histogram("server_commits_per_cycle", obs.LinearBuckets(0, 1, 16))
 	s.hVerifyNs = s.obs.Histogram("server_verify_ns", obs.Pow2Buckets(10, 20))
+	s.cShardPrepares = s.obs.Counter("server_shard_prepares")
+	s.cShardPrepareRefused = s.obs.Counter("server_shard_prepare_refused")
+	s.cShardCommits = s.obs.Counter("server_shard_commits")
+	s.cShardAborts = s.obs.Counter("server_shard_aborts")
+	s.cShardExpired = s.obs.Counter("server_shard_prepare_expired")
 	for i, v := range cfg.InitialValues {
 		if i >= cfg.Objects {
 			break
@@ -285,6 +309,14 @@ func (s *Server) VerifyControl() error {
 	defer s.mu.Unlock()
 	if !s.cfg.Audit {
 		return errors.New("server: VerifyControl requires Config.Audit")
+	}
+	if s.remoteApplies > 0 {
+		// Cross-shard commits degraded the control state conservatively
+		// (ApplyRemote): it dominates the Theorem 2 rebuild instead of
+		// equaling it, so the equality check no longer applies. The
+		// conformance harness checks the domination property against a
+		// fully-informed reference server instead.
+		return nil
 	}
 	if s.rb == nil {
 		s.rb = cmatrix.NewLogRebuilder(s.cfg.Objects)
@@ -407,6 +439,7 @@ func (s *Server) StartCycle() *bcast.CycleBroadcast {
 	if s.heat != nil && s.cycle > 1 && (int(s.cycle)-1)%s.cfg.RegroupEvery == 0 {
 		s.regroupLocked()
 	}
+	s.expirePreparesLocked()
 	cb := &bcast.CycleBroadcast{
 		Number: s.cycle,
 		Layout: s.layout,
@@ -622,6 +655,11 @@ func (s *Server) SubmitUpdate(req protocol.UpdateRequest) error {
 		}
 		values[w.Obj] = w.Value
 	}
+	if err := s.checkPinsLocked(writeSet); err != nil {
+		s.cAborts.Inc()
+		s.emitVerdict(0)
+		return err
+	}
 	var readSet []int
 	seen := map[int]bool{}
 	for _, r := range req.Reads {
@@ -729,6 +767,10 @@ func (t *Txn) Commit() error {
 	}
 	if len(t.writes) == 0 {
 		return nil // read-only: nothing to install
+	}
+	if err := t.s.checkPinsLocked(t.writeObjs); err != nil {
+		t.s.cAborts.Inc()
+		return err
 	}
 	t.s.commitLocked(t.readObjs, t.writeObjs, t.writes)
 	return nil

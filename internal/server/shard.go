@@ -1,0 +1,308 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/obs"
+	"broadcastcc/internal/protocol"
+)
+
+// Errors returned by the two-shot cross-shard commit participant.
+var (
+	// ErrPinned rejects a commit or prepare that touches an object held
+	// by another in-flight cross-shard prepare; the caller should treat
+	// it like a conflict and retry after the owning decision lands.
+	ErrPinned = errors.New("server: object pinned by an in-flight cross-shard prepare")
+	// ErrUnknownPrepare rejects a commit decision whose token was never
+	// prepared here or has already been timeout-aborted — committing it
+	// would break atomicity, so the coordinator must abort fleet-wide.
+	ErrUnknownPrepare = errors.New("server: unknown or expired prepare token")
+	// ErrAlreadyDecided rejects a decision that contradicts one already
+	// applied for the same token.
+	ErrAlreadyDecided = errors.New("server: decision contradicts the one already applied")
+)
+
+// DefaultPrepareTTL is the number of broadcast cycles a prepared
+// cross-shard transaction may stay undecided before the shard aborts it
+// unilaterally (Config.PrepareTTL = 0 selects it). The timeout is
+// counted on the shard's own cycle clock, so a dead coordinator cannot
+// wedge the shard: its pins evaporate and a late commit decision fails
+// loudly with ErrUnknownPrepare.
+const DefaultPrepareTTL = 4
+
+// prepared is shot one of the two-shot commit: a validated, pinned, but
+// not yet committed cross-shard update transaction.
+type prepared struct {
+	readSet  []int
+	writeSet []int
+	values   map[int][]byte
+	// remote marks a transaction whose global read set extends beyond
+	// this shard: on commit the control state degrades conservatively
+	// via ApplyRemote (Theorem 2's dep column is not locally evaluable).
+	remote  bool
+	expires cmatrix.Cycle // timeout-aborted once the cycle clock passes this
+}
+
+// PrepareUpdate is shot one of the cross-shard commit: it validates the
+// shard-local projection of an update transaction exactly like
+// SubmitUpdate — every read (obj, cycle) must still be current — and,
+// on success, pins the transaction's read and write objects until the
+// coordinator's decision (or the TTL) so no interleaved commit can
+// invalidate what was validated. remote marks a transaction whose global
+// read set is not fully local (see prepared.remote). Duplicate prepares
+// of a live token are idempotent.
+func (s *Server) PrepareUpdate(token uint64, req protocol.UpdateRequest, remote bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.cShardPrepares.Inc()
+	if _, live := s.prepares[token]; live {
+		return nil // duplicate prepare frame
+	}
+	if _, done := s.decided[token]; done {
+		return fmt.Errorf("%w: token %d already decided", ErrAlreadyDecided, token)
+	}
+	refuse := func(err error) error {
+		s.cShardPrepareRefused.Inc()
+		s.trace.Emit(obs.EvShardPrepare, obs.ActorServer, int64(s.cycle), int32(token&0x7fffffff), 0)
+		return err
+	}
+	for _, r := range req.Reads {
+		if err := s.checkObj(r.Obj); err != nil {
+			return err
+		}
+		if owner, pinned := s.pinned[r.Obj]; pinned && owner != token {
+			return refuse(fmt.Errorf("%w: object %d held by token %d", ErrPinned, r.Obj, owner))
+		}
+		if s.lastCycle[r.Obj] >= r.Cycle {
+			return refuse(fmt.Errorf("%w: object %d written during cycle %d, read at cycle %d",
+				ErrConflict, r.Obj, s.lastCycle[r.Obj], r.Cycle))
+		}
+	}
+	values := map[int][]byte{}
+	var writeSet []int
+	for _, w := range req.Writes {
+		if err := s.checkObj(w.Obj); err != nil {
+			return err
+		}
+		if err := s.checkValue(w.Obj, w.Value); err != nil {
+			return err
+		}
+		if owner, pinned := s.pinned[w.Obj]; pinned && owner != token {
+			return refuse(fmt.Errorf("%w: object %d held by token %d", ErrPinned, w.Obj, owner))
+		}
+		if _, dup := values[w.Obj]; !dup {
+			writeSet = append(writeSet, w.Obj)
+		}
+		values[w.Obj] = w.Value
+	}
+	var readSet []int
+	seen := map[int]bool{}
+	for _, r := range req.Reads {
+		if !seen[r.Obj] {
+			seen[r.Obj] = true
+			readSet = append(readSet, r.Obj)
+		}
+	}
+	ttl := s.cfg.PrepareTTL
+	if ttl <= 0 {
+		ttl = DefaultPrepareTTL
+	}
+	if s.prepares == nil {
+		s.prepares = map[uint64]*prepared{}
+		s.pinned = map[int]uint64{}
+		s.decided = map[uint64]decision{}
+	}
+	s.prepares[token] = &prepared{
+		readSet:  readSet,
+		writeSet: writeSet,
+		values:   values,
+		remote:   remote,
+		expires:  s.cycle + cmatrix.Cycle(ttl),
+	}
+	for _, obj := range readSet {
+		s.pinned[obj] = token
+	}
+	for _, obj := range writeSet {
+		s.pinned[obj] = token
+	}
+	s.trace.Emit(obs.EvShardPrepare, obs.ActorServer, int64(s.cycle), int32(token&0x7fffffff), 1)
+	return nil
+}
+
+// decision remembers a settled token so duplicate decision frames stay
+// idempotent; entries are swept once the cycle clock passes keepUntil.
+type decision struct {
+	commit    bool
+	keepUntil cmatrix.Cycle
+}
+
+// decidedRetention is how many cycles a settled token is remembered for
+// duplicate-decision detection.
+const decidedRetention = 64
+
+// DecideUpdate is shot two: the coordinator's fleet-wide decision for a
+// prepared token. commit installs the pinned transaction at the current
+// cycle (conservatively via ApplyRemote when its reads were not fully
+// local); either way the pins are released. Duplicate decisions are
+// idempotent; a decision contradicting the applied one returns
+// ErrAlreadyDecided. An abort for an unknown token is a no-op (the
+// prepare may have expired, which is itself an abort), but a commit for
+// an unknown token returns ErrUnknownPrepare — atomicity is already
+// lost and the caller must surface it.
+func (s *Server) DecideUpdate(token uint64, commit bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	p, live := s.prepares[token]
+	if !live {
+		if d, done := s.decided[token]; done {
+			if d.commit != commit {
+				return fmt.Errorf("%w: token %d settled as commit=%v", ErrAlreadyDecided, token, d.commit)
+			}
+			return nil
+		}
+		if commit {
+			return fmt.Errorf("%w: token %d", ErrUnknownPrepare, token)
+		}
+		return nil
+	}
+	s.releaseLocked(token, p)
+	s.decided[token] = decision{commit: commit, keepUntil: s.cycle + decidedRetention}
+	if commit {
+		// A read-only participant shard validated and pinned reads for
+		// the fleet but has nothing to install locally: committing it
+		// must not consume a commit slot or an audit entry.
+		if len(p.writeSet) > 0 {
+			if p.remote {
+				s.commitRemoteLocked(p.readSet, p.writeSet, p.values)
+			} else {
+				s.commitLocked(p.readSet, p.writeSet, p.values)
+			}
+		}
+		s.cShardCommits.Inc()
+		s.emitShardDecide(token, 1)
+		return nil
+	}
+	s.cShardAborts.Inc()
+	s.emitShardDecide(token, 0)
+	return nil
+}
+
+func (s *Server) emitShardDecide(token uint64, verdict int64) {
+	s.trace.Emit(obs.EvShardDecide, obs.ActorServer, int64(s.cycle), int32(token&0x7fffffff), verdict)
+}
+
+// releaseLocked drops a prepare and every pin it owns. Callers hold mu.
+func (s *Server) releaseLocked(token uint64, p *prepared) {
+	delete(s.prepares, token)
+	for _, obj := range p.readSet {
+		if s.pinned[obj] == token {
+			delete(s.pinned, obj)
+		}
+	}
+	for _, obj := range p.writeSet {
+		if s.pinned[obj] == token {
+			delete(s.pinned, obj)
+		}
+	}
+}
+
+// commitRemoteLocked installs a validated cross-shard transaction whose
+// read set is not fully local: data-plane effects are identical to
+// commitLocked, but the control state takes the conservative
+// ApplyRemote path and the server stops claiming its control equals the
+// Theorem 2 rebuild (see VerifyControl). Callers hold mu.
+func (s *Server) commitRemoteLocked(readSet []int, writeSet []int, values map[int][]byte) {
+	commitCycle := s.cycle
+	for _, obj := range writeSet {
+		s.committed[obj] = append([]byte(nil), values[obj]...)
+		s.version[obj]++
+		s.lastCycle[obj] = commitCycle
+	}
+	s.control.ApplyRemote(writeSet, commitCycle)
+	s.remoteApplies++
+	if s.heat != nil {
+		s.heat.Observe(writeSet)
+	}
+	s.cCommits.Inc()
+	s.cycleCommits++
+	s.cColsRewritten.Add(int64(len(writeSet)))
+	if s.cfg.Audit {
+		s.audit = append(s.audit, cmatrix.Commit{
+			ReadSet:  append([]int(nil), readSet...),
+			WriteSet: append([]int(nil), writeSet...),
+			Cycle:    commitCycle,
+		})
+	}
+}
+
+// expirePreparesLocked timeout-aborts every prepare the cycle clock has
+// passed and sweeps stale decision records. Callers hold mu; StartCycle
+// runs it right after advancing the cycle, so a prepare with TTL t left
+// undecided through t cycle starts is gone before cycle t+1's image.
+func (s *Server) expirePreparesLocked() {
+	if len(s.prepares) == 0 && len(s.decided) == 0 {
+		return
+	}
+	// Deterministic sweep order: tokens ascending.
+	var expired []uint64
+	for token, p := range s.prepares {
+		if s.cycle > p.expires {
+			expired = append(expired, token)
+		}
+	}
+	sortUint64(expired)
+	for _, token := range expired {
+		p := s.prepares[token]
+		s.releaseLocked(token, p)
+		s.decided[token] = decision{commit: false, keepUntil: s.cycle + decidedRetention}
+		s.cShardExpired.Inc()
+		s.cShardAborts.Inc()
+		s.emitShardDecide(token, 0)
+	}
+	for token, d := range s.decided {
+		if s.cycle > d.keepUntil {
+			delete(s.decided, token)
+		}
+	}
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// PinnedBy reports the token holding obj (0, false when unpinned).
+func (s *Server) PinnedBy(obj int) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.pinned[obj]
+	return owner, ok
+}
+
+// checkPinsLocked rejects a local commit whose writes touch objects
+// held by an in-flight prepare: the prepared transaction's validation
+// must stay intact until its decision, and concurrent writers to its
+// write set would otherwise race the fleet-wide decision order. Callers
+// hold mu.
+func (s *Server) checkPinsLocked(writeObjs []int) error {
+	if len(s.pinned) == 0 {
+		return nil
+	}
+	for _, obj := range writeObjs {
+		if owner, pinned := s.pinned[obj]; pinned {
+			return fmt.Errorf("%w: object %d held by token %d", ErrPinned, obj, owner)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+func readAt(obj int, cycle int64) protocol.ReadAt {
+	return protocol.ReadAt{Obj: obj, Cycle: cmatrix.Cycle(cycle)}
+}
+
+func write(obj int, val string) protocol.ObjectWrite {
+	return protocol.ObjectWrite{Obj: obj, Value: []byte(val)}
+}
+
+// TestPrepareDecideCommit drives one two-shot commit end to end and
+// checks the data plane, the pins, and the decision idempotence.
+func TestPrepareDecideCommit(t *testing.T) {
+	s := newTestServer(t, protocol.FMatrix, 4)
+	s.StartCycle()
+	if err := s.SubmitUpdate(protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(0, "a")}}); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCycle() // cycle 2; the write above committed during cycle 1
+	req := protocol.UpdateRequest{
+		Reads:  []protocol.ReadAt{readAt(0, 2)},
+		Writes: []protocol.ObjectWrite{write(1, "b")},
+	}
+	if err := s.PrepareUpdate(7, req, true); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if owner, ok := s.PinnedBy(1); !ok || owner != 7 {
+		t.Fatalf("write object unpinned after prepare (owner %d, %v)", owner, ok)
+	}
+	if owner, ok := s.PinnedBy(0); !ok || owner != 7 {
+		t.Fatalf("read object unpinned after prepare (owner %d, %v)", owner, ok)
+	}
+	// Duplicate prepare frames are idempotent.
+	if err := s.PrepareUpdate(7, req, true); err != nil {
+		t.Fatalf("duplicate prepare: %v", err)
+	}
+	// A local commit writing a pinned object must be refused.
+	err := s.SubmitUpdate(protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(1, "x")}})
+	if !errors.Is(err, ErrPinned) {
+		t.Fatalf("write to pinned object: got %v, want ErrPinned", err)
+	}
+	// ...and one writing a pinned *read* too (it would invalidate shot one).
+	err = s.SubmitUpdate(protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(0, "x")}})
+	if !errors.Is(err, ErrPinned) {
+		t.Fatalf("write to pinned read: got %v, want ErrPinned", err)
+	}
+	if err := s.DecideUpdate(7, true); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if _, ok := s.PinnedBy(1); ok {
+		t.Fatal("pins survived the decision")
+	}
+	// Duplicate decisions are idempotent; contradictions are not.
+	if err := s.DecideUpdate(7, true); err != nil {
+		t.Fatalf("duplicate decision: %v", err)
+	}
+	if err := s.DecideUpdate(7, false); !errors.Is(err, ErrAlreadyDecided) {
+		t.Fatalf("contradictory decision: got %v, want ErrAlreadyDecided", err)
+	}
+	cb := s.StartCycle()
+	if got := string(cb.Values[1]); got != "b" {
+		t.Fatalf("committed value = %q, want \"b\"", got)
+	}
+	if got := s.cShardCommits.Load(); got != 1 {
+		t.Fatalf("server_shard_commits = %d, want 1", got)
+	}
+}
+
+// TestPrepareValidationMatchesSubmit: a stale read refuses the prepare
+// with the same rule SubmitUpdate applies, and leaves no pins behind.
+func TestPrepareValidationMatchesSubmit(t *testing.T) {
+	s := newTestServer(t, protocol.FMatrix, 4)
+	s.StartCycle()
+	if err := s.SubmitUpdate(protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(2, "v")}}); err != nil {
+		t.Fatal(err)
+	}
+	req := protocol.UpdateRequest{
+		Reads:  []protocol.ReadAt{readAt(2, 1)}, // object 2 written during cycle 1
+		Writes: []protocol.ObjectWrite{write(3, "w")},
+	}
+	if err := s.PrepareUpdate(9, req, false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale prepare: got %v, want ErrConflict", err)
+	}
+	if _, ok := s.PinnedBy(3); ok {
+		t.Fatal("refused prepare left a pin")
+	}
+	if err := s.SubmitUpdate(req); !errors.Is(err, ErrConflict) {
+		t.Fatalf("SubmitUpdate disagrees with PrepareUpdate: %v", err)
+	}
+}
+
+// TestPrepareTTLExpiry: an undecided prepare is timeout-aborted by the
+// cycle clock, its pins released, and a late commit decision fails
+// loudly while a late abort is a clean no-op.
+func TestPrepareTTLExpiry(t *testing.T) {
+	s, err := New(Config{Objects: 3, ObjectBits: 64, Algorithm: protocol.FMatrix, PrepareTTL: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartCycle() // cycle 1
+	req := protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(0, "z")}}
+	if err := s.PrepareUpdate(11, req, true); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCycle() // cycle 2: still within TTL
+	s.StartCycle() // cycle 3: expires == 3, still live
+	if _, ok := s.PinnedBy(0); !ok {
+		t.Fatal("prepare expired before its TTL")
+	}
+	s.StartCycle() // cycle 4 > expires: timeout-abort
+	if _, ok := s.PinnedBy(0); ok {
+		t.Fatal("pins survived the TTL")
+	}
+	if err := s.DecideUpdate(11, true); !errors.Is(err, ErrAlreadyDecided) {
+		t.Fatalf("late commit after expiry: got %v, want ErrAlreadyDecided", err)
+	}
+	if err := s.DecideUpdate(11, false); err != nil {
+		t.Fatalf("late abort after expiry: %v", err)
+	}
+	if got := s.cShardExpired.Load(); got != 1 {
+		t.Fatalf("server_shard_prepare_expired = %d, want 1", got)
+	}
+	if got := string(s.StartCycle().Values[0]); got != "" {
+		t.Fatalf("expired prepare committed anyway: %q", got)
+	}
+}
+
+// TestDecideUnknownToken: commit of a never-prepared token is the
+// atomicity-loss case and must error; abort is a no-op.
+func TestDecideUnknownToken(t *testing.T) {
+	s := newTestServer(t, protocol.FMatrix, 3)
+	s.StartCycle()
+	if err := s.DecideUpdate(99, true); !errors.Is(err, ErrUnknownPrepare) {
+		t.Fatalf("unknown commit: got %v, want ErrUnknownPrepare", err)
+	}
+	if err := s.DecideUpdate(99, false); err != nil {
+		t.Fatalf("unknown abort: %v", err)
+	}
+}
+
+// TestConflictingPreparesSerialize: two prepares touching the same
+// object cannot be in flight together — the second is refused with
+// ErrPinned until the first is decided.
+func TestConflictingPreparesSerialize(t *testing.T) {
+	s := newTestServer(t, protocol.FMatrix, 4)
+	s.StartCycle()
+	a := protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(1, "a")}}
+	b := protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(1, "b")}}
+	if err := s.PrepareUpdate(1, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrepareUpdate(2, b, true); !errors.Is(err, ErrPinned) {
+		t.Fatalf("overlapping prepare: got %v, want ErrPinned", err)
+	}
+	if err := s.DecideUpdate(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrepareUpdate(3, b, true); err != nil {
+		t.Fatalf("prepare after release: %v", err)
+	}
+}
+
+// TestRemoteCommitSkipsVerify: a remote-read commit degrades the
+// control state conservatively, and VerifyControl stops claiming
+// Theorem 2 equality instead of reporting a false violation.
+func TestRemoteCommitSkipsVerify(t *testing.T) {
+	s := newTestServer(t, protocol.FMatrix, 4)
+	s.StartCycle()
+	if err := s.SubmitUpdate(protocol.UpdateRequest{Writes: []protocol.ObjectWrite{write(0, "a"), write(1, "b")}}); err != nil {
+		t.Fatal(err)
+	}
+	s.StartCycle()
+	req := protocol.UpdateRequest{
+		Reads:  []protocol.ReadAt{readAt(0, 2)},
+		Writes: []protocol.ObjectWrite{write(2, "c")},
+	}
+	if err := s.PrepareUpdate(5, req, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DecideUpdate(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyControl(); err != nil {
+		t.Fatalf("VerifyControl after remote commit: %v", err)
+	}
+	// The conservative column takes the diagonal bound: the commit
+	// cycle at the written row, each other row's last-write cycle
+	// (objects 0 and 1 were written at cycle 1), zero at never-written
+	// rows — dominating the exact rule, which would have left rows 1
+	// and 3 at 0.
+	snap := s.control.Snapshot()
+	for i, want := range []cmatrix.Cycle{1, 1, 2, 0} {
+		if got := snap.Bound(i, 2); got != want {
+			t.Fatalf("conservative C(%d,2) = %d, want %d", i, got, want)
+		}
+	}
+}

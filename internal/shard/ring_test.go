@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRingBalance places 10⁶ keys and requires every shard's load
+// within ε of the ideal share, across shard counts and seeds.
+func TestRingBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁶-key placement sweep")
+	}
+	const n = 1_000_000
+	const eps = 0.15
+	for _, k := range []int{2, 4, 8} {
+		for _, seed := range []int64{1, 42} {
+			r := NewRing(seed, k, 0)
+			counts := make([]int, k)
+			for obj := 0; obj < n; obj++ {
+				counts[r.ShardOf(obj)]++
+			}
+			ideal := float64(n) / float64(k)
+			for s, c := range counts {
+				if ratio := float64(c) / ideal; ratio < 1-eps || ratio > 1+eps {
+					t.Errorf("k=%d seed=%d shard %d holds %d keys (%.3f of ideal, ε=%.2f)",
+						k, seed, s, c, ratio, eps)
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement grows k=4 to k=5 and shrinks back: a key may
+// only move onto the added shard (or off the removed one), and the
+// moved fraction stays near the ideal 1/(k+1).
+func TestRingMinimalMovement(t *testing.T) {
+	const n = 200_000
+	const seed = int64(7)
+	r4, r5 := NewRing(seed, 4, 0), NewRing(seed, 5, 0)
+	moved := 0
+	for obj := 0; obj < n; obj++ {
+		s4, s5 := r4.ShardOf(obj), r5.ShardOf(obj)
+		if s4 != s5 {
+			if s5 != 4 {
+				t.Fatalf("object %d moved %d -> %d when shard 4 was added (only moves onto the new shard are minimal)", obj, s4, s5)
+			}
+			moved++
+		}
+	}
+	ideal := float64(n) / 5
+	if f := float64(moved) / ideal; f < 0.7 || f > 1.3 {
+		t.Errorf("adding a shard moved %d keys, %.2f of the ideal n/k", moved, f)
+	}
+}
+
+// TestRingDeterministicAcrossGOMAXPROCS builds rings and places keys
+// from many goroutines under different GOMAXPROCS and requires
+// identical placements — nothing in the ring may depend on scheduling.
+func TestRingDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const n, k = 50_000, 4
+	place := func() []int {
+		r := NewRing(3, k, 0)
+		out := make([]int, n)
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for obj := w; obj < n; obj += workers {
+					out[obj] = r.ShardOf(obj)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := place()
+	runtime.GOMAXPROCS(8)
+	eight := place()
+	runtime.GOMAXPROCS(prev)
+	for obj := range one {
+		if one[obj] != eight[obj] {
+			t.Fatalf("object %d placed on %d at GOMAXPROCS=1 but %d at 8", obj, one[obj], eight[obj])
+		}
+	}
+}
+
+// TestMappingLocalIds: local ids are dense, ascending in global id, and
+// invert correctly; k=1 is the identity mapping.
+func TestMappingLocalIds(t *testing.T) {
+	m := NewMapping(NewRing(1, 4, 0), 1000)
+	total := 0
+	for s := 0; s < m.Shards(); s++ {
+		globals := m.Globals(s)
+		total += len(globals)
+		for local, obj := range globals {
+			if local > 0 && globals[local-1] >= obj {
+				t.Fatalf("shard %d globals not ascending at %d", s, local)
+			}
+			if m.ShardOf(obj) != s || m.Local(obj) != local {
+				t.Fatalf("object %d: mapping does not invert (shard %d/%d, local %d/%d)",
+					obj, m.ShardOf(obj), s, m.Local(obj), local)
+			}
+		}
+	}
+	if total != m.N() {
+		t.Fatalf("shards own %d objects, database has %d", total, m.N())
+	}
+	id := NewMapping(NewRing(99, 1, 0), 64)
+	for obj := 0; obj < 64; obj++ {
+		if id.ShardOf(obj) != 0 || id.Local(obj) != obj {
+			t.Fatalf("k=1 mapping is not the identity at %d", obj)
+		}
+	}
+}
+
+// TestMappingFixupCoversStarvedShards: tiny databases must still give
+// every shard at least one object, deterministically.
+func TestMappingFixupCoversStarvedShards(t *testing.T) {
+	for _, n := range []int{4, 5, 7, 9} {
+		a := NewMapping(NewRing(5, 4, 0), n)
+		b := NewMapping(NewRing(5, 4, 0), n)
+		for s := 0; s < 4; s++ {
+			if a.Size(s) == 0 {
+				t.Fatalf("n=%d: shard %d starved after fix-up", n, s)
+			}
+		}
+		for obj := 0; obj < n; obj++ {
+			if a.ShardOf(obj) != b.ShardOf(obj) {
+				t.Fatalf("n=%d: fix-up is not deterministic at object %d", n, obj)
+			}
+		}
+	}
+}
+
+// TestPrefixMappingCoLocatesEntities: every object of one key-prefix
+// entity lands on the same shard at every shard count, and entity <= 1
+// degenerates to the per-object placement.
+func TestPrefixMappingCoLocatesEntities(t *testing.T) {
+	const n, entity = 4096, 64
+	for _, k := range []int{2, 4, 8} {
+		m := NewPrefixMapping(NewRing(3, k, 0), n, entity)
+		for obj := 0; obj < n; obj++ {
+			home := m.ShardOf((obj / entity) * entity)
+			if m.ShardOf(obj) != home {
+				t.Fatalf("k=%d: object %d on shard %d, its entity lives on %d",
+					k, obj, m.ShardOf(obj), home)
+			}
+		}
+	}
+	a := NewPrefixMapping(NewRing(3, 4, 0), n, 1)
+	b := NewMapping(NewRing(3, 4, 0), n)
+	for obj := 0; obj < n; obj++ {
+		if a.ShardOf(obj) != b.ShardOf(obj) {
+			t.Fatalf("entity=1 placement diverges from NewMapping at %d", obj)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"broadcastcc/internal/protocol"
+)
+
+// Cross-shard commit frame layouts (big-endian), carried on the same
+// uplink connections as BCU1 and dispatched by magic:
+//
+//	prepare  "BCP1": token 8 bytes, remote 1 byte (1 = the global read
+//	         set extends beyond the receiving shard), then the BCU1
+//	         read/write body verbatim (counts + entries, no magic).
+//	decision "BCD1": token 8 bytes, commit 1 byte (1 commit / 0 abort).
+//
+// Replies reuse the BCU1 status-byte layout (EncodeUpdateReply).
+
+// PrepareMagic identifies shot one of the two-shot commit.
+var PrepareMagic = [4]byte{'B', 'C', 'P', '1'}
+
+// DecisionMagic identifies shot two.
+var DecisionMagic = [4]byte{'B', 'C', 'D', '1'}
+
+// EncodePrepare serializes shot one for one write-shard: the shard's
+// projection of the transaction plus the token naming it fleet-wide.
+func EncodePrepare(token uint64, req protocol.UpdateRequest, remote bool) []byte {
+	body := EncodeUpdateRequest(req)
+	buf := make([]byte, 0, 13+len(body)-4)
+	buf = append(buf, PrepareMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, token)
+	if remote {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return append(buf, body[4:]...) // BCU1 body sans magic
+}
+
+// DecodePrepare parses shot one.
+func DecodePrepare(data []byte) (token uint64, req protocol.UpdateRequest, remote bool, err error) {
+	if len(data) < 13 {
+		return 0, req, false, ErrShortBuffer
+	}
+	if [4]byte(data[0:4]) != PrepareMagic {
+		return 0, req, false, fmt.Errorf("wire: bad prepare magic %q", data[0:4])
+	}
+	token = binary.BigEndian.Uint64(data[4:12])
+	switch data[12] {
+	case 0:
+		remote = false
+	case 1:
+		remote = true
+	default:
+		return 0, req, false, fmt.Errorf("wire: bad remote flag %d in prepare frame", data[12])
+	}
+	body := make([]byte, 0, 4+len(data)-13)
+	body = append(body, UplinkMagic[:]...)
+	body = append(body, data[13:]...)
+	req, err = DecodeUpdateRequest(body)
+	if err != nil {
+		return 0, protocol.UpdateRequest{}, false, err
+	}
+	return token, req, remote, nil
+}
+
+// EncodeDecision serializes shot two.
+func EncodeDecision(token uint64, commit bool) []byte {
+	buf := make([]byte, 0, 13)
+	buf = append(buf, DecisionMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, token)
+	if commit {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodeDecision parses shot two.
+func DecodeDecision(data []byte) (token uint64, commit bool, err error) {
+	if len(data) < 13 {
+		return 0, false, ErrShortBuffer
+	}
+	if [4]byte(data[0:4]) != DecisionMagic {
+		return 0, false, fmt.Errorf("wire: bad decision magic %q", data[0:4])
+	}
+	if len(data) != 13 {
+		return 0, false, fmt.Errorf("wire: %d trailing bytes in decision frame", len(data)-13)
+	}
+	token = binary.BigEndian.Uint64(data[4:12])
+	switch data[12] {
+	case 0:
+		commit = false
+	case 1:
+		commit = true
+	default:
+		return 0, false, fmt.Errorf("wire: bad commit flag %d in decision frame", data[12])
+	}
+	return token, commit, nil
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke shard-smoke soak-smoke soak-nightly
+.PHONY: build test race verify bench bench-figures bench-smoke conform fuzz-smoke obs-smoke udp-smoke shard-smoke quasi-smoke soak-smoke soak-nightly
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # exercises) under the race detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/... ./internal/bctest/... ./internal/shard/... ./cmd/bcsoak/...
+	$(GO) test -race ./internal/sim/... ./internal/experiments/... ./internal/netcast/... ./internal/faultair/... ./internal/client/... ./internal/conformance/... ./internal/protocol/... ./internal/server/... ./internal/airsched/... ./internal/obs/... ./internal/cmatrix/... ./internal/wire/... ./internal/dgram/... ./internal/bctest/... ./internal/shard/... ./internal/qcache/... ./cmd/bcsoak/...
 
 verify: build test race
 
@@ -38,6 +38,9 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeFrames -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzGroupedColumnCodec -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzShardFrameCodec -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzCacheRecordCodec -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzSubsetSubscribeFrame -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzDecodeSubsetCycle -fuzztime 30s
 	$(GO) test ./internal/conformance/ -run '^$$' -fuzz FuzzAcceptanceLattice -fuzztime 30s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzTraceCodec -fuzztime 30s
 	$(GO) test ./internal/dgram/ -run '^$$' -fuzz FuzzDatagramCodec -fuzztime 30s
@@ -123,6 +126,43 @@ shard-smoke:
 	echo "$$out" | grep -q '@shard1' || { echo "shard-smoke: reads never touched shard 1: $$out" >&2; exit 1; }; \
 	echo "shard-smoke: ok"
 
+# The persistent quasi-cache crash/restart smoke: boot bcserver, run
+# bcclient with a disk-backed cache and a subset subscription, kill -9
+# it mid-run, restart it on the same cache directory, and assert via
+# /metrics that the recovered inventory was revalidated off the air
+# (client_cache_revalidated > 0). The currency bound is sized so the
+# wall-clock restart gap stays within it.
+quasi-smoke:
+	$(GO) build -o /tmp/bcserver-quasi-smoke ./cmd/bcserver
+	$(GO) build -o /tmp/bcclient-quasi-smoke ./cmd/bcclient
+	rm -rf /tmp/quasi-smoke-cache; \
+	/tmp/bcserver-quasi-smoke -broadcast 127.0.0.1:17470 -uplink 127.0.0.1:17471 \
+		-objects 64 -workload 20 -interval 20ms & \
+	spid=$$!; sleep 1; \
+	/tmp/bcclient-quasi-smoke -broadcast 127.0.0.1:17470 -read 0,1,2 -txns 1000000 \
+		-cache-currency 2000 -cache-dir /tmp/quasi-smoke-cache -subscribe 0,1,2,3 \
+		>/dev/null 2>&1 & \
+	cpid=$$!; sleep 2; \
+	kill -9 $$cpid 2>/dev/null; \
+	/tmp/bcclient-quasi-smoke -broadcast 127.0.0.1:17470 -read 0,1,2 -txns 1000000 \
+		-cache-currency 2000 -cache-dir /tmp/quasi-smoke-cache -subscribe 0,1,2,3 \
+		-obs-addr 127.0.0.1:17473 >/dev/null 2>&1 & \
+	rpid=$$!; reval=; \
+	for i in $$(seq 1 30); do \
+		sleep 0.3; \
+		reval=$$(curl -sf http://127.0.0.1:17473/metrics | \
+			sed -n 's/.*"client_cache_revalidated": \([0-9]*\).*/\1/p'); \
+		if [ -n "$$reval" ] && [ "$$reval" -gt 0 ]; then break; fi; \
+	done; \
+	kill -9 $$rpid 2>/dev/null; kill $$spid 2>/dev/null; \
+	rm -f /tmp/bcserver-quasi-smoke /tmp/bcclient-quasi-smoke; \
+	rm -rf /tmp/quasi-smoke-cache; \
+	if [ -z "$$reval" ] || [ "$$reval" -eq 0 ]; then \
+		echo "quasi-smoke: restarted client revalidated nothing (client_cache_revalidated $${reval:-missing})" >&2; \
+		exit 1; \
+	fi; \
+	echo "quasi-smoke: ok ($$reval entries revalidated after kill -9)"
+
 # 30 seconds of bcsoak: a real netcast server under concurrent TCP
 # tuners, UDP datagram readers, uplink writers and subscription churn,
 # with the obs-derived invariants (subscriber balance, uplink latency
@@ -131,8 +171,10 @@ shard-smoke:
 soak-smoke:
 	$(GO) run ./cmd/bcsoak -duration 30s -scrape 3s
 
-# The nightly long soak: 30 minutes, a larger tuner population, and a
+# The nightly long soak: 30 minutes, a larger tuner population, the
+# cached profile (every TCP tuner carries a weak-currency cache), and a
 # JSONL metrics timeline for upload as a CI artifact.
 soak-nightly:
 	$(GO) run ./cmd/bcsoak -duration 30m -tuners 120 -udp-clients 16 \
-		-writers 8 -scrape 15s -timeline soak-timeline.jsonl
+		-writers 8 -scrape 15s -cache-currency 8 -cache-size 128 \
+		-timeline soak-timeline.jsonl

@@ -61,6 +61,7 @@ import (
 	"broadcastcc/internal/netcast"
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/qcache"
 	"broadcastcc/internal/server"
 	"broadcastcc/internal/shard"
 	"broadcastcc/internal/sim"
@@ -198,7 +199,28 @@ var (
 	// ErrConflict rejects an update transaction whose reads were
 	// overwritten by a committed transaction.
 	ErrConflict = server.ErrConflict
+	// ErrNotSubscribed rejects a read of an object outside a
+	// partial-replica client's subset subscription.
+	ErrNotSubscribed = client.ErrNotSubscribed
 )
+
+// ---- Persistent cache tier (disk-backed weak-currency cache) ----
+
+// CacheStore is the crash-safe on-disk cache tier: one value, control
+// column and cache cycle per object, in an append-only segment log with
+// atomic rotation and torn-tail recovery. Pass one as
+// ClientConfig.Store so a client's weak-currency cache survives
+// restarts and revalidates its inventory off the air before serving.
+type CacheStore = qcache.Store
+
+// CacheEntry is one recovered inventory entry of a CacheStore.
+type CacheEntry = qcache.Entry
+
+// OpenCacheStore opens (or creates) the persistent cache tier rooted
+// at dir, recovering whatever inventory survived the last run —
+// including a torn final record from a mid-write crash, which is
+// discarded.
+func OpenCacheStore(dir string) (*CacheStore, error) { return qcache.Open(dir) }
 
 // ---- Air scheduling (broadcast programs, (1,m) index, tuning) ----
 
@@ -271,6 +293,14 @@ type Tuner = netcast.Tuner
 
 // Tune connects to a broadcast stream.
 func Tune(addr string) (*Tuner, error) { return netcast.Tune(addr) }
+
+// TuneSubset connects as a partial replica: the tuner announces the
+// object subset it wants and the server thereafter ships only the
+// matching frames plus the control data needed to validate them. Wire
+// the same subset into ClientConfig.Subset so reads outside it fail
+// with ErrNotSubscribed instead of lying. Requires a classic
+// (non-program) broadcast stream.
+func TuneSubset(addr string, objs []int) (*Tuner, error) { return netcast.TuneSubset(addr, objs) }
 
 // SelectiveTuner is the (1,m) air-index receiver: it probes the
 // stream, dozes to the next index segment, and wakes exactly for the

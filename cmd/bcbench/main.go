@@ -11,6 +11,7 @@
 //	bcbench -figure all -parallel 8 # bound the sweep worker pool
 //	bcbench -figure airsched -json bench/   # tuning-vs-skew study as BENCH_airsched.json
 //	bcbench -figure grouped -json bench/    # grouped-matrix bandwidth study at n=10⁵
+//	bcbench -figure quasi -json bench/      # persistent quasi-caching currency sweep
 //	bcbench -figure shard -json bench/      # cluster-sharding channel study at n=10⁵
 //	bcbench -figure scale -json bench/      # event-wheel sweep to 10⁶ clients as BENCH_scale.json
 //
@@ -57,7 +58,7 @@ func writeBenchJSON(path string, e *broadcastcc.Experiment) error {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, shard, wire, scale, or all")
+	figure := flag.String("figure", "all", "figure id: 2a, 2b, 3a, 3b, 4a, 4b, groups, caching, disks, updates, clients, faults, airsched, airdisks, delta, grouped, quasi, shard, wire, scale, or all")
 	txns := flag.Int("txns", 1000, "client transactions per run (paper: 1000)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	csvPath := flag.String("csv", "", "also write the series as CSV to this file (single figure only)")
@@ -165,6 +166,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		if *figure == "grouped" {
+			return
+		}
+	}
+
+	if *figure == "quasi" || *figure == "all" {
+		points, err := experiments.QuasiCurrency(opt, experiments.QuasiConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.QuasiTable(points))
+		fmt.Println()
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			bench := experiments.QuasiBench(points)
+			path := filepath.Join(*jsonDir, "BENCH_"+bench.ID+".json")
+			f, err := os.Create(path)
+			if err == nil {
+				err = bench.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *figure == "quasi" {
 			return
 		}
 	}

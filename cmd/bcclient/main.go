@@ -26,6 +26,19 @@
 //	bcclient -udp 127.0.0.1:7072 -read 0,1,2
 //	bcclient -udp 239.1.2.3:7072 -read 0,1 -txns 20 -loss 0.2
 //
+// With -cache-currency T reads may be served from the client's
+// weak-currency cache (items at most T cycles old). -cache-dir makes
+// that cache a persistent tier: the inventory survives restarts (and
+// kill -9 — torn tails are discarded on recovery) and is revalidated
+// against the live control information before serving, so a restarted
+// client gets warm hits without re-listening to data frames.
+// -subscribe narrows the tuner to a partial replica: the server ships
+// only the subscribed objects' frames plus the control data needed to
+// validate them, and reads outside the subset fail loudly:
+//
+//	bcclient -read 0,1 -txns 20 -cache-currency 4 -cache-dir /tmp/qc
+//	bcclient -read 0,1 -txns 10 -subscribe 0,1,2
+//
 // Against a sharded fleet (bcserver -shards k), -shards tunes all k
 // broadcast channels at once and runs transactions over global object
 // ids: reads validate per shard plus the cross-shard alignment check,
@@ -57,6 +70,8 @@ func main() {
 	writeSpec := flag.String("write", "", "obj=value[,obj=value...] to write in one update transaction")
 	txns := flag.Int("txns", 1, "how many transactions to run")
 	cacheT := flag.Int64("cache-currency", 0, "client cache currency bound in cycles (0 = off)")
+	cacheDir := flag.String("cache-dir", "", "persist the cache in this directory: the inventory survives restarts and is revalidated off the air before serving (requires -cache-currency > 0)")
+	subscribe := flag.String("subscribe", "", "comma-separated object ids to tune as a partial replica: the server ships only these objects' frames plus validation control (empty = full feed)")
 	loss := flag.Float64("loss", 0, "inject per-cycle frame loss with this probability [0,1]")
 	doze := flag.Float64("doze", 0, "per-cycle probability a doze window starts [0,1]")
 	dozeLen := flag.Int("doze-len", 0, "doze window length in cycles (default 1 when -doze > 0)")
@@ -85,9 +100,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -read and/or -write")
 		os.Exit(2)
 	}
+	if *cacheDir != "" && *cacheT <= 0 {
+		fmt.Fprintln(os.Stderr, "-cache-dir persists the weak-currency cache; give it a bound with -cache-currency > 0")
+		os.Exit(2)
+	}
 	if *shards > 1 {
-		if *selective || *udpAddr != "" || *loss > 0 || *doze > 0 || *cacheT > 0 {
-			fmt.Fprintln(os.Stderr, "-shards composes with plain TCP tuning only (no -selective/-udp/-loss/-doze/-cache-currency)")
+		if *selective || *udpAddr != "" || *loss > 0 || *doze > 0 || *cacheT > 0 || *subscribe != "" {
+			fmt.Fprintln(os.Stderr, "-shards composes with plain TCP tuning only (no -selective/-udp/-loss/-doze/-cache-currency/-subscribe)")
 			os.Exit(2)
 		}
 		reads, err := parseReads(*readList)
@@ -103,8 +122,8 @@ func main() {
 		return
 	}
 	if *selective {
-		if *writeSpec != "" || *loss > 0 || *doze > 0 {
-			fmt.Fprintln(os.Stderr, "-selective supports read-only transactions over a clean air (no -write/-loss/-doze)")
+		if *writeSpec != "" || *loss > 0 || *doze > 0 || *subscribe != "" {
+			fmt.Fprintln(os.Stderr, "-selective supports read-only transactions over a clean air (no -write/-loss/-doze/-subscribe)")
 			os.Exit(2)
 		}
 		if *udpAddr != "" {
@@ -136,7 +155,15 @@ func main() {
 		Subscribe(buffer int) *broadcastcc.Subscription
 		Close() error
 	}
+	subset, err := parseReads(*subscribe)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *udpAddr != "" {
+		if len(subset) > 0 {
+			fmt.Fprintln(os.Stderr, "-subscribe announces the subset on the TCP broadcast connection; it does not compose with -udp")
+			os.Exit(2)
+		}
 		src, err := broadcastcc.ListenUDPSource(*udpAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -153,6 +180,12 @@ func main() {
 			log.Fatal(err)
 		}
 		tuner = dt
+	} else if len(subset) > 0 {
+		tcp, err := broadcastcc.TuneSubset(*broadcastAddr, subset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuner = tcp
 	} else {
 		tcp, err := broadcastcc.Tune(*broadcastAddr)
 		if err != nil {
@@ -184,6 +217,21 @@ func main() {
 		Algorithm:       alg,
 		CacheCurrency:   broadcastcc.Cycle(*cacheT),
 		RetainSnapshots: faulty,
+		Subset:          subset,
+	}
+	// The persistent cache tier: recovered inventory seeds the cache and
+	// is revalidated against the first cycle heard off the air, so a
+	// restarted client serves warm hits without re-listening to the data
+	// frames it already holds.
+	var store *broadcastcc.CacheStore
+	if *cacheDir != "" {
+		store, err = broadcastcc.OpenCacheStore(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		ccfg.Store = store
+		log.Printf("cache store %s: %d entries recovered, pending revalidation", *cacheDir, store.Len())
 	}
 	if *obsAddr != "" {
 		ccfg.Obs = reg
@@ -265,6 +313,11 @@ func main() {
 	st := cli.Stats()
 	fmt.Printf("stats: %d validated reads, %d cache hits, %d aborts (%d observed here)\n",
 		st.Reads, st.CacheHits, st.ReadAborts, aborts)
+	if store != nil {
+		snap := cli.Obs().Snapshot()
+		fmt.Printf("cache store: %d revalidated, %d dropped on revalidation, %d entries persisted\n",
+			snap.Counters["client_cache_revalidated"], snap.Counters["client_cache_dropped"], store.Len())
+	}
 	if faulty {
 		ls := lossy.Stats()
 		fmt.Printf("faults: %d delivered, %d dozed, %d dropped, %d delayed, %d disconnects; %d cycle gaps (%d cycles missed)\n",

@@ -30,6 +30,13 @@
 //	bcserver -udp 239.1.2.3:7072            # multicast group
 //	bcserver -udp 127.0.0.1:7072 -udp-fec-repair 3
 //
+// Partial replication needs no server flag: a tuner that announces an
+// object subset on its broadcast connection (bcclient -subscribe, or
+// TuneSubset) is shipped only the matching objects' frames plus the
+// control data needed to validate them; subset egress and subscriber
+// counts land in netcast_subset_bytes / netcast_subset_subs on
+// /metrics.
+//
 // With -shards k the database is hashring-partitioned across k
 // broadcast channels (DESIGN.md §12): shard s streams its slice on
 // broadcast-port+2s with its participant uplink on uplink-port+2s, all
@@ -217,6 +224,10 @@ func main() {
 	st := srv.Stats()
 	log.Printf("shutting down: %d cycles, %d commits, %d conflicts, %d uplink requests",
 		st.Cycles, st.Commits, st.ConflictAborts, st.UplinkRequests)
+	if snap := srv.Obs().Snapshot(); snap.Counters["netcast_subset_subs"] > 0 {
+		log.Printf("partial replicas: %d subset subscriptions served, %d subset bytes",
+			snap.Counters["netcast_subset_subs"], snap.Counters["netcast_subset_bytes"])
+	}
 }
 
 // runWorkload commits synthetic update transactions at the given rate,

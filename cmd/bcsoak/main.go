@@ -44,6 +44,8 @@ func main() {
 	flag.Float64Var(&cfg.LossBudget, "loss-budget", cfg.LossBudget, "tolerated datagram frame-loss fraction (loopback kernel drops)")
 	flag.StringVar(&cfg.Timeline, "timeline", cfg.Timeline, "append a JSONL metrics point per scrape to this file (empty = off)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "client workload seed")
+	flag.Int64Var(&cfg.CacheCurrency, "cache-currency", cfg.CacheCurrency, "give every TCP tuner a weak-currency cache with this bound in cycles (0 = uncached)")
+	flag.IntVar(&cfg.CacheSize, "cache-size", cfg.CacheSize, "cached entries per tuner with -cache-currency (0 = unlimited)")
 	flag.Parse()
 
 	if err := runSoak(cfg, log.Printf); err != nil {

@@ -37,6 +37,12 @@ type soakConfig struct {
 	LossBudget  float64
 	Timeline    string
 	Seed        int64
+	// CacheCurrency > 0 gives every TCP tuner a weak-currency cache
+	// with that bound (capped at CacheSize entries), so the nightly
+	// soak exercises the cached read path — mixed-cycle validation,
+	// local invalidation — under churn and real sockets.
+	CacheCurrency int64
+	CacheSize     int
 }
 
 func defaultSoakConfig() soakConfig {
@@ -81,6 +87,8 @@ func (c soakConfig) validate() error {
 		return fmt.Errorf("soak: Workload = %g and WorkloadLen = %d must be positive", c.Workload, c.WorkloadLen)
 	case c.LossBudget < 0 || c.LossBudget > 1:
 		return fmt.Errorf("soak: LossBudget = %g, need [0,1]", c.LossBudget)
+	case c.CacheCurrency < 0 || c.CacheSize < 0:
+		return fmt.Errorf("soak: CacheCurrency = %d and CacheSize = %d must be non-negative", c.CacheCurrency, c.CacheSize)
 	case c.P99Bound <= 0:
 		return fmt.Errorf("soak: P99Bound = %v, need > 0", c.P99Bound)
 	}
@@ -221,7 +229,12 @@ func runSoak(cfg soakConfig, logf func(string, ...any)) error {
 			return err
 		}
 		conns = append(conns, t)
-		cli := broadcastcc.NewClient(broadcastcc.ClientConfig{Algorithm: broadcastcc.FMatrix, Obs: clientReg}, t.Subscribe(8))
+		cli := broadcastcc.NewClient(broadcastcc.ClientConfig{
+			Algorithm:     broadcastcc.FMatrix,
+			CacheCurrency: broadcastcc.Cycle(cfg.CacheCurrency),
+			CacheSize:     cfg.CacheSize,
+			Obs:           clientReg,
+		}, t.Subscribe(8))
 		wg.Add(1)
 		go readerLoop(cli, rand.New(rand.NewSource(cfg.Seed+int64(i))))
 	}

@@ -67,6 +67,42 @@ func TestSoakSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakCachedProfile runs the cached nightly profile short: every
+// TCP tuner carries a weak-currency cache, and the run must both hold
+// the invariants and actually hit the cache.
+func TestSoakCachedProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke needs a couple of wall-clock seconds")
+	}
+	cfg := soakTestConfig()
+	cfg.Duration = 1500 * time.Millisecond
+	cfg.UDPClients = 0
+	cfg.CacheCurrency = 4
+	cfg.CacheSize = 64
+	cfg.Timeline = filepath.Join(t.TempDir(), "timeline.jsonl")
+	if err := runSoak(cfg, t.Logf); err != nil {
+		t.Fatalf("cached soak violated an invariant: %v", err)
+	}
+	f, err := os.Open(cfg.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var hits int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var pt timelinePoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			t.Fatal(err)
+		}
+		hits = pt.Snapshot.Counters["client_cache_hits"]
+	}
+	if hits == 0 {
+		t.Fatal("cached profile never served a read from the cache")
+	}
+}
+
 func TestSoakConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string
@@ -79,6 +115,7 @@ func TestSoakConfigValidation(t *testing.T) {
 		{"reads exceed objects", func(c *soakConfig) { c.ReadsPerTxn = c.Objects + 1 }, "ReadsPerTxn"},
 		{"loss budget above 1", func(c *soakConfig) { c.LossBudget = 1.5 }, "LossBudget"},
 		{"zero scrape", func(c *soakConfig) { c.ScrapeEvery = 0 }, "ScrapeEvery"},
+		{"negative cache currency", func(c *soakConfig) { c.CacheCurrency = -1 }, "CacheCurrency"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

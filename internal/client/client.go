@@ -19,6 +19,7 @@ import (
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/obs"
 	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/qcache"
 )
 
 // Errors returned by client transactions.
@@ -33,6 +34,10 @@ var (
 	ErrTunedOut = errors.New("client: broadcast subscription closed")
 	// ErrTxnFinished rejects operations on a finished transaction.
 	ErrTxnFinished = errors.New("client: transaction already finished")
+	// ErrNotSubscribed rejects a read of an object outside the client's
+	// subset subscription: the broadcast never carried its value, so
+	// there is nothing sound to serve.
+	ErrNotSubscribed = errors.New("client: object outside the subset subscription")
 )
 
 // Config parameterizes a client.
@@ -54,6 +59,20 @@ type Config struct {
 	// CacheSize caps the number of cached entries (0 = unlimited).
 	// Eviction is least-recently-cached.
 	CacheSize int
+	// Store, when non-nil, is the persistent quasi-cache tier (DESIGN.md
+	// §13): every cache mutation writes through to it, and at New the
+	// store's recovered inventory seeds the cache — revalidated against
+	// the first control snapshot heard off the air before anything is
+	// served. Requires CacheCurrency > 0. Under grouped control, entries
+	// stay in memory only (a grouped snapshot has no per-object column
+	// worth persisting); matrix and vector control persist fully.
+	Store *qcache.Store
+	// Subset, when non-nil, is the client's partial-replication filter:
+	// the object ids this client subscribes to. Reads outside the subset
+	// fail with ErrNotSubscribed — a subset broadcast never carried
+	// their values. The tuner layer is expected to deliver subset cycle
+	// views (wire.SubsetCycle.Broadcast) matching this filter.
+	Subset []int
 	// RetainSnapshots forces the snapshot-retaining validator for every
 	// transaction even without a cache — the doze-recovery mode: a
 	// transaction that spans a reception gap keeps the control snapshot
@@ -99,10 +118,20 @@ func (c Config) currencyOf(obj int) cmatrix.Cycle {
 // run one client per goroutine, which is also the realistic deployment
 // (one tuner per device).
 type Client struct {
-	cfg   Config
-	sub   *bcast.Subscription
-	cur   *bcast.CycleBroadcast
-	cache *cache
+	cfg    Config
+	sub    *bcast.Subscription
+	cur    *bcast.CycleBroadcast
+	cache  *cache
+	subset map[int]bool // nil = full-channel subscription
+
+	// pendingRevalidate marks a cache inventory recovered from the
+	// persistent store that has not yet been checked against a live
+	// control snapshot; the first received cycle revalidates it.
+	pendingRevalidate bool
+
+	// offline is the disconnected-operation queue: transaction intents
+	// recorded while off the air, drained after retuning.
+	offline []offlineOp
 
 	// Observability: counters resolved once at New (the read path is a
 	// single atomic add per outcome), tracer nil-safe.
@@ -118,6 +147,12 @@ type Client struct {
 	cFramesListened *obs.Counter
 	cFramesDozed    *obs.Counter
 	cIndexMisses    *obs.Counter
+	cRevalidated    *obs.Counter
+	cRevalDropped   *obs.Counter
+	cStoreErrors    *obs.Counter
+	cOfflineQueued  *obs.Counter
+	cOfflineOK      *obs.Counter
+	cOfflineAborted *obs.Counter
 }
 
 // Stats are cumulative client counters — a view over the client's obs
@@ -141,11 +176,19 @@ type Stats struct {
 }
 
 // New builds a client over an existing subscription (obtain one from
-// server.Subscribe or bcast.Medium.Subscribe).
+// server.Subscribe or bcast.Medium.Subscribe). A configured persistent
+// store seeds the cache with its recovered inventory, pending
+// revalidation against the first cycle heard off the air.
 func New(cfg Config, sub *bcast.Subscription) *Client {
 	c := &Client{cfg: cfg, sub: sub}
 	if cfg.CacheCurrency > 0 {
-		c.cache = newCache(cfg.CacheSize)
+		c.cache = newCache(cfg.CacheSize, cfg.Store)
+	}
+	if cfg.Subset != nil {
+		c.subset = make(map[int]bool, len(cfg.Subset))
+		for _, o := range cfg.Subset {
+			c.subset[o] = true
+		}
 	}
 	c.obs = cfg.Obs
 	if c.obs == nil {
@@ -162,7 +205,72 @@ func New(cfg Config, sub *bcast.Subscription) *Client {
 	c.cFramesListened = c.obs.Counter("client_frames_listened")
 	c.cFramesDozed = c.obs.Counter("client_frames_dozed")
 	c.cIndexMisses = c.obs.Counter("client_index_misses")
+	c.cRevalidated = c.obs.Counter("client_cache_revalidated")
+	c.cRevalDropped = c.obs.Counter("client_cache_dropped")
+	c.cStoreErrors = c.obs.Counter("client_cache_store_errors")
+	c.cOfflineQueued = c.obs.Counter("client_offline_queued")
+	c.cOfflineOK = c.obs.Counter("client_offline_committed")
+	c.cOfflineAborted = c.obs.Counter("client_offline_aborted")
+	if c.cache != nil {
+		c.cache.onStoreErr = c.cStoreErrors.Inc
+		if cfg.Store != nil {
+			c.loadInventory()
+		}
+	}
 	return c
+}
+
+// loadInventory seeds the cache from the persistent store's recovered
+// inventory. Entries are not served until the first received cycle
+// revalidates them (per-object currency check against the live control
+// snapshot); the store's snapshots are rebuilt per algorithm — a
+// matrix column for F-Matrix, the retained vector for the vector
+// protocols. Grouped entries were never persisted.
+func (c *Client) loadInventory() {
+	for obj, e := range c.cfg.Store.Inventory() {
+		snap, ok := c.snapshotFromStored(obj, e.Col)
+		if !ok {
+			c.cfg.Store.Delete(obj)
+			continue
+		}
+		c.cache.seed(obj, cacheEntry{value: e.Value, cycle: e.Cycle, snap: snap})
+	}
+	c.pendingRevalidate = c.cache.len() > 0
+}
+
+// snapshotFromStored rebuilds the validation snapshot for one stored
+// column under the configured algorithm.
+func (c *Client) snapshotFromStored(obj int, col []cmatrix.Cycle) (protocol.Snapshot, bool) {
+	if len(col) == 0 {
+		return nil, false
+	}
+	switch c.cfg.Algorithm {
+	case protocol.FMatrix:
+		return protocol.ColumnSnapshot{Obj: obj, Col: append([]cmatrix.Cycle(nil), col...)}, true
+	case protocol.RMatrix, protocol.Datacycle:
+		v, err := cmatrix.VectorFromEntries(append([]cmatrix.Cycle(nil), col...))
+		if err != nil {
+			return nil, false
+		}
+		return protocol.VectorSnapshot{V: v}, true
+	default:
+		return nil, false
+	}
+}
+
+// revalidateInventory checks every store-recovered entry against the
+// first live control snapshot: entries beyond their currency bound, or
+// from an incomparable epoch (cached "later" than the current cycle —
+// the server restarted), are dropped; the rest are validated and may
+// serve reads. Aborts only what genuinely fails — a disconnected
+// client's inventory survives arbitrarily many missed cycles as long
+// as the currency bound tolerates them.
+func (c *Client) revalidateInventory(cb *bcast.CycleBroadcast) {
+	c.pendingRevalidate = false
+	kept, dropped := c.cache.revalidate(cb.Number, c.cfg.currencyOf)
+	c.cRevalidated.Add(kept)
+	c.cRevalDropped.Add(dropped)
+	c.trace.Emit(obs.EvRetune, c.cfg.ClientID, int64(cb.Number), 1, kept)
 }
 
 // Obs returns the client's metrics registry (Config.Obs, or the
@@ -249,7 +357,11 @@ func (c *Client) setCurrent(cb *bcast.CycleBroadcast) bool {
 	c.cur = cb
 	c.cCyclesSeen.Inc()
 	if c.cache != nil {
-		c.cache.evictStale(cb.Number, c.cfg.currencyOf)
+		if c.pendingRevalidate {
+			c.revalidateInventory(cb)
+		} else {
+			c.cache.evictStale(cb.Number, c.cfg.currencyOf)
+		}
 	}
 	return true
 }
@@ -303,8 +415,13 @@ func (c *Client) Retune(sub *bcast.Subscription) {
 	}
 	c.cur = nil
 	if c.cache != nil {
-		c.cache = newCache(c.cfg.CacheSize)
+		// The persistent inventory belongs to the old epoch too: clear it
+		// rather than revalidate entries whose cycles are incomparable.
+		c.cache.clear()
+		c.cache = newCache(c.cfg.CacheSize, c.cfg.Store)
+		c.cache.onStoreErr = c.cStoreErrors.Inc
 	}
+	c.pendingRevalidate = false
 }
 
 // Cancel tunes the client out.
@@ -418,7 +535,8 @@ func (c *Client) invalidateAfterAbort(v protocol.Validator, failedObj int) {
 }
 
 // fetch resolves a read: cache first (when enabled and fresh), then the
-// current broadcast.
+// current broadcast. Subset subscribers can only read subscribed
+// objects — the broadcast never carried the rest.
 func (c *Client) fetch(obj int) (value []byte, snap protocol.Snapshot, cycle cmatrix.Cycle, cacheHit bool, err error) {
 	if c.cur == nil {
 		return nil, nil, 0, false, ErrNoBroadcast
@@ -426,8 +544,14 @@ func (c *Client) fetch(obj int) (value []byte, snap protocol.Snapshot, cycle cma
 	if obj < 0 || obj >= len(c.cur.Values) {
 		return nil, nil, 0, false, fmt.Errorf("client: object %d out of range [0,%d)", obj, len(c.cur.Values))
 	}
+	if c.subset != nil && !c.subset[obj] {
+		return nil, nil, 0, false, fmt.Errorf("%w: object %d", ErrNotSubscribed, obj)
+	}
 	if c.cache != nil {
-		if e, ok := c.cache.get(obj); ok && c.cur.Number-e.cycle <= c.cfg.currencyOf(obj) {
+		// get enforces the currency bound at read time (and evicts on
+		// failure): a CacheCurrencyOf bound lowered mid-cycle takes effect
+		// immediately, not at the next cycle boundary.
+		if e, ok := c.cache.get(obj, c.cur.Number, c.cfg.currencyOf); ok {
 			return append([]byte(nil), e.value...), e.snap, e.cycle, true, nil
 		}
 	}
@@ -571,10 +695,14 @@ func (t *UpdateTxn) Finish() (protocol.UpdateRequest, error) {
 func (t *UpdateTxn) Abort() { t.done = true }
 
 // cache is the client's least-recently-cached store of broadcast items.
+// With a persistent store attached every mutation writes through, so
+// the on-disk inventory tracks the in-memory one record for record.
 type cache struct {
-	max     int
-	entries map[int]cacheEntry
-	order   []int // insertion order for eviction
+	max        int
+	entries    map[int]cacheEntry
+	order      []int // insertion order for eviction
+	store      *qcache.Store
+	onStoreErr func()
 }
 
 type cacheEntry struct {
@@ -583,13 +711,28 @@ type cacheEntry struct {
 	snap  protocol.Snapshot
 }
 
-func newCache(max int) *cache {
-	return &cache{max: max, entries: map[int]cacheEntry{}}
+func newCache(max int, store *qcache.Store) *cache {
+	return &cache{max: max, entries: map[int]cacheEntry{}, store: store}
 }
 
-func (c *cache) get(obj int) (cacheEntry, bool) {
+// get returns the entry for obj if it is within its currency bound at
+// the current cycle; a stale entry is evicted on the spot, so a bound
+// lowered mid-cycle takes effect at the very next read rather than at
+// the next cycle boundary. The stale-serve hook disables the check —
+// the conformance harness uses it to prove the oracle notices.
+func (c *cache) get(obj int, now cmatrix.Cycle, currencyOf func(obj int) cmatrix.Cycle) (cacheEntry, bool) {
 	e, ok := c.entries[obj]
-	return e, ok
+	if !ok {
+		return e, false
+	}
+	if cacheSkipRevalidate {
+		return e, true
+	}
+	if now-e.cycle > currencyOf(obj) {
+		c.remove(obj)
+		return cacheEntry{}, false
+	}
+	return e, true
 }
 
 func (c *cache) put(obj int, e cacheEntry) {
@@ -603,6 +746,61 @@ func (c *cache) put(obj int, e cacheEntry) {
 		c.order = append(c.order, obj)
 	}
 	c.entries[obj] = e
+	c.persist(obj, e)
+}
+
+// seed installs an entry recovered from the persistent store without
+// writing it back.
+func (c *cache) seed(obj int, e cacheEntry) {
+	if _, exists := c.entries[obj]; !exists {
+		if c.max > 0 && len(c.entries) >= c.max {
+			c.evictOldest()
+		}
+		c.order = append(c.order, obj)
+	}
+	c.entries[obj] = e
+}
+
+// persist writes one entry through to the store. Grouped snapshots
+// carry no per-object column and stay memory-only.
+func (c *cache) persist(obj int, e cacheEntry) {
+	if c.store == nil {
+		return
+	}
+	col, ok := storedColumn(e.snap)
+	if !ok {
+		return
+	}
+	if err := c.store.Put(obj, e.value, e.cycle, col); err != nil && c.onStoreErr != nil {
+		c.onStoreErr()
+	}
+}
+
+// unpersist removes one entry from the store.
+func (c *cache) unpersist(obj int) {
+	if c.store == nil {
+		return
+	}
+	if err := c.store.Delete(obj); err != nil && c.onStoreErr != nil {
+		c.onStoreErr()
+	}
+}
+
+// storedColumn extracts the persistable control column from a retained
+// snapshot: the F-Matrix column, or the whole (small) vector.
+func storedColumn(snap protocol.Snapshot) ([]cmatrix.Cycle, bool) {
+	switch s := snap.(type) {
+	case protocol.ColumnSnapshot:
+		return s.Col, true
+	case protocol.VectorSnapshot:
+		col := make([]cmatrix.Cycle, s.V.N())
+		for i := range col {
+			col[i] = s.V.At(i)
+		}
+		return col, true
+	default:
+		return nil, false
+	}
 }
 
 func (c *cache) evictOldest() {
@@ -611,6 +809,7 @@ func (c *cache) evictOldest() {
 		c.order = c.order[1:]
 		if _, ok := c.entries[obj]; ok {
 			delete(c.entries, obj)
+			c.unpersist(obj)
 			return
 		}
 	}
@@ -630,18 +829,49 @@ func (c *cache) remove(obj int) {
 	if _, ok := c.entries[obj]; ok {
 		delete(c.entries, obj)
 		c.removeFromOrder(obj)
+		c.unpersist(obj)
 	}
 }
 
 // evictStale drops entries older than their (per-object) currency bound
 // — the paper's purely local invalidation: no communication needed.
 func (c *cache) evictStale(now cmatrix.Cycle, currencyOf func(obj int) cmatrix.Cycle) {
+	if cacheSkipRevalidate {
+		return
+	}
 	for obj, e := range c.entries {
 		if now-e.cycle > currencyOf(obj) {
 			delete(c.entries, obj)
 			c.removeFromOrder(obj)
+			c.unpersist(obj)
 		}
 	}
+}
+
+// revalidate is the restart/reconnect inventory check: entries beyond
+// their currency bound at the current cycle, or cached in a later
+// (incomparable) epoch, are dropped. Returns kept and dropped counts.
+func (c *cache) revalidate(now cmatrix.Cycle, currencyOf func(obj int) cmatrix.Cycle) (kept, dropped int64) {
+	for obj, e := range c.entries {
+		if !cacheSkipRevalidate && (e.cycle > now || now-e.cycle > currencyOf(obj)) {
+			delete(c.entries, obj)
+			c.removeFromOrder(obj)
+			c.unpersist(obj)
+			dropped++
+			continue
+		}
+		kept++
+	}
+	return kept, dropped
+}
+
+// clear drops every entry, in memory and in the store (epoch reset).
+func (c *cache) clear() {
+	for obj := range c.entries {
+		delete(c.entries, obj)
+		c.unpersist(obj)
+	}
+	c.order = c.order[:0]
 }
 
 // Len reports the number of cached entries.

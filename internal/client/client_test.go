@@ -316,10 +316,10 @@ func TestCacheSizeEviction(t *testing.T) {
 	if got := c.cache.len(); got != 2 {
 		t.Fatalf("cache len = %d, want 2", got)
 	}
-	if _, ok := c.cache.get(0); ok {
+	if _, ok := c.cache.get(0, c.cur.Number, c.cfg.currencyOf); ok {
 		t.Error("oldest entry should have been evicted")
 	}
-	if _, ok := c.cache.get(2); !ok {
+	if _, ok := c.cache.get(2, c.cur.Number, c.cfg.currencyOf); !ok {
 		t.Error("newest entry should be cached")
 	}
 }

@@ -1,0 +1,341 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+	"broadcastcc/internal/qcache"
+	"broadcastcc/internal/server"
+)
+
+// newPersistentPair builds a server and a caching client backed by a
+// persistent store in dir.
+func newPersistentPair(t *testing.T, alg protocol.Algorithm, n int, dir string, cfg Config) (*server.Server, *Client, *qcache.Store) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Objects:    n,
+		ObjectBits: 64,
+		Algorithm:  alg,
+		Audit:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := qcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algorithm = alg
+	cfg.Store = store
+	if cfg.CacheCurrency == 0 {
+		cfg.CacheCurrency = 8
+	}
+	c := New(cfg, srv.Subscribe(64))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { store.Close() })
+	return srv, c, store
+}
+
+// TestPersistentCacheSurvivesRestart is the tentpole flow: cache off
+// the air, abandon the client (no clean shutdown), reopen the store in
+// a fresh client, and serve the first read from the revalidated
+// inventory without it ever crossing the air again.
+func TestPersistentCacheSurvivesRestart(t *testing.T) {
+	for _, alg := range []protocol.Algorithm{protocol.FMatrix, protocol.RMatrix} {
+		dir := t.TempDir()
+		srv, c, store := newPersistentPair(t, alg, 4, dir, Config{CacheCurrency: 10})
+		commitWrite(t, srv, 0, "alpha")
+		commitWrite(t, srv, 1, "beta")
+		srv.StartCycle()
+		c.AwaitCycle()
+		txn := c.BeginReadOnly()
+		for _, obj := range []int{0, 1} {
+			if _, err := txn.Read(obj); err != nil {
+				t.Fatalf("%v: warm read %d: %v", alg, obj, err)
+			}
+		}
+		txn.Commit()
+		if store.Len() != 2 {
+			t.Fatalf("%v: store has %d entries, want 2", alg, store.Len())
+		}
+		// "Crash": no Close, no eviction. A new client process opens the
+		// same directory.
+		store.Close()
+		re, err := qcache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		c2 := New(Config{Algorithm: alg, CacheCurrency: 10, Store: re}, srv.Subscribe(64))
+		srv.StartCycle()
+		c2.AwaitCycle()
+		if got := c2.Stats().Reads; got != 0 {
+			t.Fatalf("%v: restarted client read %d times before being asked", alg, got)
+		}
+		txn2 := c2.BeginReadOnly()
+		v, err := txn2.Read(0)
+		if err != nil || string(v) != "alpha" {
+			t.Fatalf("%v: restarted read = %q, %v", alg, v, err)
+		}
+		txn2.Commit()
+		st := c2.Stats()
+		if st.CacheHits != 1 {
+			t.Fatalf("%v: restarted read was not a cache hit (hits=%d)", alg, st.CacheHits)
+		}
+		if c2.obs.Counter("client_cache_revalidated").Load() != 2 {
+			t.Fatalf("%v: revalidated = %d, want 2", alg, c2.obs.Counter("client_cache_revalidated").Load())
+		}
+	}
+}
+
+// TestRestartRevalidationDropsAgedEntries: entries beyond the currency
+// bound at the first post-restart cycle are dropped, fresher ones kept.
+func TestRestartRevalidationDropsAgedEntries(t *testing.T) {
+	dir := t.TempDir()
+	srv, c, store := newPersistentPair(t, protocol.FMatrix, 4, dir, Config{CacheCurrency: 3})
+	commitWrite(t, srv, 0, "old")
+	srv.StartCycle() // cycle 1
+	c.AwaitCycle()
+	txn := c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	srv.StartCycle() // cycle 2
+	c.AwaitCycle()
+	txn = c.BeginReadOnly()
+	if _, err := txn.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	// Age the inventory while the first client is not listening (it
+	// never processes these cycles, so its own eviction cannot clean the
+	// store for us): by cycle 5, obj 0 (cached at 1) is past T=3 and
+	// obj 1 (cached at 2) is exactly at the bound.
+	srv.StartCycle() // 3
+	srv.StartCycle() // 4
+	srv.StartCycle() // 5
+	store.Close()
+
+	re, err := qcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// The late tuner is handed the last cycle (5) on subscribe; the
+	// first AwaitCycle triggers the inventory revalidation.
+	c2 := New(Config{Algorithm: protocol.FMatrix, CacheCurrency: 3, Store: re}, srv.Subscribe(64))
+	c2.AwaitCycle()
+	if kept := c2.obs.Counter("client_cache_revalidated").Load(); kept != 1 {
+		t.Fatalf("revalidated = %d, want 1", kept)
+	}
+	if dropped := c2.obs.Counter("client_cache_dropped").Load(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	// The dropped entry is also gone from the store.
+	if _, ok := re.Get(0); ok {
+		t.Fatal("aged entry survived in the store")
+	}
+	if _, ok := re.Get(1); !ok {
+		t.Fatal("fresh entry missing from the store")
+	}
+}
+
+// TestCurrencyBoundLoweredMidCycle is the satellite-4 regression: the
+// old cache only evicted on cycle boundaries, so a CacheCurrencyOf
+// bound lowered mid-run kept serving an entry older than its new bound
+// until the next cycle. get must recheck at read time.
+func TestCurrencyBoundLoweredMidCycle(t *testing.T) {
+	bound := cmatrix.Cycle(10)
+	srv, c := newPair(t, protocol.FMatrix, 2, Config{
+		CacheCurrency:   10,
+		CacheCurrencyOf: func(obj int) cmatrix.Cycle { return bound },
+	})
+	commitWrite(t, srv, 0, "v1")
+	srv.StartCycle() // cycle 1
+	c.AwaitCycle()
+	txn := c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	srv.StartCycle() // cycle 2
+	srv.StartCycle() // cycle 3
+	c.AwaitCycle()
+	c.AwaitCycle() // entry is now 2 cycles old, within bound 10
+	txn = c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if c.Stats().CacheHits != 1 {
+		t.Fatalf("warm read should hit the cache (hits=%d)", c.Stats().CacheHits)
+	}
+	// Lower the bound mid-cycle: the entry (age 2) is now past it. No
+	// cycle boundary runs between here and the next read.
+	bound = 1
+	txn = c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if hits := c.Stats().CacheHits; hits != 1 {
+		t.Fatalf("read after lowering the bound hit the cache (hits=%d)", hits)
+	}
+	if c.cache.len() != 1 {
+		// The stale entry was evicted at read time and re-cached fresh.
+		t.Fatalf("cache len = %d, want 1 (fresh re-cache)", c.cache.len())
+	}
+	if e, ok := c.cache.get(0, c.cur.Number, c.cfg.currencyOf); !ok || e.cycle != 3 {
+		t.Fatalf("re-cached entry at cycle %d, want 3", e.cycle)
+	}
+}
+
+// TestCacheSkipRevalidateHookServesStale pins the stale-serve hook the
+// conformance harness induces violations with: under the hook, the
+// read-time currency check and the cycle-boundary eviction are both
+// disabled, so a cached entry older than T keeps serving.
+func TestCacheSkipRevalidateHookServesStale(t *testing.T) {
+	srv, c := newPair(t, protocol.FMatrix, 2, Config{CacheCurrency: 1})
+	commitWrite(t, srv, 0, "v1")
+	srv.StartCycle() // cycle 1
+	c.AwaitCycle()
+	txn := c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+
+	restore := SetCacheSkipRevalidate(true)
+	srv.StartCycle() // 2
+	srv.StartCycle() // 3
+	c.AwaitCycle()
+	c.AwaitCycle() // entry age 2 > T=1, but the hook keeps it
+	txn = c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if hits := c.Stats().CacheHits; hits != 1 {
+		restore()
+		t.Fatalf("hooked read should have served stale from cache (hits=%d)", hits)
+	}
+	restore()
+	// With the hook off, the same read re-fetches off the air.
+	txn = c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if hits := c.Stats().CacheHits; hits != 1 {
+		t.Fatalf("unhooked read served stale (hits=%d)", hits)
+	}
+}
+
+func TestSubsetSubscriptionRefusesOutsideReads(t *testing.T) {
+	srv, c := newPair(t, protocol.FMatrix, 4, Config{Subset: []int{0, 2}})
+	commitWrite(t, srv, 0, "in")
+	commitWrite(t, srv, 1, "out")
+	srv.StartCycle()
+	c.AwaitCycle()
+	txn := c.BeginReadOnly()
+	if v, err := txn.Read(0); err != nil || string(v) != "in" {
+		t.Fatalf("subscribed read = %q, %v", v, err)
+	}
+	if _, err := txn.Read(1); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("unsubscribed read = %v, want ErrNotSubscribed", err)
+	}
+}
+
+// TestOfflineQueueDrains: intents queued before any cycle was heard
+// run once the client tunes in — reads serve and validate, updates
+// commit through the uplink, and one genuine failure doesn't poison
+// the rest.
+func TestOfflineQueueDrains(t *testing.T) {
+	srv, c := newPair(t, protocol.FMatrix, 4, Config{CacheCurrency: 8})
+	commitWrite(t, srv, 0, "zero")
+	commitWrite(t, srv, 1, "one")
+
+	c.QueueRead(0, 1)
+	c.QueueUpdate([]int{0}, []protocol.ObjectWrite{{Obj: 2, Value: []byte("two")}})
+	if _, err := c.DrainOffline(srv); !errors.Is(err, ErrOffline) {
+		t.Fatalf("drain before tuning = %v, want ErrOffline", err)
+	}
+	if c.OfflineQueueLen() != 2 {
+		t.Fatalf("queue len = %d, want 2", c.OfflineQueueLen())
+	}
+
+	srv.StartCycle()
+	if _, _, ok := c.AwaitRetune(); !ok {
+		t.Fatal("tuned out")
+	}
+	results, err := c.DrainOffline(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].Err != nil || string(results[0].Values[0]) != "zero" || string(results[0].Values[1]) != "one" {
+		t.Fatalf("read intent: %+v", results[0])
+	}
+	if results[1].Err != nil {
+		t.Fatalf("update intent: %v", results[1].Err)
+	}
+	if c.OfflineQueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+	// The committed write is visible on the next cycle.
+	srv.StartCycle()
+	c.AwaitCycle()
+	txn := c.BeginReadOnly()
+	if v, err := txn.Read(2); err != nil || string(v) != "two" {
+		t.Fatalf("post-drain read = %q, %v", v, err)
+	}
+	if got := c.obs.Counter("client_offline_committed").Load(); got != 2 {
+		t.Fatalf("offline committed = %d, want 2", got)
+	}
+}
+
+// TestOfflineUpdateGenuineConflictAborts: an update intent whose read
+// was genuinely overwritten during the disconnection aborts at the
+// server, while an independent intent still commits.
+func TestOfflineUpdateGenuineConflictAborts(t *testing.T) {
+	srv, c := newPair(t, protocol.FMatrix, 4, Config{CacheCurrency: 2})
+	commitWrite(t, srv, 0, "before")
+	srv.StartCycle() // cycle 1
+	c.AwaitCycle()
+	// Cache obj 0 at cycle 1.
+	txn := c.BeginReadOnly()
+	if _, err := txn.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	// Disconnect. Queue an update that reads the cached obj 0; while
+	// away, obj 0 is overwritten, so the server must reject the commit.
+	c.QueueUpdate([]int{0}, []protocol.ObjectWrite{{Obj: 1, Value: []byte("dep")}})
+	c.QueueUpdate(nil, []protocol.ObjectWrite{{Obj: 3, Value: []byte("indep")}})
+	commitWrite(t, srv, 0, "after")
+	srv.StartCycle() // cycle 2
+	if _, _, ok := c.AwaitRetune(); !ok {
+		t.Fatal("tuned out")
+	}
+	results, err := c.DrainOffline(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached read of obj 0 is still within T=2, so the client-side
+	// validation passes; the server's update-consistency check sees the
+	// conflicting write and rejects.
+	if results[0].Err == nil {
+		t.Fatal("conflicting update intent committed")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("independent intent aborted: %v", results[1].Err)
+	}
+	if got := c.obs.Counter("client_offline_aborted").Load(); got != 1 {
+		t.Fatalf("offline aborted = %d, want 1", got)
+	}
+}

@@ -42,6 +42,27 @@ type PlannedRead struct {
 	CacheAge int `json:"cacheAge,omitempty"`
 }
 
+// CacheProfile is one client's quasi-caching configuration (paper
+// §3.3): how stale its cache may serve, how big the cache is, and —
+// for partial replicas — which objects it subscribes to at all.
+type CacheProfile struct {
+	// T is the currency bound in cycles: a cached read may be served up
+	// to T cycles after the cycle it was cached in. 0 disables caching
+	// (every read fresh); -1 is the unbounded (T = ∞) variant.
+	T int `json:"t"`
+	// Size, when positive, bounds the modeled cache: at most Size reads
+	// of one transaction can be served from cache; the rest degrade to
+	// fresh reads (the entry was evicted).
+	Size int `json:"size,omitempty"`
+	// Subset, when non-empty, restricts the client to these objects —
+	// a partial replica never hears the rest, so its transactions may
+	// only read inside the subset (Validate enforces this).
+	Subset []int `json:"subset,omitempty"`
+}
+
+// Unbounded reports whether the profile's currency bound is T = ∞.
+func (p CacheProfile) Unbounded() bool { return p.T < 0 }
+
 // PlannedTxn is one client transaction: a sequence of reads and, for
 // update transactions, the objects written and shipped up the uplink.
 type PlannedTxn struct {
@@ -105,6 +126,11 @@ type Workload struct {
 	Commits []PlannedCommit `json:"commits,omitempty"`
 	// Clients holds each client's transaction programs.
 	Clients [][]PlannedTxn `json:"clients,omitempty"`
+	// Caches, when non-empty, assigns client i the quasi-cache profile
+	// Caches[min(i, len-1)]. Empty (the pre-profile corpus default)
+	// leaves every client unconstrained: cached reads use their raw
+	// CacheAge, exactly as before profiles existed.
+	Caches []CacheProfile `json:"caches,omitempty"`
 	// Groups is the group count g of the grouped lockstep server's
 	// partition; 0 picks the default max(1, Objects/2), so corpus entries
 	// recorded before the grouped participant existed replay unchanged.
@@ -154,6 +180,19 @@ const (
 	maxRegroupEvery = 64
 	maxShards       = 8
 )
+
+// ProfileFor resolves the cache profile client uses, nil when the
+// workload assigns none.
+func (w *Workload) ProfileFor(client int) *CacheProfile {
+	if len(w.Caches) == 0 {
+		return nil
+	}
+	i := client
+	if i >= len(w.Caches) {
+		i = len(w.Caches) - 1
+	}
+	return &w.Caches[i]
+}
 
 // GroupsOrDefault resolves the grouped participant's group count: the
 // explicit Groups when set, otherwise max(1, Objects/2) — mid-spectrum
@@ -237,7 +276,36 @@ func (w *Workload) Validate() error {
 			return err
 		}
 	}
+	if len(w.Caches) > maxClients {
+		return fmt.Errorf("conformance: %d cache profiles, cap %d", len(w.Caches), maxClients)
+	}
+	for pi, prof := range w.Caches {
+		switch {
+		case prof.T < -1 || prof.T > maxCacheAge:
+			return fmt.Errorf("conformance: cache profile %d T = %d, range [-1,%d]", pi, prof.T, maxCacheAge)
+		case prof.Size < 0 || prof.Size > maxObjects:
+			return fmt.Errorf("conformance: cache profile %d Size = %d, range [0,%d]", pi, prof.Size, maxObjects)
+		}
+		if err := checkObjSet(w.Objects, fmt.Sprintf("cache profile %d subset", pi), prof.Subset, true); err != nil {
+			return err
+		}
+	}
 	for cli, txns := range w.Clients {
+		// A partial replica never hears unsubscribed objects: its read
+		// programs must stay inside the subset.
+		if prof := w.ProfileFor(cli); prof != nil && len(prof.Subset) > 0 {
+			in := map[int]bool{}
+			for _, o := range prof.Subset {
+				in[o] = true
+			}
+			for ti, txn := range txns {
+				for _, r := range txn.Reads {
+					if !in[r.Obj] {
+						return fmt.Errorf("conformance: client %d txn %d reads object %d outside its subset %v", cli, ti, r.Obj, prof.Subset)
+					}
+				}
+			}
+		}
 		if len(txns) > maxTxnsPerCli {
 			return fmt.Errorf("conformance: client %d has %d transactions, cap %d", cli, len(txns), maxTxnsPerCli)
 		}
@@ -281,6 +349,12 @@ func (w *Workload) Clone() *Workload {
 		Shards: w.Shards, Faults: w.Faults,
 	}
 	c.Faults.Windows = append([]faultair.Window(nil), w.Faults.Windows...)
+	if len(w.Caches) > 0 {
+		c.Caches = make([]CacheProfile, len(w.Caches))
+		for i, p := range w.Caches {
+			c.Caches[i] = CacheProfile{T: p.T, Size: p.Size, Subset: append([]int(nil), p.Subset...)}
+		}
+	}
 	if w.Air != nil {
 		air := *w.Air
 		c.Air = &air

@@ -81,7 +81,7 @@ func TestResolveReads(t *testing.T) {
 		{Obj: 1, Step: 1},
 		{Obj: 2, CacheAge: 2},
 	}}
-	reads, trunc := resolveReads(w, nil, 0, txn)
+	reads, _, trunc := resolveReads(w, nil, 0, txn)
 	want := []protocol.ReadAt{{Obj: 0, Cycle: 2}, {Obj: 1, Cycle: 3}, {Obj: 2, Cycle: 1}}
 	if trunc || !reflect.DeepEqual(reads, want) {
 		t.Fatalf("resolveReads = %v (trunc=%v), want %v", reads, trunc, want)
@@ -89,14 +89,14 @@ func TestResolveReads(t *testing.T) {
 
 	// Reads that step past the last cycle truncate the transaction.
 	long := PlannedTxn{Start: 5, Reads: []PlannedRead{{Obj: 0}, {Obj: 1, Step: 3}}}
-	reads, trunc = resolveReads(w, nil, 0, long)
+	reads, _, trunc = resolveReads(w, nil, 0, long)
 	if !trunc || len(reads) != 1 {
 		t.Fatalf("expected truncation after 1 read, got %v (trunc=%v)", reads, trunc)
 	}
 
 	// The first read is always fresh even if planned as cached.
 	cachedFirst := PlannedTxn{Start: 3, Reads: []PlannedRead{{Obj: 0, CacheAge: 2}}}
-	reads, _ = resolveReads(w, nil, 0, cachedFirst)
+	reads, _, _ = resolveReads(w, nil, 0, cachedFirst)
 	if reads[0].Cycle != 3 {
 		t.Fatalf("first read resolved at cycle %d, want fresh at 3", reads[0].Cycle)
 	}

@@ -2,10 +2,15 @@ package conformance
 
 import (
 	"math/rand"
+	"sort"
 
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
 )
+
+// sortInts orders a drawn object set ascending (profile subsets are
+// canonical in sorted form).
+func sortInts(v []int) { sort.Ints(v) }
 
 // Params bounds the workload generator. All counts are inclusive upper
 // bounds; the generator draws the actual shape from the seed.
@@ -93,15 +98,57 @@ func Generate(seed int64, p Params) *Workload {
 	}
 
 	clients := 1 + rng.Intn(max(p.MaxClients, 1))
+
+	// Quasi-cache profiles: about half the cached workloads assign every
+	// client an explicit (T, size, subset) profile, spanning the whole
+	// currency spectrum — T = 0 (caching off), finite bounds, and T = ∞
+	// — plus occasional cache-size limits and partial-replication
+	// subsets. Drawn before the read programs so subset clients can keep
+	// their reads inside the subset.
+	if p.Cache && rng.Intn(2) == 0 {
+		ts := []int{0, 1, 2, 4, 8, -1}
+		for cli := 0; cli < clients; cli++ {
+			prof := CacheProfile{T: ts[rng.Intn(len(ts))]}
+			if rng.Intn(3) == 0 {
+				prof.Size = 1 + rng.Intn(3)
+			}
+			if rng.Intn(4) == 0 && n >= 2 {
+				sub := pickDistinct(1 + rng.Intn(n-1))
+				sortInts(sub)
+				prof.Subset = sub
+			}
+			w.Caches = append(w.Caches, prof)
+		}
+	}
+
 	for cli := 0; cli < clients; cli++ {
+		// A partial replica draws its reads from its subset only.
+		pickRead := pickDistinct
+		if prof := w.ProfileFor(cli); prof != nil && len(prof.Subset) > 0 {
+			sub := prof.Subset
+			pickRead = func(k int) []int {
+				if k > len(sub) {
+					k = len(sub)
+				}
+				perm := rng.Perm(len(sub))
+				out := make([]int, k)
+				for i := 0; i < k; i++ {
+					out[i] = sub[perm[i]]
+				}
+				return out
+			}
+		}
 		var txns []PlannedTxn
 		for t := 0; t < 1+rng.Intn(max(p.MaxTxns, 1)); t++ {
 			txn := PlannedTxn{Start: cmatrix.Cycle(1 + rng.Intn(int(cycles)))}
 			nr := 1 + rng.Intn(max(p.MaxReads, 1))
-			for ri, obj := range pickDistinct(nr) {
+			for ri, obj := range pickRead(nr) {
 				r := PlannedRead{Obj: obj, Step: rng.Intn(3)}
 				if p.Cache && ri > 0 && rng.Float64() < p.CacheProb {
-					r.CacheAge = 1 + rng.Intn(3)
+					// Ages deliberately overshoot small T bounds so the
+					// currency clamp (and the staleness oracle under the
+					// stale-serve hook) actually gets exercised.
+					r.CacheAge = 1 + rng.Intn(4)
 				}
 				txn.Reads = append(txn.Reads, r)
 			}

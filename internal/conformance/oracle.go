@@ -183,6 +183,18 @@ func CheckWorkload(w *Workload) (*Report, error) {
 			rep.Txns = append(rep.Txns, tv)
 			continue
 		}
+		// The quasi-caching contract (paper §3.3): under a finite
+		// currency bound T, no read may be served staler than T cycles —
+		// regardless of what the validators then decide. T = ∞ profiles
+		// accept any age; profile-less clients predate the contract.
+		if prof := w.ProfileFor(rt.client); prof != nil && !prof.Unbounded() {
+			for i, age := range rt.ages {
+				if age > cmatrix.Cycle(prof.T) {
+					addViolation(rt, KindCacheStaleness,
+						fmt.Sprintf("read %d (obj %d) served %d cycles stale under currency bound T=%d", i, rt.reads[i].Obj, age, prof.T), "")
+				}
+			}
+		}
 		if rt.cached {
 			// Out-of-order reads: production clients switch to the
 			// bidirectional SnapshotValidator (R-Matrix's disjunct is

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"broadcastcc/internal/client"
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
 	"broadcastcc/internal/obs"
@@ -46,6 +47,7 @@ const (
 	KindApproxBeyondUC         = "approx-beyond-update-consistent"
 	KindCacheValidatorDiverged = "cache-validator-divergence"
 	KindCachedDCBeyondFMatrix  = "datacycle-cache-beyond-fmatrix-cache"
+	KindCacheStaleness         = "cache-currency-bound-exceeded"
 	KindWholeRunApprox         = "whole-run-approx"
 
 	KindTheorem2       = "theorem2-incremental-maintenance"
@@ -76,9 +78,13 @@ type resolvedTxn struct {
 	cached        bool // at least one cached (out-of-order) read
 	truncated     bool // the run ended before all reads completed
 	reads         []protocol.ReadAt
-	writes        []int
-	submitAt      cmatrix.Cycle // uplink arrival cycle (update txns)
-	uplinkOK      bool          // server accepted the uplink commit
+	// ages[i] is how many cycles stale read i was served (cursor minus
+	// served cycle; 0 for fresh reads) — what the per-profile currency
+	// bound is checked against.
+	ages     []cmatrix.Cycle
+	writes   []int
+	submitAt cmatrix.Cycle // uplink arrival cycle (update txns)
+	uplinkOK bool          // server accepted the uplink commit
 }
 
 // cycleSnap retains one cycle's published control information: the
@@ -148,7 +154,18 @@ func compareTraces(nameA string, a []obs.Event, nameB string, b []obs.Event) (Vi
 // cursor; cached reads re-use an older received cycle without advancing
 // it. Reads that cannot complete before the run ends truncate the
 // transaction.
-func resolveReads(w *Workload, sched *faultair.Schedule, client int, txn PlannedTxn) (reads []protocol.ReadAt, truncated bool) {
+//
+// When the workload assigns the client a cache profile, the model
+// enforces it exactly like the real client does: T = 0 turns every read
+// fresh, T > 0 clamps the cache age to T, and a Size bound degrades
+// excess cached reads to fresh ones. Under the client package's
+// stale-serve hook (SetCacheSkipRevalidate) the currency enforcement is
+// skipped — the model then misbehaves identically to the hooked client,
+// and the oracle's staleness check must catch it.
+//
+// The returned ages slice parallels reads: how many cycles stale each
+// read was served (0 for fresh reads).
+func resolveReads(w *Workload, sched *faultair.Schedule, cli int, txn PlannedTxn) (reads []protocol.ReadAt, ages []cmatrix.Cycle, truncated bool) {
 	next := func(from cmatrix.Cycle) (cmatrix.Cycle, bool) {
 		if from < 1 {
 			from = 1
@@ -159,31 +176,53 @@ func resolveReads(w *Workload, sched *faultair.Schedule, client int, txn Planned
 			}
 			return from, true
 		}
-		return sched.NextReceived(client, from, w.Cycles)
+		return sched.NextReceived(cli, from, w.Cycles)
+	}
+	prof := w.ProfileFor(cli)
+	budget := -1 // cached reads remaining; -1 = unlimited
+	if prof != nil && prof.Size > 0 {
+		budget = prof.Size
 	}
 	cursor := txn.Start
 	fresh := false
 	for _, r := range txn.Reads {
-		if r.CacheAge > 0 && fresh {
+		age := r.CacheAge
+		if prof != nil && !client.CacheSkipRevalidate() {
+			switch {
+			case prof.T == 0:
+				age = 0 // caching disabled: every read is fresh
+			case prof.T > 0 && age > prof.T:
+				age = prof.T // currency bound clamps the serving age
+			}
+		}
+		if age > 0 && budget == 0 {
+			age = 0 // cache full: the entry was evicted, read fresh
+		}
+		if age > 0 && fresh {
 			// Cached read: validated at the oldest received cycle within
-			// CacheAge cycles of the cursor (maximizing out-of-orderness);
+			// age cycles of the cursor (maximizing out-of-orderness);
 			// the cursor — the client's position on the air — stays put.
-			at, ok := next(cursor - cmatrix.Cycle(r.CacheAge))
+			at, ok := next(cursor - cmatrix.Cycle(age))
 			if !ok || at > cursor {
 				at = cursor // the cursor's cycle was received
 			}
 			reads = append(reads, protocol.ReadAt{Obj: r.Obj, Cycle: at})
+			ages = append(ages, cursor-at)
+			if budget > 0 {
+				budget--
+			}
 			continue
 		}
 		at, ok := next(cursor + cmatrix.Cycle(r.Step))
 		if !ok {
-			return reads, true
+			return reads, ages, true
 		}
 		cursor = at
 		fresh = true
 		reads = append(reads, protocol.ReadAt{Obj: r.Obj, Cycle: at})
+		ages = append(ages, 0)
 	}
-	return reads, false
+	return reads, ages, false
 }
 
 // runAir executes the workload against three real servers in lockstep —
@@ -245,10 +284,23 @@ func runAir(w *Workload) (*airTrace, error) {
 	for cli, txns := range w.Clients {
 		for ti, txn := range txns {
 			rt := &resolvedTxn{client: cli, index: ti, update: len(txn.Writes) > 0}
-			rt.reads, rt.truncated = resolveReads(w, sched, cli, txn)
-			for _, r := range txn.Reads[:len(rt.reads)] {
-				if r.CacheAge > 0 {
-					rt.cached = true
+			rt.reads, rt.ages, rt.truncated = resolveReads(w, sched, cli, txn)
+			if w.ProfileFor(cli) == nil {
+				// Profile-less clients keep the pre-profile semantics
+				// (cached-ness follows the plan), so old corpus entries
+				// replay with identical verdicts.
+				for _, r := range txn.Reads[:len(rt.reads)] {
+					if r.CacheAge > 0 {
+						rt.cached = true
+					}
+				}
+			} else {
+				// Profiled clients are cached exactly when a read was
+				// actually served stale after currency enforcement.
+				for _, a := range rt.ages {
+					if a > 0 {
+						rt.cached = true
+					}
 				}
 			}
 			if rt.update && !rt.truncated && len(rt.reads) > 0 {

@@ -1,6 +1,8 @@
 package conformance
 
 import (
+	"reflect"
+
 	"broadcastcc/internal/cmatrix"
 	"broadcastcc/internal/faultair"
 )
@@ -45,7 +47,43 @@ func Shrink(w *Workload) (*Workload, *Report) {
 	for changed := true; changed; {
 		changed = false
 
-		// Collapse the sharded deployment first: a violation that
+		// Collapse the cache profiles first: a violation surviving with
+		// profiles gone is not a quasi-caching bug, and a surviving one
+		// with a single zeroed knob names the knob at fault. Dropping
+		// whole profiles can invalidate subset-constrained reads, so
+		// stillFailing's Validate gate does the policing.
+		if len(cur.Caches) > 0 {
+			c := cur.Clone()
+			c.Caches = nil
+			if try(c) {
+				changed = true
+			} else {
+				for pi := range cur.Caches {
+					simplify := []func(*CacheProfile){
+						func(p *CacheProfile) { p.Subset = nil },
+						func(p *CacheProfile) { p.Size = 0 },
+						func(p *CacheProfile) { p.T = 0 },
+						func(p *CacheProfile) {
+							if p.T < 0 {
+								p.T = maxCacheAge // ∞ → the largest finite bound
+							}
+						},
+					}
+					for _, simp := range simplify {
+						if pi >= len(cur.Caches) {
+							break
+						}
+						c := cur.Clone()
+						simp(&c.Caches[pi])
+						if !reflect.DeepEqual(c.Caches[pi], cur.Caches[pi]) && try(c) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+
+		// Collapse the sharded deployment next: a violation that
 		// survives with the fleet gone (Shards = 0) is not a sharding
 		// bug at all; one that survives at k = 1 needs no cross-shard
 		// machinery. Either collapse removes the most moving parts in

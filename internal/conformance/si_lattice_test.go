@@ -1,0 +1,73 @@
+package conformance
+
+import (
+	"testing"
+
+	"broadcastcc/internal/core"
+	"broadcastcc/internal/history"
+)
+
+// Where weak currency sits against snapshot isolation, pinned on 1k
+// random protocol runs. Every clean run's whole induced history (the
+// update log plus each client's accepted reads, via
+// bctest.InducedHistory) is classified by the SI and NMSI checkers:
+//
+//   - weak currency is NOT stronger than SI: quasi-cached clients mix
+//     cycles within one transaction, so some update-consistent runs
+//     have no single snapshot point — SI must reject a non-trivial
+//     fraction, and every such rejection must still be APPROX-accepted;
+//   - weak currency IS at most non-monotonic SI: each individual read
+//     is of a consistent committed prefix, so NMSI accepts every clean
+//     run;
+//   - the sample is not degenerate: plenty of runs are fully SI too
+//     (fresh reads at a single cycle are a snapshot).
+func TestWeakCurrencyIsWeakerThanSI(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 150
+	}
+	var siOK, siReject, siRejectCached int
+	for seed := int64(40_000); seed < 40_000+int64(n); seed++ {
+		w := Generate(seed, DefaultParams())
+		rep, err := CheckWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d violates conformance: %v", seed, rep.Violations[0])
+		}
+		h, err := history.Parse(rep.History)
+		if err != nil {
+			t.Fatalf("seed %d: induced history does not re-parse: %v", seed, err)
+		}
+		if v := core.NonMonotonicSnapshotIsolated(h); !v.OK {
+			t.Fatalf("seed %d: clean weak-currency run rejected by NMSI: %s", seed, v.Reason)
+		}
+		if v := core.SnapshotIsolated(h); v.OK {
+			siOK++
+			continue
+		} else if av := core.Approx(h); !av.OK {
+			t.Fatalf("seed %d: SI-rejected run (%s) also APPROX-rejected (%s) — the oracle should have caught it", seed, v.Reason, av.Reason)
+		}
+		siReject++
+		cached := false
+		for _, tv := range rep.Txns {
+			if tv.Cached {
+				cached = true
+			}
+		}
+		if cached {
+			siRejectCached++
+		}
+	}
+	t.Logf("classified %d runs: SI %d, non-SI-but-NMSI %d (%d with cached reads)", n, siOK, siReject, siRejectCached)
+	if siReject == 0 {
+		t.Fatal("no run separated weak currency from SI: the quasi-cache never mixed cycles")
+	}
+	if siRejectCached == 0 {
+		t.Fatal("no SI rejection came from a cached run")
+	}
+	if siOK == 0 {
+		t.Fatal("degenerate sample: every run was non-SI")
+	}
+}

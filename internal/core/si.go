@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"broadcastcc/internal/history"
+)
+
+// SnapshotIsolated reports whether the committed projection of h could
+// have been produced by a snapshot-isolated scheduler. A history is SI
+// iff every committed transaction t can be assigned a snapshot point
+// s_t — a prefix of the commit sequence — such that
+//
+//  1. every read of t (other than reads of t's own writes) returns the
+//     value installed by the latest writer committed at or before s_t
+//     (T0 when no committed writer precedes the snapshot), and
+//  2. first committer wins: transactions writing a common object do not
+//     run concurrently — the later committer's snapshot point is at or
+//     after the earlier committer's commit.
+//
+// Commit points are fixed by the history; only the snapshot points are
+// searched. Because the first-committer-wins rule only ever imposes a
+// lower bound on a transaction's snapshot point, feasibility decomposes
+// per transaction and the check runs in polynomial time.
+//
+// SI is incomparable with the paper's update-consistency criterion:
+// write skew is SI but not update consistent, while a quasi-cached
+// read-only transaction that mixes cycles is update consistent but has
+// no single snapshot point. The conformance suite pins both directions.
+func SnapshotIsolated(h *history.History) Verdict {
+	return snapshotIsolated(h, true)
+}
+
+// NonMonotonicSnapshotIsolated is SI with the single-snapshot
+// requirement dropped: each read may be served from its own consistent
+// committed prefix (still bounded below by first-committer-wins and
+// above by the reader's commit), so reads within one transaction may
+// observe snapshots out of order. Every SI history is NMSI; the
+// converse fails on non-monotonic reads.
+func NonMonotonicSnapshotIsolated(h *history.History) Verdict {
+	return snapshotIsolated(h, false)
+}
+
+func snapshotIsolated(h *history.History, single bool) Verdict {
+	committed := h.CommittedProjection()
+
+	// Commit sequence: position p means "after the first p commits".
+	commitPos := map[history.TxnID]int{}
+	var commitSeq []history.TxnID
+	writes := map[history.TxnID]map[string]bool{}
+	for _, op := range committed.Ops() {
+		switch op.Kind {
+		case history.OpCommit:
+			commitSeq = append(commitSeq, op.Txn)
+			commitPos[op.Txn] = len(commitSeq)
+		case history.OpWrite:
+			if writes[op.Txn] == nil {
+				writes[op.Txn] = map[string]bool{}
+			}
+			writes[op.Txn][op.Obj] = true
+		}
+	}
+
+	// writerAt[obj][p] is the latest writer of obj among the first p
+	// committed transactions (T0 at p = 0).
+	writerAt := map[string][]history.TxnID{}
+	for _, obj := range committed.Objects() {
+		col := make([]history.TxnID, len(commitSeq)+1)
+		col[0] = history.T0
+		for p := 1; p <= len(commitSeq); p++ {
+			col[p] = col[p-1]
+			if writes[commitSeq[p-1]][obj] {
+				col[p] = commitSeq[p-1]
+			}
+		}
+		writerAt[obj] = col
+	}
+
+	readsOf := map[history.TxnID][]history.ReadFrom{}
+	for _, r := range committed.ReadsFrom() {
+		if r.Writer != r.Reader { // reads of own writes are always visible
+			readsOf[r.Reader] = append(readsOf[r.Reader], r)
+		}
+	}
+
+	for _, t := range committed.Transactions() {
+		// First committer wins: the snapshot must start after every
+		// earlier-committing writer of a common object.
+		lb := 0
+		for u, wset := range writes {
+			if u == t || commitPos[u] >= commitPos[t] {
+				continue
+			}
+			for obj := range writes[t] {
+				if wset[obj] && commitPos[u] > lb {
+					lb = commitPos[u]
+				}
+			}
+		}
+		maxP := commitPos[t] - 1
+		if lb > maxP {
+			return reject("t%d write-conflicts with a concurrent earlier committer: no snapshot point after its rival's commit precedes t%d's own commit (first committer wins)", t, t)
+		}
+		feasible := func(r history.ReadFrom) []int {
+			var out []int
+			for p := lb; p <= maxP; p++ {
+				if writerAt[r.Obj][p] == r.Writer {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+		if single {
+			pts := map[int]int{}
+			for _, r := range readsOf[t] {
+				for _, p := range feasible(r) {
+					pts[p]++
+				}
+			}
+			ok := len(readsOf[t]) == 0
+			for _, n := range pts {
+				if n == len(readsOf[t]) {
+					ok = true
+				}
+			}
+			if !ok {
+				return rejectSI(t, readsOf[t])
+			}
+		} else {
+			for _, r := range readsOf[t] {
+				if len(feasible(r)) == 0 {
+					return reject("t%d's read of %s from t%d matches no committed prefix in [%d, %d]: not a consistent version under first committer wins", t, r.Obj, r.Writer, lb, maxP)
+				}
+			}
+		}
+	}
+	return Verdict{OK: true}
+}
+
+func rejectSI(t history.TxnID, reads []history.ReadFrom) Verdict {
+	objs := make([]string, 0, len(reads))
+	for _, r := range reads {
+		objs = append(objs, fmt.Sprintf("%s←t%d", r.Obj, r.Writer))
+	}
+	sort.Strings(objs)
+	return reject("t%d has no single snapshot point serving all its reads (%v): the reads mix committed states", t, objs)
+}

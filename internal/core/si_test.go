@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"broadcastcc/internal/history"
+)
+
+// Classic write skew: t1 and t2 each read both of x and y off the same
+// snapshot and write disjoint halves. SI admits it; serializability and
+// the paper's update-consistency criterion both reject it.
+func TestWriteSkewIsSIButNotUpdateConsistent(t *testing.T) {
+	h := history.MustParse("r1(x) r1(y) r2(x) r2(y) w1(x) w2(y) c1 c2")
+	if v := SnapshotIsolated(h); !v.OK {
+		t.Fatalf("write skew rejected by SI: %s", v.Reason)
+	}
+	if v := NonMonotonicSnapshotIsolated(h); !v.OK {
+		t.Fatalf("write skew rejected by NMSI: %s", v.Reason)
+	}
+	if v := Serializable(h); v.OK {
+		t.Fatal("write skew accepted as serializable")
+	}
+	if v := UpdateConsistent(h); v.OK {
+		t.Fatal("write skew accepted as update consistent")
+	}
+}
+
+// Lost update: concurrent writers of the same object. First committer
+// wins forbids it under SI and NMSI alike.
+func TestLostUpdateRejected(t *testing.T) {
+	h := history.MustParse("r1(x) r2(x) w1(x) w2(x) c1 c2")
+	if v := SnapshotIsolated(h); v.OK {
+		t.Fatal("lost update accepted by SI")
+	}
+	if v := NonMonotonicSnapshotIsolated(h); v.OK {
+		t.Fatal("lost update accepted by NMSI")
+	}
+}
+
+// A quasi-cached read-only transaction that mixes cycles: t3 reads x
+// before t2 overwrites it but reads y written by t2. Each read is of a
+// consistent committed version, but no single snapshot point serves
+// both — exactly the shape a weak-currency cache produces. Update
+// consistency (and NMSI) accept it; SI does not. This is the formal
+// sense in which the paper's criterion is weaker than SI.
+func TestNonMonotonicReadIsUpdateConsistentButNotSI(t *testing.T) {
+	h := history.MustParse("w1(x) c1 r3(x) w2(x) w2(y) c2 r3(y) c3")
+	if v := UpdateConsistent(h); !v.OK {
+		t.Fatalf("non-monotonic read rejected by update consistency: %s", v.Reason)
+	}
+	if v := NonMonotonicSnapshotIsolated(h); !v.OK {
+		t.Fatalf("non-monotonic read rejected by NMSI: %s", v.Reason)
+	}
+	if v := SnapshotIsolated(h); v.OK {
+		t.Fatal("non-monotonic read accepted by SI: the reads have no common snapshot point")
+	}
+}
+
+// Reading a writer that commits after the reader has no feasible
+// snapshot at all (SI readers see only committed data).
+func TestReadFromLaterCommitterRejected(t *testing.T) {
+	h := history.MustParse("w1(x) r2(x) c2 c1")
+	if v := SnapshotIsolated(h); v.OK {
+		t.Fatal("read from a later committer accepted by SI")
+	}
+	if v := NonMonotonicSnapshotIsolated(h); v.OK {
+		t.Fatal("read from a later committer accepted by NMSI")
+	}
+}
+
+// Serial histories are trivially SI: snapshot each transaction right
+// before its own commit.
+func TestSerialHistoriesAreSI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := history.DefaultGenConfig()
+	for i := 0; i < 200; i++ {
+		h := history.RandomHistory(rng, cfg)
+		committed := h.CommittedProjection()
+		order := committed.Transactions()
+		serial := SerialHistory(committed, order)
+		if v := SnapshotIsolated(serial); !v.OK {
+			t.Fatalf("serial history %d rejected by SI: %s", i, v.Reason)
+		}
+	}
+}
+
+// Structural properties over random histories: SI implies NMSI, and
+// aborted transactions never affect either verdict.
+func TestSIImpliesNMSIOnRandomHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := history.DefaultGenConfig()
+	si, nmsi := 0, 0
+	for i := 0; i < 1000; i++ {
+		h := history.RandomHistory(rng, cfg)
+		vs, vn := SnapshotIsolated(h), NonMonotonicSnapshotIsolated(h)
+		if vs.OK && !vn.OK {
+			t.Fatalf("history %d: SI accepts but NMSI rejects (%s)", i, vn.Reason)
+		}
+		if vs.OK {
+			si++
+		}
+		if vn.OK {
+			nmsi++
+		}
+		cv, cn := SnapshotIsolated(h.CommittedProjection()), NonMonotonicSnapshotIsolated(h.CommittedProjection())
+		if cv.OK != vs.OK || cn.OK != vn.OK {
+			t.Fatalf("history %d: verdict changed under committed projection", i)
+		}
+	}
+	if si == 0 || nmsi == 0 || nmsi <= si {
+		t.Fatalf("degenerate sample: SI %d, NMSI %d (want 0 < SI < NMSI)", si, nmsi)
+	}
+}

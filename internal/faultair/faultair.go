@@ -57,11 +57,29 @@ type Profile struct {
 }
 
 // Window is one scripted doze window: client Client receives nothing
-// during cycles From..To inclusive.
+// during cycles From..To inclusive. To == OpenEnd makes the window
+// open-ended: the client goes off the air at From and stays off for the
+// rest of the run — the schedule for a disconnected client whose
+// persistent cache comes back in a later process (DESIGN.md §13).
 type Window struct {
 	Client   int
 	From, To cmatrix.Cycle
 }
+
+// OpenEnd, as a Window.To, marks a window with no scripted end: the
+// client is off the air from Window.From onwards. Because schedules are
+// pure functions of the profile, the same open-ended window consulted
+// by a restarted run reproduces the same off-air span.
+const OpenEnd cmatrix.Cycle = 1<<62 - 1
+
+// OffAir builds the open-ended window taking client off the air from
+// the given cycle onwards.
+func OffAir(client int, from cmatrix.Cycle) Window {
+	return Window{Client: client, From: from, To: OpenEnd}
+}
+
+// Open reports whether the window is open-ended.
+func (w Window) Open() bool { return w.To == OpenEnd }
 
 // Validate reports the first problem with the profile.
 func (p Profile) Validate() error {

@@ -79,6 +79,20 @@ func (d *FrameDecoder) Decode(frame []byte) (*bcast.CycleBroadcast, error) {
 		d.last = cb
 		return cb, nil
 	}
+	if wire.IsSubsetFrame(frame) {
+		sc, err := wire.DecodeSubsetCycle(frame)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := sc.Broadcast()
+		if err != nil {
+			return nil, err
+		}
+		// A subset view cannot seed a delta chain: its unsubscribed
+		// columns are poison, not state.
+		d.last = nil
+		return cb, nil
+	}
 	cb, err := wire.DecodeCycle(frame)
 	if err != nil {
 		return nil, err

@@ -135,11 +135,15 @@ type Server struct {
 	seqs     []uint32
 	prevCols [][]cmatrix.Cycle
 
-	mu     sync.Mutex
-	subs   map[net.Conn]bool
-	closed bool
-	prev   *bcast.CycleBroadcast
-	wg     sync.WaitGroup
+	mu   sync.Mutex
+	subs map[net.Conn]bool
+	// subSets holds each subset subscriber's normalized object filter
+	// (absent = full feed). Entries appear when a subscriber's BCQ2
+	// frame is accepted and vanish with the connection.
+	subSets map[net.Conn][]int
+	closed  bool
+	prev    *bcast.CycleBroadcast
+	wg      sync.WaitGroup
 
 	// Sparse-grouped transmission state (Step only, not concurrent):
 	// which regroup epoch the last frame named, and whether any
@@ -159,6 +163,8 @@ type Server struct {
 	cSubsDropped  *obs.Counter
 	cTxBytes      *obs.Counter
 	cReaps        *obs.Counter
+	cSubsetBytes  *obs.Counter
+	cSubsetSubs   *obs.Counter
 	gSubs         *obs.Gauge
 	hUplinkNs     *obs.Histogram
 	reg           *obs.Registry
@@ -212,7 +218,8 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 		bl.Close()
 		return nil, err
 	}
-	s := &Server{bsrv: bsrv, opts: opts, broadcastLn: bl, uplinkLn: ul, subs: map[net.Conn]bool{}}
+	s := &Server{bsrv: bsrv, opts: opts, broadcastLn: bl, uplinkLn: ul,
+		subs: map[net.Conn]bool{}, subSets: map[net.Conn][]int{}}
 	reg := opts.Obs
 	if reg == nil {
 		reg = bsrv.Obs()
@@ -226,6 +233,8 @@ func ServeOptions(bsrv *server.Server, broadcastAddr, uplinkAddr string, opts Op
 	s.cSubsDropped = reg.Counter("netcast_subs_dropped")
 	s.cTxBytes = reg.Counter("netcast_tx_bytes")
 	s.cReaps = reg.Counter("netcast_overflow_reaps")
+	s.cSubsetBytes = reg.Counter("netcast_subset_bytes")
+	s.cSubsetSubs = reg.Counter("netcast_subset_subs")
 	s.gSubs = reg.Gauge("netcast_subscribers")
 	// Uplink commit latency (decode + server-side validation + commit),
 	// nanoseconds: ~1 µs .. ~0.5 s. The soak harness bounds its p99.
@@ -313,21 +322,48 @@ func (s *Server) Step() (int, error) {
 	}
 	s.mu.Lock()
 	s.prev = cb
-	conns := make([]net.Conn, 0, len(s.subs))
+	type target struct {
+		conn   net.Conn
+		subset []int
+	}
+	targets := make([]target, 0, len(s.subs))
 	for c := range s.subs {
-		conns = append(conns, c)
+		targets = append(targets, target{conn: c, subset: s.subSets[c]})
 	}
 	s.mu.Unlock()
+	// Partial replication: subset subscribers get a per-subset BCQ3
+	// frame (the matching objects' values plus their full control
+	// columns) instead of the full cycle. One encode serves every
+	// subscriber sharing a filter.
+	subsetFrames := map[string][]byte{}
 	delivered := 0
-	for _, c := range conns {
+	for _, tg := range targets {
+		payload := data
+		if tg.subset != nil && cb.Matrix != nil {
+			key := fmt.Sprint(tg.subset)
+			f, ok := subsetFrames[key]
+			if !ok {
+				if sc, err := wire.SubsetOf(cb, tg.subset); err == nil {
+					f, _ = wire.EncodeSubsetCycle(sc)
+				}
+				subsetFrames[key] = f
+				if f != nil {
+					s.cSubsetBytes.Add(int64(len(f)))
+					s.cFramesSent.Inc()
+				}
+			}
+			if f != nil {
+				payload = f
+			}
+		}
 		// A slow or dead subscriber must not stall the broadcast: give
 		// each write a short deadline and drop the connection on error.
-		c.SetWriteDeadline(time.Now().Add(s.writeTimeout(2 * time.Second)))
-		if err := writeFrame(c, data); err != nil {
-			s.reapSub(c, cb.Number)
+		tg.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout(2 * time.Second)))
+		if err := writeFrame(tg.conn, payload); err != nil {
+			s.reapSub(tg.conn, cb.Number)
 			continue
 		}
-		s.cTxBytes.Add(int64(len(data)) + 4)
+		s.cTxBytes.Add(int64(len(payload)) + 4)
 		delivered++
 	}
 	s.bsrv.Tracer().Emit(obs.EvCycleEnd, obs.ActorServer, int64(cb.Number), 1, int64(delivered))
@@ -352,6 +388,7 @@ func (s *Server) reapSub(c net.Conn, cycle cmatrix.Cycle) {
 	reaped := false
 	if s.subs[c] {
 		delete(s.subs, c)
+		delete(s.subSets, c)
 		c.Close()
 		reaped = true
 		s.cSubsDropped.Inc()
@@ -408,6 +445,7 @@ func (s *Server) Close() {
 	for c := range s.subs {
 		c.Close()
 		delete(s.subs, c)
+		delete(s.subSets, c)
 		s.cSubsDropped.Inc()
 	}
 	s.gSubs.Set(0)
@@ -432,6 +470,51 @@ func (s *Server) acceptBroadcast() {
 		s.cSubsAdded.Inc()
 		s.gSubs.Set(int64(len(s.subs)))
 		s.mu.Unlock()
+		// Per-connection reader: the broadcast stream is one-way for
+		// plain tuners (they never write, so this read blocks until the
+		// connection dies), but subset subscribers announce their object
+		// filter with a BCQ2 frame on the same socket.
+		s.wg.Add(1)
+		go s.readSubscriber(conn)
+	}
+}
+
+// readSubscriber consumes the (normally empty) client-to-server side of
+// a broadcast connection, accepting BCQ2 subset-subscribe frames. A
+// malformed frame, an out-of-range filter, or a subset request against
+// a layout that cannot serve one (anything but classic matrix mode)
+// drops the connection — the broadcast socket has no reply channel, so
+// disconnection is the refusal.
+func (s *Server) readSubscriber(conn net.Conn) {
+	defer s.wg.Done()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if !wire.IsSubsetSubscribeFrame(frame) {
+			s.reapSub(conn, 0)
+			return
+		}
+		objs, err := wire.DecodeSubsetSubscribe(frame)
+		if err != nil || len(objs) == 0 {
+			s.reapSub(conn, 0)
+			return
+		}
+		if s.timeline != nil || s.bsrv.Layout().Control != bcast.ControlMatrix {
+			s.reapSub(conn, 0)
+			return
+		}
+		if objs[len(objs)-1] >= s.bsrv.Layout().Objects {
+			s.reapSub(conn, 0)
+			return
+		}
+		s.mu.Lock()
+		if s.subs[conn] {
+			s.subSets[conn] = objs
+		}
+		s.mu.Unlock()
+		s.cSubsetSubs.Inc()
 	}
 }
 
@@ -503,9 +586,34 @@ type Tuner struct {
 
 // Tune connects to a broadcast address and starts receiving cycles.
 func Tune(addr string) (*Tuner, error) {
+	return tune(addr, nil)
+}
+
+// TuneSubset connects as a partial replica: it announces the object
+// filter with a BCQ2 frame, and the server thereafter ships only the
+// matching objects' values (with their full control columns) as BCQ3
+// frames. The decoded cycles are full-width views whose unsubscribed
+// columns are poisoned conservatively, so validation involving an
+// unsubscribed object fails rather than lies. Requires a classic
+// matrix-layout server; others drop the connection.
+func TuneSubset(addr string, objs []int) (*Tuner, error) {
+	objs = wire.NormalizeSubset(objs)
+	if len(objs) == 0 {
+		return nil, errors.New("netcast: empty subset")
+	}
+	return tune(addr, objs)
+}
+
+func tune(addr string, subset []int) (*Tuner, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if subset != nil {
+		if err := writeFrame(conn, wire.EncodeSubsetSubscribe(subset)); err != nil {
+			conn.Close()
+			return nil, err
+		}
 	}
 	t := &Tuner{conn: conn, medium: bcast.NewMedium(), done: make(chan struct{}), dec: NewFrameDecoder()}
 	go t.loop()

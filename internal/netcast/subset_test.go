@@ -1,0 +1,131 @@
+package netcast
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"broadcastcc/internal/client"
+	"broadcastcc/internal/protocol"
+)
+
+// TestSubsetSubscriptionOverTCP is the partial-replication e2e: a
+// subset tuner announces {0, 2}, the server ships BCQ3 frames carrying
+// only those objects, and the client on top reads them normally while
+// unsubscribed objects stay unreadable.
+func TestSubsetSubscriptionOverTCP(t *testing.T) {
+	bsrv, ns := newNetServer(t, protocol.FMatrix, 8)
+	for obj, val := range map[int]string{0: "zero", 2: "two", 5: "five"} {
+		txn := bsrv.Begin()
+		if err := txn.Write(obj, []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full, err := Tune(ns.BroadcastAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	part, err := TuneSubset(ns.BroadcastAddr(), []int{2, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer part.Close()
+	fullCli := client.New(client.Config{Algorithm: protocol.FMatrix}, full.Subscribe(8))
+	partCli := client.New(client.Config{Algorithm: protocol.FMatrix, Subset: []int{0, 2}}, part.Subscribe(8))
+	awaitSubscribers(t, ns, 2)
+	// The subscribe frame races Step: wait until the server has
+	// registered the filter before transmitting.
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.Obs().Counter("netcast_subset_subs").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subset subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if n, err := ns.Step(); err != nil || n != 2 {
+		t.Fatalf("Step = %d, %v", n, err)
+	}
+	if _, ok := fullCli.AwaitCycle(); !ok {
+		t.Fatal("full tuner: no cycle")
+	}
+	if _, ok := partCli.AwaitCycle(); !ok {
+		t.Fatal("subset tuner: no cycle")
+	}
+
+	// Subscribed objects read normally over the subset feed.
+	rd := partCli.BeginReadOnly()
+	for obj, want := range map[int]string{0: "zero", 2: "two"} {
+		v, err := rd.Read(obj)
+		if err != nil {
+			t.Fatalf("subset read %d: %v", obj, err)
+		}
+		if !strings.HasPrefix(string(v), want) {
+			t.Fatalf("subset read %d = %q, want %q", obj, v, want)
+		}
+	}
+	if _, err := rd.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Unsubscribed objects are refused at the client layer.
+	rd = partCli.BeginReadOnly()
+	if _, err := rd.Read(5); !errors.Is(err, client.ErrNotSubscribed) {
+		t.Fatalf("unsubscribed read = %v, want ErrNotSubscribed", err)
+	}
+	// The full tuner is unaffected.
+	rd = fullCli.BeginReadOnly()
+	if v, err := rd.Read(5); err != nil || !strings.HasPrefix(string(v), "five") {
+		t.Fatalf("full read 5 = %q, %v", v, err)
+	}
+
+	// The subset feed genuinely ships less: BCQ3 bytes were counted and
+	// are smaller than the full frames.
+	sb := ns.Obs().Counter("netcast_subset_bytes").Load()
+	fb, _ := ns.TransmittedBytes()
+	if sb == 0 || sb >= fb {
+		t.Fatalf("subset bytes = %d, full bytes = %d: subset feed should be strictly smaller", sb, fb)
+	}
+}
+
+// TestSubsetRejectsUnsupported: subset requests against layouts that
+// cannot serve them (no matrix control) drop the connection instead of
+// silently serving the full feed.
+func TestSubsetRejectsUnsupported(t *testing.T) {
+	_, ns := newNetServer(t, protocol.Datacycle, 4)
+	tuner, err := TuneSubset(ns.BroadcastAddr(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.Obs().Counter("netcast_subs_dropped").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unsupported subset subscription not dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubsetRejectsOutOfRange: a filter naming objects the database
+// does not have is refused by disconnect.
+func TestSubsetRejectsOutOfRange(t *testing.T) {
+	_, ns := newNetServer(t, protocol.FMatrix, 4)
+	tuner, err := TuneSubset(ns.BroadcastAddr(), []int{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.Obs().Counter("netcast_subs_dropped").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("out-of-range subset subscription not dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -32,6 +32,19 @@ func (s ColumnSnapshot) Bound(i, j int) cmatrix.Cycle {
 	return s.Col[i]
 }
 
+// ColumnOf extracts object obj's control slice from any cycle snapshot
+// over an n-object database: the guard values Bound(i, obj) for every
+// i. This is exactly the per-entry control a weak-currency cache
+// retains (and a persistent cache store writes) — one matrix column
+// under F-Matrix, the vector's image under the vector protocols.
+func ColumnOf(snap Snapshot, obj, n int) ColumnSnapshot {
+	col := make([]cmatrix.Cycle, n)
+	for i := range col {
+		col[i] = snap.Bound(i, obj)
+	}
+	return ColumnSnapshot{Obj: obj, Col: col}
+}
+
 // SnapshotValidator validates reads that may be out of cycle order
 // (mixing cached and on-air reads). Every read carries the control
 // snapshot of its own cycle; a new read of obj at cycle c is allowed iff

@@ -1,0 +1,416 @@
+// Package qcache is the client's persistent quasi-cache tier (DESIGN.md
+// §13): a crash-safe on-disk store of cached broadcast objects — value,
+// caching cycle, and the cached control column that keeps validation
+// air-only (Section 3.3) — so a client that restarts, even after a hard
+// kill, revalidates its inventory against the next control snapshot it
+// hears instead of re-reading the database off the air.
+//
+// The store is an append-only log of checksummed BCQ1 records in
+// numbered segment files. Every mutation is a record append; recovery
+// replays segments in order, later records superseding earlier ones,
+// and truncates each segment at its first torn or corrupt record — the
+// recovered inventory is exactly the longest valid prefix of what was
+// durably written. Compaction writes the live inventory into a fresh
+// segment via tmp + fsync + rename (atomic on POSIX), then removes the
+// superseded segments; a crash at any point leaves either the old or
+// the new segment set, never a mix that decodes wrongly.
+package qcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/wire"
+)
+
+// ErrClosed rejects operations on a closed store.
+var ErrClosed = errors.New("qcache: store closed")
+
+// errFailpoint reports a simulated crash from the failpoint writer.
+var errFailpoint = errors.New("qcache: failpoint write budget exhausted")
+
+// maxRecordBytes bounds a single record's framed length; anything
+// larger in a segment is treated as corruption, not an allocation.
+const maxRecordBytes = 16 << 20
+
+// segPrefix/segSuffix name segment files: seg-000042.bcq.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".bcq"
+)
+
+// Entry is one live cached object as recovered from (or written to)
+// the store.
+type Entry struct {
+	Value []byte
+	Cycle cmatrix.Cycle
+	Col   []cmatrix.Cycle // cached control column, Col[i] = C(i, obj)
+}
+
+// Options tune a store.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment when it grows past
+	// this size (0 = default 4 MiB).
+	MaxSegmentBytes int64
+	// WriteBudget, when positive, is a failpoint: the store may write
+	// at most this many bytes in total, byte-exactly — the write that
+	// crosses the budget is truncated at the boundary and fails, and
+	// every later write fails immediately. It simulates a kill -9 at an
+	// arbitrary byte offset for the crash-recovery test matrix.
+	WriteBudget int64
+}
+
+// Store is a persistent cache inventory. Safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	f      *os.File
+	seg    int   // active segment index
+	size   int64 // bytes appended to the active segment
+	inv    map[int]Entry
+	budget int64 // remaining failpoint bytes (-1 = unlimited)
+	closed bool
+}
+
+// Open recovers (or creates) a store in dir with default options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions recovers (or creates) a store in dir.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("qcache: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, inv: map[int]Entry{}, budget: -1}
+	if opts.WriteBudget > 0 {
+		s.budget = opts.WriteBudget
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Leftover compaction temporaries are from a crash mid-compaction:
+	// the rename never happened, so they are dead.
+	tmps, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix+".tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, fmt.Errorf("qcache: %w", err)
+		}
+		recs, valid := RecoverSegment(data)
+		for _, rec := range recs {
+			s.apply(rec)
+		}
+		if valid < len(data) {
+			// Torn tail: truncate it away so the next append starts at a
+			// record boundary.
+			if err := os.Truncate(filepath.Join(dir, segName(seg)), int64(valid)); err != nil {
+				return nil, fmt.Errorf("qcache: truncating torn tail: %w", err)
+			}
+		}
+		s.seg = seg
+	}
+	if len(segs) == 0 {
+		s.seg = 1
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(s.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("qcache: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("qcache: %w", err)
+	}
+	s.f, s.size = f, st.Size()
+	return s, nil
+}
+
+// RecoverSegment decodes the longest valid prefix of one segment's
+// bytes: the records it yields, and the byte length of the prefix they
+// occupy. Everything after the first torn or corrupt record is
+// discarded — a record is either durably whole or it never happened.
+// Pure function; the crash-matrix property tests drive it directly.
+func RecoverSegment(data []byte) (recs []wire.CacheRecord, valid int) {
+	off := 0
+	for {
+		if off+4 > len(data) {
+			return recs, off
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n <= 0 || n > maxRecordBytes || off+4+n > len(data) {
+			return recs, off
+		}
+		rec, err := wire.DecodeCacheRecord(data[off+4 : off+4+n])
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += 4 + n
+	}
+}
+
+// apply folds one recovered record into the inventory.
+func (s *Store) apply(rec wire.CacheRecord) {
+	switch rec.Kind {
+	case wire.CachePut:
+		s.inv[rec.Obj] = Entry{Value: rec.Value, Cycle: rec.Cycle, Col: rec.Col}
+	case wire.CacheDelete:
+		delete(s.inv, rec.Obj)
+	}
+}
+
+// Put records obj as cached: value, caching cycle, and the control
+// column retained for validation.
+func (s *Store) Put(obj int, value []byte, cycle cmatrix.Cycle, col []cmatrix.Cycle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := wire.CacheRecord{
+		Kind:  wire.CachePut,
+		Obj:   obj,
+		Cycle: cycle,
+		Value: append([]byte(nil), value...),
+		Col:   append([]cmatrix.Cycle(nil), col...),
+	}
+	if err := s.append(rec); err != nil {
+		return err
+	}
+	s.inv[obj] = Entry{Value: rec.Value, Cycle: rec.Cycle, Col: rec.Col}
+	return nil
+}
+
+// Delete records obj as evicted.
+func (s *Store) Delete(obj int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.inv[obj]; !ok {
+		return nil
+	}
+	if err := s.append(wire.CacheRecord{Kind: wire.CacheDelete, Obj: obj}); err != nil {
+		return err
+	}
+	delete(s.inv, obj)
+	return nil
+}
+
+// append frames and writes one record to the active segment, rotating
+// first when the segment is full.
+func (s *Store) append(rec wire.CacheRecord) error {
+	if s.size >= s.opts.MaxSegmentBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	payload := wire.EncodeCacheRecord(rec)
+	buf := make([]byte, 0, 4+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	n, err := s.write(s.f, buf)
+	s.size += int64(n)
+	return err
+}
+
+// write is the failpoint-aware write: under a budget it writes exactly
+// the bytes that fit and then fails, modelling a crash mid-record.
+func (s *Store) write(f *os.File, p []byte) (int, error) {
+	if s.budget < 0 {
+		return f.Write(p)
+	}
+	if s.budget >= int64(len(p)) {
+		n, err := f.Write(p)
+		s.budget -= int64(n)
+		return n, err
+	}
+	n, _ := f.Write(p[:s.budget])
+	s.budget = 0
+	return n, errFailpoint
+}
+
+// rotate opens the next segment for appending.
+func (s *Store) rotate() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("qcache: %w", err)
+	}
+	s.seg++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qcache: %w", err)
+	}
+	s.f, s.size = f, 0
+	return nil
+}
+
+// Get returns the live entry for obj.
+func (s *Store) Get(obj int) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.inv[obj]
+	return e, ok
+}
+
+// Inventory returns a copy of the live entries keyed by object id.
+func (s *Store) Inventory() map[int]Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]Entry, len(s.inv))
+	for obj, e := range s.inv {
+		out[obj] = e
+	}
+	return out
+}
+
+// Len reports the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inv)
+}
+
+// Segments reports the number of segment files (for tests and
+// compaction heuristics).
+func (s *Store) Segments() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := listSegments(s.dir)
+	return len(segs), err
+}
+
+// Compact rewrites the live inventory into one fresh segment and
+// removes the superseded ones. The new segment becomes visible only
+// via rename, so a crash anywhere leaves a decodable store.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	next := s.seg + 1
+	tmpPath := filepath.Join(s.dir, segName(next)+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("qcache: %w", err)
+	}
+	objs := make([]int, 0, len(s.inv))
+	for obj := range s.inv {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	var size int64
+	for _, obj := range objs {
+		e := s.inv[obj]
+		payload := wire.EncodeCacheRecord(wire.CacheRecord{
+			Kind: wire.CachePut, Obj: obj, Cycle: e.Cycle, Value: e.Value, Col: e.Col,
+		})
+		buf := make([]byte, 0, 4+len(payload))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		n, err := s.write(tmp, buf)
+		size += int64(n)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("qcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("qcache: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, segName(next))); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("qcache: %w", err)
+	}
+	old, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	s.f.Close()
+	for _, seg := range old {
+		if seg < next {
+			os.Remove(filepath.Join(s.dir, segName(seg)))
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(next)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qcache: %w", err)
+	}
+	s.f, s.seg, s.size = f, next, size
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the store. The store stays recoverable — Close
+// is a convenience, not a durability requirement.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.f.Sync()
+	return s.f.Close()
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func segName(seg int) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, seg, segSuffix)
+}
+
+// listSegments returns segment indices in ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("qcache: %w", err)
+	}
+	var segs []int
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}

@@ -427,16 +427,6 @@ func (e *engine) snapshot() protocol.Snapshot {
 	}
 }
 
-// columnOf extracts the per-object control slice cached with an entry:
-// the guard values Bound(i, obj) for every i.
-func columnOf(snap protocol.Snapshot, obj, n int) protocol.ColumnSnapshot {
-	col := make([]cmatrix.Cycle, n)
-	for i := 0; i < n; i++ {
-		col[i] = snap.Bound(i, obj)
-	}
-	return protocol.ColumnSnapshot{Obj: obj, Col: col}
-}
-
 // cacheGet serves obj from the cache if present and fresh at time t.
 func (e *engine) cacheGet(obj int, t float64) (cacheEntry, bool) {
 	if e.cache == nil {
@@ -735,7 +725,7 @@ func (e *engine) performRead(v protocol.Validator, j int) (bool, error) {
 		return false, fmt.Errorf("sim: internal error: no snapshot for cycle %d", cycle)
 	}
 	if e.cache != nil {
-		col := columnOf(snap, j, e.cfg.Objects)
+		col := protocol.ColumnOf(snap, j, e.cfg.Objects)
 		ok := v.TryRead(col, j, cycle)
 		e.recordRead(0, cycle, 0, j, ok)
 		if !ok {

@@ -411,6 +411,17 @@ func DecodeBucket(data []byte, prevColumn []cmatrix.Cycle) (*Bucket, error) {
 		}
 		return nil, fmt.Errorf("wire: previous column has %d entries, frame needs %d", len(prevColumn), entries)
 	}
+	if delta {
+		// Inherited entries must predate this frame's broadcast: control
+		// at cycle N covers commits through N-1, so a previous-occurrence
+		// timestamp beyond that marks a broken delta chain (the caller
+		// paired the frame with a column from the wrong occurrence).
+		for i, c := range prevColumn {
+			if c < 0 || c > number-1 {
+				return nil, fmt.Errorf("wire: previous column entry %d has timestamp %d from bucket cycle %d's future", i, c, number)
+			}
+		}
+	}
 
 	b := &Bucket{
 		Number:    number,

@@ -1,0 +1,448 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+// This file carries the persistent quasi-caching tier (Section 3.3 as a
+// first-class subsystem, DESIGN.md §13):
+//
+//   - BCQ1 cache records: the on-disk representation of one cached
+//     object — value, caching cycle, and the cached control column that
+//     keeps validation air-only after a restart. Records are versioned
+//     and checksummed so recovery can discard torn tails byte-exactly.
+//   - BCQ2 subset subscriptions: a tuner's partial-replication filter,
+//     sent up the broadcast connection — the server then ships only the
+//     subscribed objects' values plus the control needed to validate
+//     them.
+//   - BCQ3 subset cycles: the per-subset broadcast frame. Each listed
+//     object carries its full F-Matrix control column, so a subset
+//     client validates reads exactly as a full-channel caching client
+//     would.
+//
+// All multi-byte integers are big-endian.
+
+// Cache record layout:
+//
+//	magic    4 bytes  "BCQ1"
+//	version  1 byte   (currently 1)
+//	kind     1 byte   0 = put, 1 = delete
+//	obj      4 bytes
+//	cycle    8 bytes  caching cycle (unwrapped)
+//	vlen     4 bytes  value length (0 for deletes)
+//	value    vlen bytes
+//	clen     4 bytes  control column entries (0 for deletes)
+//	column   8 bytes each, unwrapped cycles (disk pays no air bandwidth)
+//	hash     8 bytes  FNV-1a 64 over everything above
+
+// CacheRecordMagic identifies a persistent cache record.
+var CacheRecordMagic = [4]byte{'B', 'C', 'Q', '1'}
+
+// CacheRecordVersion is the current record codec version; decoders
+// reject records from a future codec rather than misparse them.
+const CacheRecordVersion = 1
+
+// Cache record kinds.
+const (
+	CachePut    = 0 // an object entered (or refreshed in) the cache
+	CacheDelete = 1 // an object left the cache
+)
+
+// CacheRecord is one logical cache mutation: a put carries the cached
+// value, its caching cycle and the control column retained for
+// validation; a delete carries only the object id.
+type CacheRecord struct {
+	Kind  byte
+	Obj   int
+	Cycle cmatrix.Cycle
+	Value []byte
+	Col   []cmatrix.Cycle // Col[i] = C(i, Obj) at the caching cycle
+}
+
+// EncodeCacheRecord serializes one cache record, checksummed.
+func EncodeCacheRecord(rec CacheRecord) []byte {
+	buf := make([]byte, 0, 26+len(rec.Value)+8*len(rec.Col)+8)
+	buf = append(buf, CacheRecordMagic[:]...)
+	buf = append(buf, CacheRecordVersion, rec.Kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.Obj))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(rec.Cycle))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Value)))
+	buf = append(buf, rec.Value...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Col)))
+	for _, c := range rec.Col {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum(buf)
+}
+
+// DecodeCacheRecord parses one cache record, verifying version and
+// checksum. Any corruption — torn tail, flipped bit, trailing bytes —
+// is an error, never a wrong record.
+func DecodeCacheRecord(data []byte) (CacheRecord, error) {
+	var rec CacheRecord
+	if len(data) < 26+8 {
+		return rec, ErrShortBuffer
+	}
+	if [4]byte(data[0:4]) != CacheRecordMagic {
+		return rec, fmt.Errorf("wire: bad cache record magic %q", data[0:4])
+	}
+	if data[4] != CacheRecordVersion {
+		return rec, fmt.Errorf("wire: cache record version %d (want %d)", data[4], CacheRecordVersion)
+	}
+	rec.Kind = data[5]
+	if rec.Kind != CachePut && rec.Kind != CacheDelete {
+		return rec, fmt.Errorf("wire: bad cache record kind %d", rec.Kind)
+	}
+	rec.Obj = int(binary.BigEndian.Uint32(data[6:10]))
+	rec.Cycle = cmatrix.Cycle(binary.BigEndian.Uint64(data[10:18]))
+	vlen := int(binary.BigEndian.Uint32(data[18:22]))
+	if vlen > len(data) {
+		return rec, fmt.Errorf("wire: implausible cache value length %d in %d bytes", vlen, len(data))
+	}
+	off := 22
+	if off+vlen+4 > len(data) {
+		return rec, ErrShortBuffer
+	}
+	if vlen > 0 {
+		rec.Value = append([]byte(nil), data[off:off+vlen]...)
+	}
+	off += vlen
+	clen := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if clen > len(data)/8 {
+		return rec, fmt.Errorf("wire: implausible cache column length %d in %d bytes", clen, len(data))
+	}
+	if off+8*clen+8 > len(data) {
+		return rec, ErrShortBuffer
+	}
+	if clen > 0 {
+		rec.Col = make([]cmatrix.Cycle, clen)
+		for i := range rec.Col {
+			rec.Col[i] = cmatrix.Cycle(binary.BigEndian.Uint64(data[off : off+8]))
+			off += 8
+		}
+	}
+	h := fnv.New64a()
+	h.Write(data[:off])
+	if binary.BigEndian.Uint64(data[off:off+8]) != h.Sum64() {
+		return rec, fmt.Errorf("wire: cache record checksum mismatch")
+	}
+	if off+8 != len(data) {
+		return rec, fmt.Errorf("wire: %d trailing bytes in cache record", len(data)-off-8)
+	}
+	return rec, nil
+}
+
+// Subset subscription layout:
+//
+//	magic  4 bytes  "BCQ2"
+//	count  4 bytes
+//	obj    4 bytes each, strictly ascending
+
+// SubsetSubscribeMagic identifies a subset-subscription frame.
+var SubsetSubscribeMagic = [4]byte{'B', 'C', 'Q', '2'}
+
+// IsSubsetSubscribeFrame reports whether data begins like a BCQ2 frame.
+func IsSubsetSubscribeFrame(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[0:4]) == SubsetSubscribeMagic
+}
+
+// EncodeSubsetSubscribe serializes a tuner's object-subset filter. The
+// object list is sorted and deduplicated; an empty list (subscribe to
+// nothing) is legal and encodes a zero count.
+func EncodeSubsetSubscribe(objs []int) []byte {
+	norm := NormalizeSubset(objs)
+	buf := make([]byte, 0, 8+4*len(norm))
+	buf = append(buf, SubsetSubscribeMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(norm)))
+	for _, o := range norm {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(o))
+	}
+	return buf
+}
+
+// DecodeSubsetSubscribe parses a subset-subscription frame. Object ids
+// must be strictly ascending (the canonical form the encoder emits).
+func DecodeSubsetSubscribe(data []byte) ([]int, error) {
+	if len(data) < 8 {
+		return nil, ErrShortBuffer
+	}
+	if [4]byte(data[0:4]) != SubsetSubscribeMagic {
+		return nil, fmt.Errorf("wire: bad subset-subscribe magic %q", data[0:4])
+	}
+	count := int(binary.BigEndian.Uint32(data[4:8]))
+	if count > (len(data)-8)/4 {
+		return nil, fmt.Errorf("wire: implausible subset count %d in %d bytes", count, len(data))
+	}
+	if len(data) != 8+4*count {
+		return nil, fmt.Errorf("wire: subset frame is %d bytes but header describes %d", len(data), 8+4*count)
+	}
+	objs := make([]int, count)
+	for i := range objs {
+		objs[i] = int(binary.BigEndian.Uint32(data[8+4*i : 12+4*i]))
+		if i > 0 && objs[i] <= objs[i-1] {
+			return nil, fmt.Errorf("wire: subset objects not strictly ascending at index %d", i)
+		}
+	}
+	return objs, nil
+}
+
+// NormalizeSubset sorts and deduplicates an object-subset filter into
+// the canonical (strictly ascending) form both codec and server use.
+func NormalizeSubset(objs []int) []int {
+	norm := append([]int(nil), objs...)
+	sort.Ints(norm)
+	out := norm[:0]
+	for i, o := range norm {
+		if i == 0 || o != norm[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Subset cycle layout:
+//
+//	magic    4 bytes  "BCQ3"
+//	cycle    8 bytes  cycle number (unwrapped)
+//	objects  4 bytes  n, the total database size
+//	objBytes 4 bytes  bytes per object value slot
+//	tsBits   1 byte   timestamp width
+//	count    4 bytes  listed objects
+//	per listed object, ascending id order:
+//	  obj    4 bytes
+//	  value  objBytes bytes (zero-padded, as in BCC1)
+//	  column n bit-packed wrapped timestamps, byte-aligned per object
+//
+// Only matrix control ships as subsets: each listed object's full
+// column is exactly the control a caching client retains (Section 3.3),
+// so partial replication costs no validation precision.
+
+// SubsetCycleMagic identifies a subset cycle frame.
+var SubsetCycleMagic = [4]byte{'B', 'C', 'Q', '3'}
+
+const subsetHeaderBytes = 4 + 8 + 4 + 4 + 1 + 4
+
+// IsSubsetFrame reports whether data begins like a BCQ3 frame.
+func IsSubsetFrame(data []byte) bool {
+	return len(data) >= 4 && [4]byte(data[0:4]) == SubsetCycleMagic
+}
+
+// SubsetCycle is a partial-replication view of one broadcast cycle: the
+// subscribed objects' values and full control columns, plus the
+// database dimensions needed to rebuild a validating client view.
+type SubsetCycle struct {
+	Number   cmatrix.Cycle
+	Objects  int // total database size n
+	ObjBytes int
+	TsBits   int
+	Objs     []int             // listed object ids, strictly ascending
+	Values   [][]byte          // parallel to Objs, each ObjBytes long
+	Columns  [][]cmatrix.Cycle // parallel to Objs, each n entries
+}
+
+// SubsetOf restricts a full broadcast cycle to an object subset. The
+// cycle must carry matrix control (subset frames ship full columns).
+func SubsetOf(cb *bcast.CycleBroadcast, objs []int) (*SubsetCycle, error) {
+	if cb.Matrix == nil {
+		return nil, fmt.Errorf("wire: subset cycles require matrix control (have %v)", cb.Layout.Control)
+	}
+	l := cb.Layout
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	norm := NormalizeSubset(objs)
+	sc := &SubsetCycle{
+		Number:   cb.Number,
+		Objects:  l.Objects,
+		ObjBytes: int((l.ObjectBits + 7) / 8),
+		TsBits:   l.TimestampBits,
+		Objs:     norm,
+	}
+	for _, o := range norm {
+		if o < 0 || o >= l.Objects {
+			return nil, fmt.Errorf("wire: subset object %d out of range [0,%d)", o, l.Objects)
+		}
+		v := cb.Values[o]
+		if len(v) > sc.ObjBytes {
+			return nil, fmt.Errorf("wire: object %d value is %d bytes, slot holds %d", o, len(v), sc.ObjBytes)
+		}
+		slot := make([]byte, sc.ObjBytes)
+		copy(slot, v)
+		sc.Values = append(sc.Values, slot)
+		sc.Columns = append(sc.Columns, append([]cmatrix.Cycle(nil), cb.Matrix.Column(o)...))
+	}
+	return sc, nil
+}
+
+// EncodeSubsetCycle serializes a subset cycle frame.
+func EncodeSubsetCycle(sc *SubsetCycle) ([]byte, error) {
+	if sc.Number < 1 {
+		return nil, fmt.Errorf("wire: bad cycle number %d", sc.Number)
+	}
+	if sc.Objects < 1 || sc.ObjBytes < 1 || sc.TsBits < 1 || sc.TsBits > 32 {
+		return nil, fmt.Errorf("wire: bad subset dimensions n=%d objBytes=%d tsBits=%d", sc.Objects, sc.ObjBytes, sc.TsBits)
+	}
+	if len(sc.Values) != len(sc.Objs) || len(sc.Columns) != len(sc.Objs) {
+		return nil, fmt.Errorf("wire: subset shape mismatch: %d objs, %d values, %d columns", len(sc.Objs), len(sc.Values), len(sc.Columns))
+	}
+	w := NewBitWriter()
+	var hdr [subsetHeaderBytes]byte
+	copy(hdr[0:4], SubsetCycleMagic[:])
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(sc.Number))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(sc.Objects))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(sc.ObjBytes))
+	hdr[20] = byte(sc.TsBits)
+	binary.BigEndian.PutUint32(hdr[21:25], uint32(len(sc.Objs)))
+	w.WriteBytes(hdr[:])
+	codec := cmatrix.Codec{Bits: sc.TsBits}
+	for k, o := range sc.Objs {
+		if o < 0 || o >= sc.Objects {
+			return nil, fmt.Errorf("wire: subset object %d out of range [0,%d)", o, sc.Objects)
+		}
+		if k > 0 && o <= sc.Objs[k-1] {
+			return nil, fmt.Errorf("wire: subset objects not strictly ascending at index %d", k)
+		}
+		if len(sc.Values[k]) > sc.ObjBytes {
+			return nil, fmt.Errorf("wire: object %d value is %d bytes, slot holds %d", o, len(sc.Values[k]), sc.ObjBytes)
+		}
+		if len(sc.Columns[k]) != sc.Objects {
+			return nil, fmt.Errorf("wire: object %d column has %d entries, want %d", o, len(sc.Columns[k]), sc.Objects)
+		}
+		var ob [4]byte
+		binary.BigEndian.PutUint32(ob[:], uint32(o))
+		w.WriteBytes(ob[:])
+		slot := make([]byte, sc.ObjBytes)
+		copy(slot, sc.Values[k])
+		w.WriteBytes(slot)
+		for _, c := range sc.Columns[k] {
+			w.WriteBits(uint64(codec.Encode(c)), sc.TsBits)
+		}
+		w.Align()
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeSubsetCycle parses a subset cycle frame; the frame length must
+// match the header exactly.
+func DecodeSubsetCycle(data []byte) (*SubsetCycle, error) {
+	if len(data) < subsetHeaderBytes {
+		return nil, ErrShortBuffer
+	}
+	if [4]byte(data[0:4]) != SubsetCycleMagic {
+		return nil, fmt.Errorf("wire: bad subset cycle magic %q", data[0:4])
+	}
+	sc := &SubsetCycle{
+		Number:   cmatrix.Cycle(binary.BigEndian.Uint64(data[4:12])),
+		Objects:  int(binary.BigEndian.Uint32(data[12:16])),
+		ObjBytes: int(binary.BigEndian.Uint32(data[16:20])),
+		TsBits:   int(data[20]),
+	}
+	count := int(binary.BigEndian.Uint32(data[21:25]))
+	if sc.Number < 1 {
+		return nil, fmt.Errorf("wire: bad cycle number %d", sc.Number)
+	}
+	if sc.Objects < 1 || sc.ObjBytes < 1 || sc.TsBits < 1 || sc.TsBits > 32 {
+		return nil, fmt.Errorf("wire: bad subset dimensions n=%d objBytes=%d tsBits=%d", sc.Objects, sc.ObjBytes, sc.TsBits)
+	}
+	if count > sc.Objects {
+		return nil, fmt.Errorf("wire: subset lists %d of %d objects", count, sc.Objects)
+	}
+	// The frame length is fully determined by the header; reject before
+	// allocating.
+	perObject := int64(4+sc.ObjBytes) + (int64(sc.Objects)*int64(sc.TsBits)+7)/8
+	want := int64(subsetHeaderBytes) + int64(count)*perObject
+	if int64(len(data)) != want {
+		return nil, fmt.Errorf("wire: subset frame is %d bytes but header describes %d", len(data), want)
+	}
+	r := NewBitReader(data[subsetHeaderBytes:])
+	codec := cmatrix.Codec{Bits: sc.TsBits}
+	ref := sc.Number - 1
+	for k := 0; k < count; k++ {
+		ob, err := r.ReadBytes(4)
+		if err != nil {
+			return nil, err
+		}
+		o := int(binary.BigEndian.Uint32(ob))
+		if o < 0 || o >= sc.Objects {
+			return nil, fmt.Errorf("wire: subset object %d out of range [0,%d)", o, sc.Objects)
+		}
+		if k > 0 && o <= sc.Objs[k-1] {
+			return nil, fmt.Errorf("wire: subset objects not strictly ascending at index %d", k)
+		}
+		v, err := r.ReadBytes(sc.ObjBytes)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]cmatrix.Cycle, sc.Objects)
+		for i := range col {
+			raw, err := r.ReadBits(sc.TsBits)
+			if err != nil {
+				return nil, err
+			}
+			ts := codec.Decode(uint32(raw), ref)
+			if ts < 0 {
+				return nil, fmt.Errorf("wire: timestamp %d decodes before cycle 0 (corrupt frame)", raw)
+			}
+			col[i] = ts
+		}
+		r.Align()
+		sc.Objs = append(sc.Objs, o)
+		sc.Values = append(sc.Values, v)
+		sc.Columns = append(sc.Columns, col)
+	}
+	return sc, nil
+}
+
+// Broadcast rebuilds a full-width client view of the subset cycle:
+// subscribed objects carry their exact values and control columns;
+// every other column is poisoned to the current cycle number, so any
+// validation that touches an unsubscribed object conservatively fails
+// (bound >= cycle) rather than silently accepting a read the frame
+// never carried. Unsubscribed value slots are nil — the client layer
+// must refuse to serve them (Config.Subset).
+func (sc *SubsetCycle) Broadcast() (*bcast.CycleBroadcast, error) {
+	cols := make([][]cmatrix.Cycle, sc.Objects)
+	values := make([][]byte, sc.Objects)
+	poison := make([]cmatrix.Cycle, sc.Objects)
+	for i := range poison {
+		poison[i] = sc.Number
+	}
+	for j := range cols {
+		cols[j] = poison
+	}
+	for k, o := range sc.Objs {
+		cols[o] = sc.Columns[k]
+		values[o] = sc.Values[k]
+	}
+	m, err := cmatrix.MatrixFromColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &bcast.CycleBroadcast{
+		Number: sc.Number,
+		Layout: bcast.Layout{
+			Objects:       sc.Objects,
+			ObjectBits:    int64(sc.ObjBytes) * 8,
+			TimestampBits: sc.TsBits,
+			Control:       bcast.ControlMatrix,
+		},
+		Values: values,
+		Matrix: m,
+	}, nil
+}
+
+// ColumnSnapshotOf packages a stored cache column as the protocol
+// snapshot a restarted client revalidates against.
+func ColumnSnapshotOf(obj int, col []cmatrix.Cycle) protocol.ColumnSnapshot {
+	return protocol.ColumnSnapshot{Obj: obj, Col: col}
+}

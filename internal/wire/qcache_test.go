@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"broadcastcc/internal/bcast"
+	"broadcastcc/internal/cmatrix"
+	"broadcastcc/internal/protocol"
+)
+
+func TestCacheRecordRoundTrip(t *testing.T) {
+	recs := []CacheRecord{
+		{Kind: CachePut, Obj: 3, Cycle: 17, Value: []byte("hello"), Col: []cmatrix.Cycle{0, 4, 16, 2}},
+		{Kind: CachePut, Obj: 0, Cycle: 1, Value: nil, Col: []cmatrix.Cycle{0}},
+		{Kind: CacheDelete, Obj: 9, Cycle: 40},
+	}
+	for i, rec := range recs {
+		enc := EncodeCacheRecord(rec)
+		got, err := DecodeCacheRecord(enc)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if got.Kind != rec.Kind || got.Obj != rec.Obj || got.Cycle != rec.Cycle {
+			t.Fatalf("record %d: got %+v want %+v", i, got, rec)
+		}
+		if !bytes.Equal(got.Value, rec.Value) {
+			t.Fatalf("record %d: value %q want %q", i, got.Value, rec.Value)
+		}
+		if !reflect.DeepEqual(got.Col, rec.Col) {
+			t.Fatalf("record %d: column %v want %v", i, got.Col, rec.Col)
+		}
+	}
+}
+
+func TestCacheRecordRejectsCorruption(t *testing.T) {
+	good := EncodeCacheRecord(CacheRecord{
+		Kind: CachePut, Obj: 2, Cycle: 9,
+		Value: []byte("v"), Col: []cmatrix.Cycle{1, 2, 3},
+	})
+	// Every truncation of a record must be rejected — this is what makes
+	// torn-tail recovery sound.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeCacheRecord(good[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Every single-bit flip must be rejected (checksum coverage).
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, err := DecodeCacheRecord(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	// Trailing bytes must be rejected.
+	if _, err := DecodeCacheRecord(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A future codec version must be rejected, not misparsed.
+	future := append([]byte(nil), good...)
+	future[4] = CacheRecordVersion + 1
+	if _, err := DecodeCacheRecord(future); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestSubsetSubscribeRoundTrip(t *testing.T) {
+	cases := [][]int{nil, {0}, {5, 1, 3, 1, 5}, {0, 1, 2, 63}}
+	for _, objs := range cases {
+		enc := EncodeSubsetSubscribe(objs)
+		got, err := DecodeSubsetSubscribe(enc)
+		if err != nil {
+			t.Fatalf("subset %v: decode: %v", objs, err)
+		}
+		want := NormalizeSubset(objs)
+		if len(got) != len(want) {
+			t.Fatalf("subset %v: got %v want %v", objs, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("subset %v: got %v want %v", objs, got, want)
+			}
+		}
+	}
+	if _, err := DecodeSubsetSubscribe([]byte("BCQ2xx")); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Out-of-order object lists are not canonical.
+	raw := EncodeSubsetSubscribe([]int{1, 2})
+	raw[11], raw[15] = raw[15], raw[11] // swap the low bytes of the two ids
+	if _, err := DecodeSubsetSubscribe(raw); err == nil {
+		t.Fatal("descending subset accepted")
+	}
+}
+
+func subsetFixture(t testing.TB) (*bcast.CycleBroadcast, []int) {
+	layout := bcast.LayoutFor(protocol.FMatrix, 4, 16, 8, 0)
+	m := cmatrix.NewMatrix(4)
+	m.Apply([]int{0}, []int{1}, 3)
+	m.Apply([]int{1}, []int{2, 3}, 5)
+	cb := &bcast.CycleBroadcast{
+		Number: 7, Layout: layout,
+		Values: [][]byte{[]byte("a"), []byte("bb"), nil, []byte("d")},
+		Matrix: m,
+	}
+	return cb, []int{1, 3}
+}
+
+func TestSubsetCycleRoundTrip(t *testing.T) {
+	cb, objs := subsetFixture(t)
+	sc, err := SubsetOf(cb, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeSubsetCycle(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSubsetFrame(enc) {
+		t.Fatal("encoded frame not recognized as BCQ3")
+	}
+	got, err := DecodeSubsetCycle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Number != sc.Number || got.Objects != sc.Objects || !reflect.DeepEqual(got.Objs, sc.Objs) {
+		t.Fatalf("shape mismatch: got %+v want %+v", got, sc)
+	}
+	for k, o := range got.Objs {
+		if !reflect.DeepEqual(got.Columns[k], sc.Columns[k]) {
+			t.Fatalf("object %d column %v want %v", o, got.Columns[k], sc.Columns[k])
+		}
+		if !bytes.Equal(got.Values[k], sc.Values[k]) {
+			t.Fatalf("object %d value %q want %q", o, got.Values[k], sc.Values[k])
+		}
+	}
+}
+
+// TestSubsetBroadcastView pins the restricted client view: subscribed
+// columns are exact, unsubscribed columns are poisoned to the cycle
+// number (conservative: any cross-validation against them fails), and
+// unsubscribed value slots are nil.
+func TestSubsetBroadcastView(t *testing.T) {
+	cb, objs := subsetFixture(t)
+	sc, err := SubsetOf(cb, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := sc.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Number != cb.Number {
+		t.Fatalf("view cycle %d want %d", view.Number, cb.Number)
+	}
+	for _, o := range objs {
+		for i := 0; i < 4; i++ {
+			if view.Matrix.At(i, o) != cb.Matrix.At(i, o) {
+				t.Fatalf("subscribed column %d row %d: %d want %d", o, i, view.Matrix.At(i, o), cb.Matrix.At(i, o))
+			}
+		}
+		if view.Values[o] == nil {
+			t.Fatalf("subscribed object %d has no value", o)
+		}
+	}
+	for _, o := range []int{0, 2} {
+		if view.Values[o] != nil {
+			t.Fatalf("unsubscribed object %d carries a value", o)
+		}
+		for i := 0; i < 4; i++ {
+			if view.Matrix.At(i, o) != cb.Number {
+				t.Fatalf("unsubscribed column %d row %d not poisoned: %d", o, i, view.Matrix.At(i, o))
+			}
+		}
+	}
+	// The poisoned column makes the read-condition fail for any pair
+	// involving an unsubscribed object.
+	v := &protocol.SnapshotValidator{}
+	if !v.TryRead(view.Column(1), 1, view.Number) {
+		t.Fatal("subscribed read rejected")
+	}
+	if v.TryRead(view.Column(0), 0, view.Number) {
+		t.Fatal("unsubscribed read accepted against a subscribed one")
+	}
+}
+
+func FuzzCacheRecordCodec(f *testing.F) {
+	f.Add(EncodeCacheRecord(CacheRecord{Kind: CachePut, Obj: 1, Cycle: 5, Value: []byte("x"), Col: []cmatrix.Cycle{1, 2}}))
+	f.Add(EncodeCacheRecord(CacheRecord{Kind: CacheDelete, Obj: 0, Cycle: 2}))
+	f.Add([]byte{})
+	f.Add([]byte("BCQ1 garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeCacheRecord(data)
+		if err != nil {
+			return
+		}
+		re := EncodeCacheRecord(rec)
+		again, err := DecodeCacheRecord(re)
+		if err != nil {
+			t.Fatalf("accepted record failed round trip: %v", err)
+		}
+		if again.Kind != rec.Kind || again.Obj != rec.Obj || again.Cycle != rec.Cycle ||
+			!bytes.Equal(again.Value, rec.Value) || len(again.Col) != len(rec.Col) {
+			t.Fatal("cache record decode/encode/decode unstable")
+		}
+	})
+}
+
+func FuzzSubsetSubscribeFrame(f *testing.F) {
+	f.Add(EncodeSubsetSubscribe([]int{0, 3, 7}))
+	f.Add(EncodeSubsetSubscribe(nil))
+	f.Add([]byte{})
+	f.Add([]byte("BCQ2 garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		objs, err := DecodeSubsetSubscribe(data)
+		if err != nil {
+			return
+		}
+		round, err := DecodeSubsetSubscribe(EncodeSubsetSubscribe(objs))
+		if err != nil {
+			t.Fatalf("accepted subset failed round trip: %v", err)
+		}
+		if len(round) != len(objs) {
+			t.Fatal("subset round trip changed shape")
+		}
+	})
+}
+
+func FuzzDecodeSubsetCycle(f *testing.F) {
+	cb, objs := subsetFixture(f)
+	sc, err := SubsetOf(cb, objs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := EncodeSubsetCycle(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("BCQ3 garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeSubsetCycle(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSubsetCycle(sc)
+		if err != nil {
+			t.Fatalf("decoded subset cycle failed to re-encode: %v", err)
+		}
+		again, err := DecodeSubsetCycle(re)
+		if err != nil {
+			t.Fatalf("re-encoded subset cycle failed to decode: %v", err)
+		}
+		if again.Number != sc.Number || len(again.Objs) != len(sc.Objs) {
+			t.Fatal("subset cycle decode/encode/decode unstable")
+		}
+		if _, err := sc.Broadcast(); err != nil {
+			t.Fatalf("accepted subset cycle failed to build a view: %v", err)
+		}
+	})
+}
